@@ -1,0 +1,97 @@
+// Ablation for §6.3/§6.5: generic string parameter-setting methods vs
+// native typed setter calls.
+//
+// LISI routes every parameter through set(key, value) string pairs (so one
+// interface fits every package); the native path calls the package's typed
+// setters directly.  This bench measures the per-parameter cost of the
+// generic path — the price paid for package independence — and the cost of
+// the separate-methods design (setStartRow/setLocalRows/... once) compared
+// with passing distribution data on every call.
+#include <benchmark/benchmark.h>
+
+#include "cca/cca.hpp"
+#include "comm/comm.hpp"
+#include "comm/comm_handle.hpp"
+#include "lisi/sparse_solver.hpp"
+#include "pksp/pksp.hpp"
+
+namespace {
+
+/// Generic LISI path: four typical parameters via string keys.
+void BM_GenericParamSet(benchmark::State& state) {
+  lisi::registerSolverComponents();
+  lisi::comm::World::run(1, [&](lisi::comm::Comm& comm) {
+    cca::Framework fw;
+    fw.instantiate("s", lisi::kPkspComponentClass);
+    auto port = fw.getProvidesPortAs<lisi::SparseSolver>(
+        "s", lisi::kSparseSolverPortName);
+    const long h = lisi::comm::registerHandle(comm);
+    port->initialize(h);
+    for (auto _ : state) {
+      port->set("solver", "gmres");
+      port->set("preconditioner", "ilu");
+      port->setDouble("tol", 1e-8);
+      port->setInt("maxits", 500);
+      benchmark::ClobberMemory();
+    }
+    lisi::comm::releaseHandle(h);
+  });
+}
+BENCHMARK(BM_GenericParamSet);
+
+/// Native path: the same four parameters through PKSP's typed API.
+void BM_NativeParamSet(benchmark::State& state) {
+  lisi::comm::World::run(1, [&](lisi::comm::Comm& comm) {
+    pksp::KSP ksp = nullptr;
+    pksp::KSPCreate(comm, &ksp);
+    for (auto _ : state) {
+      pksp::KSPSetType(ksp, pksp::PKSP_GMRES);
+      pksp::KSPSetPCType(ksp, pksp::PKSP_PC_ILU0);
+      pksp::KSPSetTolerances(ksp, 1e-8, -1, 500);
+      benchmark::ClobberMemory();
+    }
+    pksp::KSPDestroy(&ksp);
+  });
+}
+BENCHMARK(BM_NativeParamSet);
+
+/// PETSc-style options-string parsing (what KSPSetFromString costs).
+void BM_OptionsStringParse(benchmark::State& state) {
+  lisi::comm::World::run(1, [&](lisi::comm::Comm& comm) {
+    pksp::KSP ksp = nullptr;
+    pksp::KSPCreate(comm, &ksp);
+    for (auto _ : state) {
+      pksp::KSPSetFromString(
+          ksp, "-ksp_type gmres -pc_type ilu -ksp_rtol 1e-8 -ksp_max_it 500");
+      benchmark::ClobberMemory();
+    }
+    pksp::KSPDestroy(&ksp);
+  });
+}
+BENCHMARK(BM_OptionsStringParse);
+
+/// The §6.3 design: distribution set once via separate methods.
+void BM_SeparateDistributionSetters(benchmark::State& state) {
+  lisi::registerSolverComponents();
+  lisi::comm::World::run(1, [&](lisi::comm::Comm& comm) {
+    cca::Framework fw;
+    fw.instantiate("s", lisi::kPkspComponentClass);
+    auto port = fw.getProvidesPortAs<lisi::SparseSolver>(
+        "s", lisi::kSparseSolverPortName);
+    const long h = lisi::comm::registerHandle(comm);
+    port->initialize(h);
+    for (auto _ : state) {
+      port->setStartRow(0);
+      port->setLocalRows(10000);
+      port->setLocalNNZ(49600);
+      port->setGlobalCols(10000);
+      benchmark::ClobberMemory();
+    }
+    lisi::comm::releaseHandle(h);
+  });
+}
+BENCHMARK(BM_SeparateDistributionSetters);
+
+}  // namespace
+
+BENCHMARK_MAIN();

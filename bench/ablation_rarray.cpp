@@ -1,0 +1,77 @@
+// Ablation for §6.2 (r-array vs normal SIDL array).
+//
+// The paper argues r-arrays win because they avoid boxing: no malloc/copy
+// on the way in, direct traditional indexing on the way out.  This bench
+// measures both argument-passing styles at the sizes the paper's problems
+// produce (12k .. 800k nonzeros).
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "lisi/rarray.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+std::vector<double> makeValues(int n) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  lisi::Rng rng(42);
+  for (auto& x : v) x = rng.uniform(-1, 1);
+  return v;
+}
+
+/// Passing a vector as an r-array: wrap (no copy) and traverse.
+void BM_RArrayPassAndSum(benchmark::State& state) {
+  const auto values = makeValues(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    lisi::RArray<const double> arr(values);
+    double sum = 0.0;
+    for (int i = 0; i < arr.length(); ++i) sum += arr[i];
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RArrayPassAndSum)->Arg(12300)->Arg(49600)->Arg(199200)->Arg(798400);
+
+/// Passing the same data as a boxed SIDL array: copy on construction plus
+/// descriptor-checked access.
+void BM_SidlArrayPassAndSum(benchmark::State& state) {
+  const auto values = makeValues(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    lisi::SidlArray<double> arr(values.data(),
+                                static_cast<int>(values.size()));
+    double sum = 0.0;
+    for (int i = 0; i < arr.length(); ++i) sum += arr.get(i);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SidlArrayPassAndSum)
+    ->Arg(12300)
+    ->Arg(49600)
+    ->Arg(199200)
+    ->Arg(798400);
+
+/// Construction cost only (what every interface crossing pays).
+void BM_RArrayConstruct(benchmark::State& state) {
+  const auto values = makeValues(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    lisi::RArray<const double> arr(values);
+    benchmark::DoNotOptimize(arr.data());
+  }
+}
+BENCHMARK(BM_RArrayConstruct)->Arg(199200)->Arg(798400);
+
+void BM_SidlArrayConstruct(benchmark::State& state) {
+  const auto values = makeValues(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    lisi::SidlArray<double> arr(values.data(),
+                                static_cast<int>(values.size()));
+    benchmark::DoNotOptimize(arr.data());
+  }
+}
+BENCHMARK(BM_SidlArrayConstruct)->Arg(199200)->Arg(798400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

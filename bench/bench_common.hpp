@@ -1,0 +1,244 @@
+// Shared machinery for the paper-reproduction benchmarks (Figure 5,
+// Table 1, Figure 4).
+//
+// Two measurement paths, exactly as in §8 of the paper:
+//   * CCA:    the system is handed to a LISI solver *component* through the
+//             SparseSolver port (argument marshalling, format adaptation,
+//             generic parameter parsing, virtual dispatch — everything the
+//             componentization adds).
+//   * NonCCA: the same underlying package is called natively.
+// Both paths run on identical pre-assembled local systems; mesh generation
+// and framework wiring are excluded from the timed region, the full
+// setup-matrix + setup-rhs + solve sequence is included.
+//
+// Each experiment repeats `reps` times (paper: ten runs, mean reported).
+// Override with the LISI_BENCH_REPS environment variable for quick runs.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "aztec/aztecoo.hpp"
+#include "cca/cca.hpp"
+#include "comm/comm.hpp"
+#include "comm/comm_handle.hpp"
+#include "lisi/sparse_solver.hpp"
+#include "mesh/pde5pt.hpp"
+#include "pksp/pksp.hpp"
+#include "slu/slu.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/dist_csr.hpp"
+#include "support/stats.hpp"
+#include "support/timer.hpp"
+
+namespace bench {
+
+inline int repetitions(int fallback = 10) {
+  if (const char* env = std::getenv("LISI_BENCH_REPS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// Outcome of one timed solve.
+struct SolveSample {
+  double seconds = 0.0;  ///< timed region on rank 0
+  int iterations = 0;
+  double residualNorm = 0.0;
+  bool ok = false;
+};
+
+/// Iterative-solver configuration shared by the experiments: GMRES(30) with
+/// a block-Jacobi ILU(0) preconditioner, rtol 1e-6 — the classic default
+/// configuration of the packages the paper wrapped.
+inline constexpr double kTol = 1e-6;
+inline constexpr int kMaxIts = 10000;
+inline constexpr int kRestart = 30;
+
+/// View of a pre-assembled local system (so assembly is outside timing).
+struct LocalSystem {
+  lisi::mesh::Pde5ptLocalSystem sys;
+};
+
+inline LocalSystem assembleFor(const lisi::comm::Comm& comm, int gridN) {
+  lisi::mesh::Pde5ptSpec spec;
+  spec.gridN = gridN;
+  return {lisi::mesh::assembleLocal(spec, comm.rank(), comm.size())};
+}
+
+/// CCA path: full LISI call sequence against an already-instantiated solver
+/// component.  `solver` is the provides port of a lisi.* component.
+inline SolveSample ccaSolve(const lisi::comm::Comm& comm,
+                            lisi::SparseSolver& solver,
+                            const LocalSystem& ls,
+                            const std::string& backend) {
+  const auto& sys = ls.sys;
+  const int m = sys.localA.rows;
+  SolveSample sample;
+  lisi::WallTimer timer;
+
+  const long handle = lisi::comm::registerHandle(comm);
+  int rc = solver.initialize(handle);
+  if (rc == 0) rc = solver.setStartRow(sys.startRow);
+  if (rc == 0) rc = solver.setLocalRows(m);
+  if (rc == 0) rc = solver.setLocalNNZ(sys.localA.nnz());
+  if (rc == 0) rc = solver.setGlobalCols(sys.globalN);
+  if (backend == "slu") {
+    if (rc == 0) rc = solver.set("ordering", "rcm");
+  } else if (backend == "hymg") {
+    int n = 1;
+    while ((n + 1) * (n + 1) <= sys.globalN) ++n;
+    if (rc == 0) rc = solver.setInt("mg_grid_n", n);
+    if (rc == 0) rc = solver.setDouble("mg_bx", 3.0);
+    if (rc == 0) rc = solver.setDouble("tol", kTol);
+    if (rc == 0) rc = solver.setInt("maxits", 200);
+  } else {
+    if (rc == 0) rc = solver.set("solver", "gmres");
+    if (rc == 0) rc = solver.set("preconditioner", "ilu");
+    if (rc == 0) rc = solver.setDouble("tol", kTol);
+    if (rc == 0) rc = solver.setInt("maxits", kMaxIts);
+    if (rc == 0) rc = solver.setInt("restart", kRestart);
+  }
+  if (rc == 0) {
+    rc = solver.setupMatrix(
+        lisi::RArray<const double>(sys.localA.values.data(), sys.localA.nnz()),
+        lisi::RArray<const int>(sys.localA.rowPtr.data(), m + 1),
+        lisi::RArray<const int>(sys.localA.colIdx.data(), sys.localA.nnz()),
+        lisi::SparseStruct::kCsr, m + 1, sys.localA.nnz());
+  }
+  if (rc == 0) {
+    rc = solver.setupRHS(lisi::RArray<const double>(sys.localB.data(), m), m,
+                         1);
+  }
+  std::vector<double> x(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> status(lisi::kStatusLength, 0.0);
+  if (rc == 0) {
+    rc = solver.solve(lisi::RArray<double>(x.data(), m),
+                      lisi::RArray<double>(status.data(), lisi::kStatusLength),
+                      m, lisi::kStatusLength);
+  }
+  lisi::comm::releaseHandle(handle);
+
+  sample.seconds = timer.seconds();
+  sample.ok = (rc == 0);
+  sample.iterations = static_cast<int>(status[lisi::kStatusIterations]);
+  sample.residualNorm = status[lisi::kStatusResidualNorm];
+  return sample;
+}
+
+/// NonCCA baseline: PKSP called natively.
+inline SolveSample directPksp(const lisi::comm::Comm& comm,
+                              const LocalSystem& ls) {
+  const auto& sys = ls.sys;
+  const int m = sys.localA.rows;
+  SolveSample sample;
+  lisi::WallTimer timer;
+
+  lisi::sparse::DistCsrMatrix a(comm, sys.globalN, sys.globalN, sys.startRow,
+                                sys.localA);
+  pksp::KSP ksp = nullptr;
+  pksp::KSPCreate(comm, &ksp);
+  pksp::KSPSetOperator(ksp, &a);
+  pksp::KSPSetType(ksp, pksp::PKSP_GMRES);
+  pksp::KSPSetPCType(ksp, pksp::PKSP_PC_ILU0);
+  pksp::KSPSetTolerances(ksp, kTol, 1e-50, kMaxIts);
+  pksp::KSPSetRestart(ksp, kRestart);
+  std::vector<double> x(static_cast<std::size_t>(m), 0.0);
+  const int rc = pksp::KSPSolve(
+      ksp, std::span<const double>(sys.localB), std::span<double>(x));
+  pksp::KSPGetIterationNumber(ksp, &sample.iterations);
+  pksp::KSPGetResidualNorm(ksp, &sample.residualNorm);
+  pksp::KSPDestroy(&ksp);
+
+  sample.seconds = timer.seconds();
+  sample.ok = (rc == pksp::PKSP_SUCCESS);
+  return sample;
+}
+
+/// NonCCA baseline: Aztec called natively.
+inline SolveSample directAztec(const lisi::comm::Comm& comm,
+                               const LocalSystem& ls) {
+  const auto& sys = ls.sys;
+  const int m = sys.localA.rows;
+  SolveSample sample;
+  lisi::WallTimer timer;
+
+  aztec::Map map(sys.globalN, m, comm);
+  aztec::CrsMatrix a(map, sys.localA);
+  aztec::Vector x(map);
+  const aztec::Vector b(map, sys.localB);
+  aztec::AztecOO solver(a, x, b);
+  solver.setOption(aztec::AZ_solver, aztec::AZ_gmres)
+      .setOption(aztec::AZ_precond, aztec::AZ_dom_decomp)
+      .setOption(aztec::AZ_kspace, kRestart);
+  const int rc = solver.iterate(kMaxIts, kTol);
+  sample.iterations = solver.numIters();
+  sample.residualNorm = solver.trueResidual();
+
+  sample.seconds = timer.seconds();
+  sample.ok = (rc == 0);
+  return sample;
+}
+
+/// NonCCA baseline: SLU called natively (gather/solve/scatter, the same
+/// topology the component uses).
+inline SolveSample directSlu(const lisi::comm::Comm& comm,
+                             const LocalSystem& ls) {
+  const auto& sys = ls.sys;
+  SolveSample sample;
+  lisi::WallTimer timer;
+
+  lisi::sparse::DistCsrMatrix a(comm, sys.globalN, sys.globalN, sys.startRow,
+                                sys.localA);
+  const lisi::sparse::CsrMatrix global = a.gatherToRoot(0);
+  const std::vector<double> bGlobal = a.gatherVectorToRoot(
+      std::span<const double>(sys.localB), 0);
+  std::vector<double> xGlobal;
+  bool ok = true;
+  if (comm.rank() == 0) {
+    xGlobal.resize(bGlobal.size());
+    try {
+      slu::solve(lisi::sparse::csrToCsc(global),
+                 std::span<const double>(bGlobal), std::span<double>(xGlobal));
+    } catch (const lisi::Error&) {
+      ok = false;
+    }
+  }
+  ok = comm.bcastValue(ok ? 1 : 0, 0) != 0;
+  const std::vector<double> xLocal = a.scatterVectorFromRoot(
+      comm.rank() == 0 ? std::span<const double>(xGlobal)
+                       : std::span<const double>(),
+      0);
+  std::vector<double> r(xLocal.size());
+  a.spmv(std::span<const double>(xLocal), std::span<double>(r));
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = sys.localB[i] - r[i];
+  sample.residualNorm = lisi::sparse::distNorm2(comm, r);
+  sample.iterations = 0;
+
+  sample.seconds = timer.seconds();
+  sample.ok = ok;
+  return sample;
+}
+
+/// Run `fn` (a per-rank callable returning SolveSample) `reps` times on
+/// `ranks` rank-threads; returns rank 0's per-rep seconds plus the last
+/// sample for metadata.
+template <class Fn>
+std::pair<lisi::RunStats, SolveSample> repeatOnRanks(int ranks, int reps,
+                                                     Fn&& fn) {
+  lisi::RunStats stats;
+  SolveSample last;
+  for (int rep = 0; rep < reps; ++rep) {
+    lisi::comm::World::run(ranks, [&](lisi::comm::Comm& comm) {
+      const SolveSample s = fn(comm);
+      if (comm.rank() == 0) {
+        stats.add(s.seconds);
+        last = s;
+      }
+    });
+  }
+  return {std::move(stats), last};
+}
+
+}  // namespace bench

@@ -1,0 +1,87 @@
+// Figure 4 companion benchmark: the cost of the dynamic solver switching
+// the CCA wiring diagram enables.
+//
+// Figure 4 itself is the component diagram (one driver, three solver
+// components, one live link at a time).  This benchmark quantifies what
+// run-time switching costs: per-swap disconnect+connect time, component
+// instantiation time, and a full solve-through-each-backend sweep with the
+// same driver — the operation an application performs when hunting for the
+// best solver on a new problem (§1, §2.1).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "lisi/pde_driver.hpp"
+
+int main() {
+  const int procs = 4;
+  const int gridN = 63;  // odd so the multigrid component can participate
+  const int reps = bench::repetitions();
+  lisi::registerSolverComponents();
+  lisi::registerDriverComponent();
+
+  // --- wiring microcosts (single rank; framework calls are rank-local) ---
+  {
+    cca::Framework fw;
+    fw.instantiate("driver", lisi::kDriverComponentClass);
+    fw.instantiate("a", lisi::kPkspComponentClass);
+    fw.instantiate("b", lisi::kAztecComponentClass);
+    const int wireIters = 100000;
+    lisi::WallTimer t;
+    for (int i = 0; i < wireIters; ++i) {
+      fw.connect("driver", lisi::kSparseSolverPortName, i % 2 ? "a" : "b",
+                 lisi::kSparseSolverPortName);
+      fw.disconnect("driver", lisi::kSparseSolverPortName);
+    }
+    std::printf("# Figure 4 switching microcosts\n");
+    std::printf("connect+disconnect pair: %.3f us\n",
+                1e6 * t.seconds() / wireIters);
+    const int instIters = 20000;
+    lisi::WallTimer t2;
+    for (int i = 0; i < instIters; ++i) {
+      const std::string name = "tmp" + std::to_string(i);
+      fw.instantiate(name, lisi::kPkspComponentClass);
+      fw.destroy(name);
+    }
+    std::printf("instantiate+destroy:     %.3f us\n",
+                1e6 * t2.seconds() / instIters);
+  }
+
+  // --- solver hunt: one driver, four backends, swapped at run time -------
+  std::printf("\n# solver hunt on the paper PDE, grid %dx%d, %d procs, "
+              "%d runs (mean)\n",
+              gridN, gridN, procs, reps);
+  std::printf("%-12s %12s %8s %14s\n", "component", "solve(s)", "iters",
+              "residual");
+  struct Case {
+    const char* label;
+    const char* cls;
+    const char* backend;
+  };
+  const Case cases[] = {
+      {"pksp", lisi::kPkspComponentClass, "pksp"},
+      {"aztec", lisi::kAztecComponentClass, "aztec"},
+      {"slu", lisi::kSluComponentClass, "slu"},
+      {"hymg", lisi::kHymgComponentClass, "hymg"},
+  };
+  for (const Case& c : cases) {
+    auto [stats, last] = bench::repeatOnRanks(
+        procs, reps, [&](lisi::comm::Comm& comm) {
+          const bench::LocalSystem ls = bench::assembleFor(comm, gridN);
+          cca::Framework fw;
+          fw.instantiate("solver", c.cls);
+          auto port = fw.getProvidesPortAs<lisi::SparseSolver>(
+              "solver", lisi::kSparseSolverPortName);
+          return bench::ccaSolve(comm, *port, ls, c.backend);
+        });
+    if (!last.ok) {
+      std::printf("%-12s  SOLVE FAILED\n", c.label);
+      continue;
+    }
+    std::printf("%-12s %12.4f %8d %14.3e\n", c.label, stats.mean(),
+                last.iterations, last.residualNorm);
+    std::fflush(stdout);
+  }
+  std::printf("# all rows solve the same system through the same driver "
+              "code; only the component wiring differs.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 4 demo: dynamic solver switching.
+//
+// One application/driver component solves the paper's PDE through four
+// different solver components — PETSc-style, Trilinos-style, SuperLU-style,
+// hypre-style — by re-wiring the CCA connection at run time.  The driver
+// code never changes; "in practice, only one of the links would show up in
+// the component diagram" (§8).
+//
+// Usage: solver_switching [gridN] [ranks]     (defaults: 63 4)
+#include <cstdio>
+#include <cstdlib>
+
+#include "comm/comm.hpp"
+#include "lisi/pde_driver.hpp"
+
+int main(int argc, char** argv) {
+  const int gridN = argc > 1 ? std::atoi(argv[1]) : 63;
+  const int ranks = argc > 2 ? std::atoi(argv[2]) : 4;
+  if (gridN < 3 || ranks < 1) {
+    std::fprintf(stderr, "usage: %s [gridN>=3] [ranks>=1]\n", argv[0]);
+    return 1;
+  }
+
+  lisi::registerSolverComponents();
+  lisi::registerDriverComponent();
+
+  std::printf("Figure 4 demo: u_xx + u_yy - 3u_x = f on a %dx%d grid, "
+              "%d ranks\n\n",
+              gridN, gridN, ranks);
+  std::printf("%-28s %10s %8s %12s %10s\n", "solver component", "wall(s)",
+              "iters", "residual", "status");
+
+  struct Case {
+    const char* cls;
+    std::map<std::string, std::string> params;
+  };
+  const Case cases[] = {
+      {lisi::kPkspComponentClass,
+       {{"solver", "gmres"}, {"preconditioner", "ilu"}, {"tol", "1e-8"},
+        {"maxits", "10000"}}},
+      {lisi::kAztecComponentClass,
+       {{"solver", "bicgstab"}, {"preconditioner", "ilu"}, {"tol", "1e-8"},
+        {"maxits", "10000"}}},
+      {lisi::kSluComponentClass, {{"ordering", "rcm"}}},
+      {lisi::kHymgComponentClass,
+       {{"mg_grid_n", std::to_string(gridN)}, {"mg_bx", "3"},
+        {"tol", "1e-8"}, {"maxits", "200"}}},
+  };
+
+  lisi::comm::World::run(ranks, [&](lisi::comm::Comm& comm) {
+    cca::Framework fw;
+    fw.instantiate("driver", lisi::kDriverComponentClass);
+    // All four candidates live in the framework simultaneously.
+    fw.instantiate("petsc-style", lisi::kPkspComponentClass);
+    fw.instantiate("trilinos-style", lisi::kAztecComponentClass);
+    fw.instantiate("superlu-style", lisi::kSluComponentClass);
+    fw.instantiate("hypre-style", lisi::kHymgComponentClass);
+    const char* instances[] = {"petsc-style", "trilinos-style",
+                               "superlu-style", "hypre-style"};
+    auto go = fw.getProvidesPortAs<lisi::GoPort>("driver", lisi::kGoPortName);
+
+    for (int i = 0; i < 4; ++i) {
+      // Dynamic switch: move the single live link to the next solver.
+      fw.connect("driver", lisi::kSparseSolverPortName, instances[i],
+                 lisi::kSparseSolverPortName);
+      lisi::PdeDriverConfig config;
+      config.gridN = gridN;
+      config.solverParams = cases[i].params;
+      const lisi::PdeDriverResult res = go->go(comm, config);
+      if (comm.rank() == 0) {
+        std::printf("%-28s %10.4f %8d %12.3e %10s\n", instances[i],
+                    res.wallSeconds, res.iterations, res.residualNorm,
+                    res.solved ? "ok" : "FAILED");
+      }
+      fw.disconnect("driver", lisi::kSparseSolverPortName);
+    }
+    if (comm.rank() == 0) {
+      std::printf("\nNo driver code changed between rows — only the CCA "
+                  "connection.\n");
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,634 @@
+// AztecOO iteration kernels and preconditioners.
+#include "aztec/aztecoo.hpp"
+
+#include <cmath>
+#include <functional>
+
+namespace aztec {
+namespace {
+
+using lisi::sparse::CsrMatrix;
+
+bool isBad(double v) { return std::isnan(v) || std::isinf(v); }
+
+/// Preconditioner application z = M^{-1} r as a callable.
+using PcApply = std::function<void(const Vector& r, Vector& z)>;
+
+/// k-step Jacobi: z_0 = D^{-1} r;  z_{j+1} = z_j + D^{-1}(r - A z_j).
+PcApply makeKStepJacobi(const RowMatrix& a, int steps) {
+  auto invDiag = std::make_shared<Vector>(a.rowMap());
+  Vector d(a.rowMap());
+  a.extractDiagonal(d);
+  invDiag->reciprocal(d);
+  return [&a, invDiag, steps](const Vector& r, Vector& z) {
+    z.multiply(*invDiag, r);
+    if (steps <= 1) return;
+    Vector t(a.rowMap());
+    Vector corr(a.rowMap());
+    for (int s = 1; s < steps; ++s) {
+      a.apply(z, t);                 // t = A z
+      t.update(1.0, r, -1.0);        // t = r - A z
+      corr.multiply(*invDiag, t);    // corr = D^{-1} (r - A z)
+      z.update(1.0, corr, 1.0);      // z += corr
+    }
+  };
+}
+
+/// Neumann-series polynomial: with N = I - D^{-1}A,
+///   M^{-1} = (I + N + N^2 + ... + N^p) D^{-1}.
+PcApply makeNeumann(const RowMatrix& a, int order) {
+  auto invDiag = std::make_shared<Vector>(a.rowMap());
+  Vector d(a.rowMap());
+  a.extractDiagonal(d);
+  invDiag->reciprocal(d);
+  return [&a, invDiag, order](const Vector& r, Vector& z) {
+    // Horner form: z = D^{-1} r; repeat: z = D^{-1} r + N z.
+    Vector dr(a.rowMap());
+    dr.multiply(*invDiag, r);
+    z = dr;
+    Vector az(a.rowMap());
+    Vector daz(a.rowMap());
+    for (int k = 0; k < order; ++k) {
+      a.apply(z, az);
+      daz.multiply(*invDiag, az);
+      // z = dr + z - daz
+      z.update(1.0, dr, -1.0, daz, 1.0);
+    }
+  };
+}
+
+/// Local-block ILU(0) (domain decomposition with one subdomain per rank).
+/// Implemented independently of PKSP's ILU: packages are self-contained.
+class LocalIlu {
+ public:
+  explicit LocalIlu(const lisi::sparse::DistCsrMatrix& a) {
+    // Extract the local diagonal block with local indices.
+    const CsrMatrix& loc = a.localBlock();
+    const int start = a.startRow();
+    const int end = start + a.localRows();
+    lu_.rows = a.localRows();
+    lu_.cols = a.localRows();
+    lu_.rowPtr.assign(static_cast<std::size_t>(lu_.rows) + 1, 0);
+    for (int i = 0; i < loc.rows; ++i) {
+      for (int k = loc.rowPtr[static_cast<std::size_t>(i)];
+           k < loc.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+        const int c = loc.colIdx[static_cast<std::size_t>(k)];
+        if (c >= start && c < end) {
+          lu_.colIdx.push_back(c - start);
+          lu_.values.push_back(loc.values[static_cast<std::size_t>(k)]);
+        }
+      }
+      lu_.rowPtr[static_cast<std::size_t>(i) + 1] =
+          static_cast<int>(lu_.values.size());
+    }
+    lu_.canonicalize();
+    diagPos_.assign(static_cast<std::size_t>(lu_.rows), -1);
+    for (int i = 0; i < lu_.rows; ++i) {
+      for (int k = lu_.rowPtr[static_cast<std::size_t>(i)];
+           k < lu_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+        if (lu_.colIdx[static_cast<std::size_t>(k)] == i) {
+          diagPos_[static_cast<std::size_t>(i)] = k;
+        }
+      }
+      LISI_CHECK(diagPos_[static_cast<std::size_t>(i)] >= 0,
+                 "AZ_dom_decomp ILU: structurally zero diagonal");
+    }
+    factor();
+  }
+
+  void solve(std::span<const double> r, std::span<double> z) const {
+    const int n = lu_.rows;
+    for (int i = 0; i < n; ++i) {
+      double acc = r[static_cast<std::size_t>(i)];
+      for (int k = lu_.rowPtr[static_cast<std::size_t>(i)];
+           k < diagPos_[static_cast<std::size_t>(i)]; ++k) {
+        acc -= lu_.values[static_cast<std::size_t>(k)] *
+               z[static_cast<std::size_t>(lu_.colIdx[static_cast<std::size_t>(k)])];
+      }
+      z[static_cast<std::size_t>(i)] = acc;
+    }
+    for (int i = n - 1; i >= 0; --i) {
+      double acc = z[static_cast<std::size_t>(i)];
+      for (int k = diagPos_[static_cast<std::size_t>(i)] + 1;
+           k < lu_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+        acc -= lu_.values[static_cast<std::size_t>(k)] *
+               z[static_cast<std::size_t>(lu_.colIdx[static_cast<std::size_t>(k)])];
+      }
+      z[static_cast<std::size_t>(i)] =
+          acc / lu_.values[static_cast<std::size_t>(
+                    diagPos_[static_cast<std::size_t>(i)])];
+    }
+  }
+
+ private:
+  void factor() {
+    const int n = lu_.rows;
+    std::vector<int> pos(static_cast<std::size_t>(n), -1);
+    for (int i = 0; i < n; ++i) {
+      const int rb = lu_.rowPtr[static_cast<std::size_t>(i)];
+      const int re = lu_.rowPtr[static_cast<std::size_t>(i) + 1];
+      for (int k = rb; k < re; ++k) {
+        pos[static_cast<std::size_t>(lu_.colIdx[static_cast<std::size_t>(k)])] = k;
+      }
+      for (int k = rb; k < re; ++k) {
+        const int j = lu_.colIdx[static_cast<std::size_t>(k)];
+        if (j >= i) break;
+        const double piv = lu_.values[static_cast<std::size_t>(
+            diagPos_[static_cast<std::size_t>(j)])];
+        LISI_CHECK(piv != 0.0, "AZ_dom_decomp ILU: zero pivot");
+        const double lij = lu_.values[static_cast<std::size_t>(k)] / piv;
+        lu_.values[static_cast<std::size_t>(k)] = lij;
+        for (int kk = diagPos_[static_cast<std::size_t>(j)] + 1;
+             kk < lu_.rowPtr[static_cast<std::size_t>(j) + 1]; ++kk) {
+          const int p = pos[static_cast<std::size_t>(
+              lu_.colIdx[static_cast<std::size_t>(kk)])];
+          if (p >= 0) {
+            lu_.values[static_cast<std::size_t>(p)] -=
+                lij * lu_.values[static_cast<std::size_t>(kk)];
+          }
+        }
+      }
+      for (int k = rb; k < re; ++k) {
+        pos[static_cast<std::size_t>(lu_.colIdx[static_cast<std::size_t>(k)])] = -1;
+      }
+      LISI_CHECK(lu_.values[static_cast<std::size_t>(
+                     diagPos_[static_cast<std::size_t>(i)])] != 0.0,
+                 "AZ_dom_decomp ILU: zero pivot");
+    }
+  }
+
+  CsrMatrix lu_;
+  std::vector<int> diagPos_;
+};
+
+/// Symmetric Gauss-Seidel on the local diagonal block:
+///   M = (D + L) D^{-1} (D + U)   (exact for the local block, Jacobi-like
+///   across rank boundaries).  Preserves symmetry for SPD matrices, so it
+///   is safe under CG — unlike plain (one-sided) Gauss-Seidel.
+class LocalSgs {
+ public:
+  explicit LocalSgs(const lisi::sparse::DistCsrMatrix& a) {
+    const CsrMatrix& loc = a.localBlock();
+    const int start = a.startRow();
+    const int end = start + a.localRows();
+    blk_.rows = a.localRows();
+    blk_.cols = a.localRows();
+    blk_.rowPtr.assign(static_cast<std::size_t>(blk_.rows) + 1, 0);
+    for (int i = 0; i < loc.rows; ++i) {
+      for (int k = loc.rowPtr[static_cast<std::size_t>(i)];
+           k < loc.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+        const int c = loc.colIdx[static_cast<std::size_t>(k)];
+        if (c >= start && c < end) {
+          blk_.colIdx.push_back(c - start);
+          blk_.values.push_back(loc.values[static_cast<std::size_t>(k)]);
+        }
+      }
+      blk_.rowPtr[static_cast<std::size_t>(i) + 1] =
+          static_cast<int>(blk_.values.size());
+    }
+    blk_.canonicalize();
+    diagPos_.assign(static_cast<std::size_t>(blk_.rows), -1);
+    for (int i = 0; i < blk_.rows; ++i) {
+      for (int k = blk_.rowPtr[static_cast<std::size_t>(i)];
+           k < blk_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+        if (blk_.colIdx[static_cast<std::size_t>(k)] == i) {
+          diagPos_[static_cast<std::size_t>(i)] = k;
+        }
+      }
+      LISI_CHECK(diagPos_[static_cast<std::size_t>(i)] >= 0 &&
+                     blk_.values[static_cast<std::size_t>(
+                         diagPos_[static_cast<std::size_t>(i)])] != 0.0,
+                 "AZ_sym_GS: zero or missing diagonal");
+    }
+  }
+
+  void solve(std::span<const double> r, std::span<double> z) const {
+    const int n = blk_.rows;
+    // Forward: (D + L) y = r.
+    for (int i = 0; i < n; ++i) {
+      double acc = r[static_cast<std::size_t>(i)];
+      for (int k = blk_.rowPtr[static_cast<std::size_t>(i)];
+           k < diagPos_[static_cast<std::size_t>(i)]; ++k) {
+        acc -= blk_.values[static_cast<std::size_t>(k)] *
+               z[static_cast<std::size_t>(blk_.colIdx[static_cast<std::size_t>(k)])];
+      }
+      z[static_cast<std::size_t>(i)] =
+          acc / blk_.values[static_cast<std::size_t>(
+                    diagPos_[static_cast<std::size_t>(i)])];
+    }
+    // Scale by D: w = D y.
+    for (int i = 0; i < n; ++i) {
+      z[static_cast<std::size_t>(i)] *=
+          blk_.values[static_cast<std::size_t>(
+              diagPos_[static_cast<std::size_t>(i)])];
+    }
+    // Backward: (D + U) z = w.
+    for (int i = n - 1; i >= 0; --i) {
+      double acc = z[static_cast<std::size_t>(i)];
+      for (int k = diagPos_[static_cast<std::size_t>(i)] + 1;
+           k < blk_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+        acc -= blk_.values[static_cast<std::size_t>(k)] *
+               z[static_cast<std::size_t>(blk_.colIdx[static_cast<std::size_t>(k)])];
+      }
+      z[static_cast<std::size_t>(i)] =
+          acc / blk_.values[static_cast<std::size_t>(
+                    diagPos_[static_cast<std::size_t>(i)])];
+    }
+  }
+
+ private:
+  CsrMatrix blk_;
+  std::vector<int> diagPos_;
+};
+
+PcApply makeSymGs(const RowMatrix& a) {
+  const lisi::sparse::DistCsrMatrix* dist = a.assembled();
+  LISI_CHECK(dist != nullptr,
+             "AZ_sym_GS requires an assembled matrix (CrsMatrix)");
+  auto sgs = std::make_shared<LocalSgs>(*dist);
+  return [sgs](const Vector& r, Vector& z) {
+    sgs->solve(r.localView(), z.localView());
+  };
+}
+
+PcApply makeDomDecompIlu(const RowMatrix& a) {
+  const lisi::sparse::DistCsrMatrix* dist = a.assembled();
+  LISI_CHECK(dist != nullptr,
+             "AZ_dom_decomp requires an assembled matrix (CrsMatrix)");
+  auto ilu = std::make_shared<LocalIlu>(*dist);
+  return [ilu](const Vector& r, Vector& z) {
+    ilu->solve(r.localView(), z.localView());
+  };
+}
+
+PcApply makePreconditioner(const RowMatrix& a, int precond, int polyOrd) {
+  switch (precond) {
+    case AZ_none:
+      return [](const Vector& r, Vector& z) { z = r; };
+    case AZ_Jacobi:
+      return makeKStepJacobi(a, std::max(1, polyOrd));
+    case AZ_Neumann:
+      return makeNeumann(a, std::max(0, polyOrd));
+    case AZ_dom_decomp:
+      return makeDomDecompIlu(a);
+    case AZ_sym_GS:
+      return makeSymGs(a);
+    default:
+      throw lisi::Error("AztecOO: unknown AZ_precond value " +
+                        std::to_string(precond));
+  }
+}
+
+struct IterationResult {
+  int its = 0;
+  int why = AZ_breakdown;
+  double resid = 0.0;
+};
+
+/// Preconditioned CG on r (true residual).
+IterationResult runCg(const RowMatrix& a, const PcApply& pc, const Vector& b,
+                      Vector& x, int maxIter, double threshold) {
+  const Map& map = a.rowMap();
+  Vector r(map), z(map), p(map), ap(map);
+  a.apply(x, r);
+  r.update(1.0, b, -1.0);
+  IterationResult res;
+  res.resid = r.norm2();
+  if (res.resid <= threshold) {
+    res.why = AZ_normal;
+    return res;
+  }
+  pc(r, z);
+  p = z;
+  double rz = r.dot(z);
+  for (int it = 1; it <= maxIter; ++it) {
+    a.apply(p, ap);
+    const double pap = p.dot(ap);
+    if (pap == 0.0 || isBad(pap)) {
+      res.its = it - 1;
+      res.why = AZ_breakdown;
+      return res;
+    }
+    const double alpha = rz / pap;
+    x.update(alpha, p, 1.0);
+    r.update(-alpha, ap, 1.0);
+    res.its = it;
+    res.resid = r.norm2();
+    if (isBad(res.resid)) {
+      res.why = AZ_breakdown;
+      return res;
+    }
+    if (res.resid <= threshold) {
+      res.why = AZ_normal;
+      return res;
+    }
+    pc(r, z);
+    const double rzNew = r.dot(z);
+    if (rz == 0.0) {
+      res.why = AZ_breakdown;
+      return res;
+    }
+    const double beta = rzNew / rz;
+    rz = rzNew;
+    p.update(1.0, z, beta);
+  }
+  res.why = AZ_maxits;
+  return res;
+}
+
+/// Right-preconditioned restarted GMRES (tracked residual = true residual).
+IterationResult runGmres(const RowMatrix& a, const PcApply& pc,
+                         const Vector& b, Vector& x, int maxIter,
+                         double threshold, int kspace) {
+  const Map& map = a.rowMap();
+  const int m = std::max(1, kspace);
+  IterationResult res;
+  Vector r(map), w(map), mz(map);
+  std::vector<Vector> v;
+  v.reserve(static_cast<std::size_t>(m) + 1);
+  for (int i = 0; i <= m; ++i) v.emplace_back(map);
+  std::vector<std::vector<double>> h(
+      static_cast<std::size_t>(m) + 1,
+      std::vector<double>(static_cast<std::size_t>(m), 0.0));
+  std::vector<double> cs(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> sn(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> g(static_cast<std::size_t>(m) + 1, 0.0);
+
+  while (true) {
+    a.apply(x, r);
+    r.update(1.0, b, -1.0);
+    double beta = r.norm2();
+    res.resid = beta;
+    if (isBad(beta)) {
+      res.why = AZ_breakdown;
+      return res;
+    }
+    if (beta <= threshold) {
+      res.why = AZ_normal;
+      return res;
+    }
+    v[0] = r;
+    v[0].update(0.0, r, 1.0 / beta);
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    int j = 0;
+    bool converged = false;
+    for (; j < m && res.its < maxIter; ++j) {
+      ++res.its;
+      pc(v[static_cast<std::size_t>(j)], mz);   // mz = M^{-1} v_j
+      a.apply(mz, w);                           // w = A M^{-1} v_j
+      for (int i = 0; i <= j; ++i) {
+        const double hij = w.dot(v[static_cast<std::size_t>(i)]);
+        h[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = hij;
+        w.update(-hij, v[static_cast<std::size_t>(i)], 1.0);
+      }
+      const double hnext = w.norm2();
+      h[static_cast<std::size_t>(j) + 1][static_cast<std::size_t>(j)] = hnext;
+      if (isBad(hnext)) {
+        res.why = AZ_breakdown;
+        return res;
+      }
+      const bool lucky = hnext <= 1e-300;
+      if (!lucky) {
+        v[static_cast<std::size_t>(j) + 1] = w;
+        v[static_cast<std::size_t>(j) + 1].update(0.0, w, 1.0 / hnext);
+      }
+      for (int i = 0; i < j; ++i) {
+        const double t =
+            cs[static_cast<std::size_t>(i)] *
+                h[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +
+            sn[static_cast<std::size_t>(i)] *
+                h[static_cast<std::size_t>(i) + 1][static_cast<std::size_t>(j)];
+        h[static_cast<std::size_t>(i) + 1][static_cast<std::size_t>(j)] =
+            -sn[static_cast<std::size_t>(i)] *
+                h[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +
+            cs[static_cast<std::size_t>(i)] *
+                h[static_cast<std::size_t>(i) + 1][static_cast<std::size_t>(j)];
+        h[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = t;
+      }
+      const double hjj = h[static_cast<std::size_t>(j)][static_cast<std::size_t>(j)];
+      const double denom = std::sqrt(hjj * hjj + hnext * hnext);
+      if (denom == 0.0) {
+        res.why = AZ_breakdown;
+        return res;
+      }
+      cs[static_cast<std::size_t>(j)] = hjj / denom;
+      sn[static_cast<std::size_t>(j)] = hnext / denom;
+      h[static_cast<std::size_t>(j)][static_cast<std::size_t>(j)] = denom;
+      g[static_cast<std::size_t>(j) + 1] =
+          -sn[static_cast<std::size_t>(j)] * g[static_cast<std::size_t>(j)];
+      g[static_cast<std::size_t>(j)] =
+          cs[static_cast<std::size_t>(j)] * g[static_cast<std::size_t>(j)];
+      res.resid = std::abs(g[static_cast<std::size_t>(j) + 1]);
+      if (res.resid <= threshold || lucky) {
+        ++j;
+        converged = true;
+        break;
+      }
+    }
+
+    // x += M^{-1} (V y): accumulate V y first, precondition once.
+    std::vector<double> y(static_cast<std::size_t>(j), 0.0);
+    for (int i = j - 1; i >= 0; --i) {
+      double acc = g[static_cast<std::size_t>(i)];
+      for (int k = i + 1; k < j; ++k) {
+        acc -= h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] *
+               y[static_cast<std::size_t>(k)];
+      }
+      const double hii = h[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+      if (hii == 0.0) {
+        res.why = AZ_breakdown;
+        return res;
+      }
+      y[static_cast<std::size_t>(i)] = acc / hii;
+    }
+    Vector vy(map);
+    for (int i = 0; i < j; ++i) {
+      vy.update(y[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i)],
+                1.0);
+    }
+    pc(vy, mz);
+    x.update(1.0, mz, 1.0);
+
+    if (converged && res.resid <= threshold) {
+      // Recompute the true residual (right preconditioning keeps them
+      // equal up to rounding, but report the honest number).
+      a.apply(x, r);
+      r.update(1.0, b, -1.0);
+      res.resid = r.norm2();
+      res.why = AZ_normal;
+      return res;
+    }
+    if (res.its >= maxIter) {
+      res.why = AZ_maxits;
+      return res;
+    }
+    if (converged) {  // lucky breakdown without threshold: loop restarts
+      continue;
+    }
+  }
+}
+
+/// Right-preconditioned BiCGSTAB.
+IterationResult runBicgstab(const RowMatrix& a, const PcApply& pc,
+                            const Vector& b, Vector& x, int maxIter,
+                            double threshold) {
+  const Map& map = a.rowMap();
+  Vector r(map), rhat(map), p(map), ph(map), v(map), s(map), sh(map), t(map);
+  a.apply(x, r);
+  r.update(1.0, b, -1.0);
+  IterationResult res;
+  res.resid = r.norm2();
+  if (res.resid <= threshold) {
+    res.why = AZ_normal;
+    return res;
+  }
+  rhat = r;
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+  p.putScalar(0.0);
+  v.putScalar(0.0);
+  for (int it = 1; it <= maxIter; ++it) {
+    const double rhoNew = rhat.dot(r);
+    if (rhoNew == 0.0 || isBad(rhoNew) || omega == 0.0) {
+      res.its = it - 1;
+      res.why = AZ_breakdown;
+      return res;
+    }
+    const double beta = (rhoNew / rho) * (alpha / omega);
+    rho = rhoNew;
+    // p = r + beta (p - omega v)
+    p.update(-omega, v, 1.0);
+    p.update(1.0, r, beta);
+    pc(p, ph);
+    a.apply(ph, v);
+    const double rhatV = rhat.dot(v);
+    if (rhatV == 0.0 || isBad(rhatV)) {
+      res.its = it - 1;
+      res.why = AZ_breakdown;
+      return res;
+    }
+    alpha = rho / rhatV;
+    s = r;
+    s.update(-alpha, v, 1.0);
+    res.its = it;
+    res.resid = s.norm2();
+    if (res.resid <= threshold) {
+      x.update(alpha, ph, 1.0);
+      res.why = AZ_normal;
+      return res;
+    }
+    pc(s, sh);
+    a.apply(sh, t);
+    const double tt = t.dot(t);
+    if (tt == 0.0 || isBad(tt)) {
+      res.why = AZ_breakdown;
+      return res;
+    }
+    omega = t.dot(s) / tt;
+    x.update(alpha, ph, omega, sh, 1.0);
+    r = s;
+    r.update(-omega, t, 1.0);
+    res.resid = r.norm2();
+    if (isBad(res.resid)) {
+      res.why = AZ_breakdown;
+      return res;
+    }
+    if (res.resid <= threshold) {
+      res.why = AZ_normal;
+      return res;
+    }
+  }
+  res.why = AZ_maxits;
+  return res;
+}
+
+}  // namespace
+
+AztecOO::AztecOO(const RowMatrix& a, Vector& x, const Vector& b)
+    : a_(&a), x_(&x), b_(&b) {
+  LISI_CHECK(a.rowMap().sameAs(x.map()) && a.rowMap().sameAs(b.map()),
+             "AztecOO: operator and vectors must share one map");
+  options_[AZ_solver] = AZ_gmres;
+  options_[AZ_precond] = AZ_none;
+  options_[AZ_max_iter] = 500;
+  options_[AZ_kspace] = 30;
+  options_[AZ_conv] = AZ_rhs;
+  options_[AZ_poly_ord] = 3;
+  params_[AZ_tol] = 1e-6;
+}
+
+AztecOO& AztecOO::setOption(int index, int value) {
+  LISI_CHECK(index >= 0 && index < AZ_OPTIONS_SIZE,
+             "AztecOO::setOption: index out of range");
+  options_[static_cast<std::size_t>(index)] = value;
+  return *this;
+}
+
+AztecOO& AztecOO::setParam(int index, double value) {
+  LISI_CHECK(index >= 0 && index < AZ_PARAMS_SIZE,
+             "AztecOO::setParam: index out of range");
+  params_[static_cast<std::size_t>(index)] = value;
+  return *this;
+}
+
+int AztecOO::option(int index) const {
+  LISI_CHECK(index >= 0 && index < AZ_OPTIONS_SIZE,
+             "AztecOO::option: index out of range");
+  return options_[static_cast<std::size_t>(index)];
+}
+
+double AztecOO::param(int index) const {
+  LISI_CHECK(index >= 0 && index < AZ_PARAMS_SIZE,
+             "AztecOO::param: index out of range");
+  return params_[static_cast<std::size_t>(index)];
+}
+
+int AztecOO::iterate() {
+  return iterate(options_[AZ_max_iter], params_[AZ_tol]);
+}
+
+int AztecOO::iterate(int maxIter, double tol) {
+  LISI_CHECK(maxIter >= 0, "AztecOO::iterate: negative maxIter");
+  LISI_CHECK(tol >= 0, "AztecOO::iterate: negative tolerance");
+
+  const PcApply pc =
+      makePreconditioner(*a_, options_[AZ_precond], options_[AZ_poly_ord]);
+
+  // Convergence threshold per AZ_conv.
+  double scale = 1.0;
+  if (options_[AZ_conv] == AZ_rhs) {
+    scale = b_->norm2();
+  } else {
+    Vector r0(a_->rowMap());
+    a_->apply(*x_, r0);
+    r0.update(1.0, *b_, -1.0);
+    scale = r0.norm2();
+  }
+  if (scale == 0.0) scale = 1.0;  // zero RHS: absolute test
+  const double threshold = tol * scale;
+
+  IterationResult res;
+  switch (options_[AZ_solver]) {
+    case AZ_cg:
+      res = runCg(*a_, pc, *b_, *x_, maxIter, threshold);
+      break;
+    case AZ_gmres:
+      res = runGmres(*a_, pc, *b_, *x_, maxIter, threshold,
+                     options_[AZ_kspace]);
+      break;
+    case AZ_bicgstab:
+      res = runBicgstab(*a_, pc, *b_, *x_, maxIter, threshold);
+      break;
+    default:
+      throw lisi::Error("AztecOO: unknown AZ_solver value " +
+                        std::to_string(options_[AZ_solver]));
+  }
+  status_[AZ_its] = res.its;
+  status_[AZ_why] = res.why;
+  status_[AZ_r] = res.resid;
+  status_[AZ_scaled_r] = res.resid / scale;
+  return res.why == AZ_normal ? 0 : 1;
+}
+
+}  // namespace aztec

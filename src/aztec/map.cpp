@@ -1,0 +1,29 @@
+#include "aztec/map.hpp"
+
+namespace aztec {
+
+Map::Map(int numGlobalElements, const lisi::comm::Comm& comm)
+    : comm_(comm), numGlobal_(numGlobalElements) {
+  LISI_CHECK(comm_.valid(), "Map: invalid communicator");
+  LISI_CHECK(numGlobalElements >= 0, "Map: negative global size");
+  const lisi::sparse::BlockRowPartition part(numGlobalElements, comm_.size());
+  starts_ = part.boundaries();
+}
+
+Map::Map(int numGlobalElements, int numMyElements,
+         const lisi::comm::Comm& comm)
+    : comm_(comm), numGlobal_(numGlobalElements) {
+  LISI_CHECK(comm_.valid(), "Map: invalid communicator");
+  LISI_CHECK(numMyElements >= 0, "Map: negative local size");
+  std::vector<int> counts =
+      comm_.allgatherv(std::span<const int>(&numMyElements, 1), nullptr);
+  starts_.resize(counts.size() + 1);
+  starts_[0] = 0;
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    starts_[r + 1] = starts_[r] + counts[r];
+  }
+  LISI_CHECK(starts_.back() == numGlobalElements,
+             "Map: local element counts do not sum to the global size");
+}
+
+}  // namespace aztec

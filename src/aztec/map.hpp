@@ -1,0 +1,53 @@
+// Aztec — an object-oriented parallel iterative solver package in the
+// style of Trilinos (Epetra + AztecOO).  Where PKSP mimics PETSc's C
+// handles, Aztec mimics Trilinos's object composition: a Map describes the
+// parallel layout, Vectors live on a Map, RowMatrix is an abstract operator
+// (the matrix-free hook the paper's §5.5 describes for
+// Epetra_RowMatrix/AztecOO), and the AztecOO class drives the iteration
+// configured through integer option and double parameter arrays.
+//
+// Map: block-row distribution of global indices over the ranks of a
+// communicator (the Epetra_Map analogue; only contiguous linear maps are
+// supported, matching LISI's §5.4 block-row assumption).
+#pragma once
+
+#include "comm/comm.hpp"
+#include "sparse/partition.hpp"
+
+namespace aztec {
+
+/// Contiguous block-row layout of `numGlobalElements` indices.
+class Map {
+ public:
+  /// Near-even distribution (remainder to low ranks).  Collective.
+  Map(int numGlobalElements, const lisi::comm::Comm& comm);
+
+  /// Explicit local count (must tile the global range in rank order).
+  /// Collective: validates consistency across ranks.
+  Map(int numGlobalElements, int numMyElements, const lisi::comm::Comm& comm);
+
+  [[nodiscard]] int numGlobalElements() const { return numGlobal_; }
+  [[nodiscard]] int numMyElements() const {
+    return starts_[static_cast<std::size_t>(comm_.rank()) + 1] -
+           starts_[static_cast<std::size_t>(comm_.rank())];
+  }
+  /// First global index owned by this rank.
+  [[nodiscard]] int minMyGlobalIndex() const {
+    return starts_[static_cast<std::size_t>(comm_.rank())];
+  }
+  /// Ownership boundaries for all ranks (size comm().size()+1).
+  [[nodiscard]] const std::vector<int>& offsets() const { return starts_; }
+  [[nodiscard]] const lisi::comm::Comm& comm() const { return comm_; }
+
+  /// Two maps are compatible when they describe the same distribution.
+  [[nodiscard]] bool sameAs(const Map& other) const {
+    return numGlobal_ == other.numGlobal_ && starts_ == other.starts_;
+  }
+
+ private:
+  lisi::comm::Comm comm_;
+  int numGlobal_ = 0;
+  std::vector<int> starts_;
+};
+
+}  // namespace aztec

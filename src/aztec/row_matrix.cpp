@@ -1,0 +1,32 @@
+#include "aztec/row_matrix.hpp"
+
+namespace aztec {
+
+void RowMatrix::extractDiagonal(Vector&) const {
+  throw lisi::Error(
+      "this RowMatrix does not expose a diagonal; override extractDiagonal()"
+      " to enable diagonal-based preconditioners");
+}
+
+CrsMatrix::CrsMatrix(const Map& map, lisi::sparse::CsrMatrix localRows)
+    : map_(&map),
+      dist_(map.comm(), map.numGlobalElements(), map.numGlobalElements(),
+            map.minMyGlobalIndex(), std::move(localRows)) {
+  LISI_CHECK(dist_.localRows() == map.numMyElements(),
+             "CrsMatrix: local row count does not match the map");
+}
+
+void CrsMatrix::apply(const Vector& x, Vector& y) const {
+  LISI_CHECK(map_->sameAs(x.map()) && map_->sameAs(y.map()),
+             "CrsMatrix::apply: incompatible maps");
+  dist_.spmv(x.localView(), y.localView());
+}
+
+void CrsMatrix::extractDiagonal(Vector& d) const {
+  LISI_CHECK(map_->sameAs(d.map()),
+             "CrsMatrix::extractDiagonal: incompatible maps");
+  const auto diag = dist_.localDiagonal();
+  std::copy(diag.begin(), diag.end(), d.localView().begin());
+}
+
+}  // namespace aztec

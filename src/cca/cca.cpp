@@ -1,0 +1,230 @@
+#include "cca/cca.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace cca {
+
+// ---- Services ----------------------------------------------------------
+
+void Services::addProvidesPort(std::shared_ptr<Port> port,
+                               const std::string& portName,
+                               const std::string& type) {
+  LISI_CHECK(port != nullptr, "addProvidesPort: null port");
+  LISI_CHECK(!portName.empty() && !type.empty(),
+             "addProvidesPort: empty name or type");
+  LISI_CHECK(provided_.find(portName) == provided_.end(),
+             "addProvidesPort: duplicate provides port '" + portName + "'");
+  provided_.emplace(portName, Provided{type, std::move(port)});
+}
+
+void Services::registerUsesPort(const std::string& portName,
+                                const std::string& type) {
+  LISI_CHECK(!portName.empty() && !type.empty(),
+             "registerUsesPort: empty name or type");
+  LISI_CHECK(uses_.find(portName) == uses_.end(),
+             "registerUsesPort: duplicate uses port '" + portName + "'");
+  uses_.emplace(portName, Uses{type, nullptr});
+}
+
+std::shared_ptr<Port> Services::getPort(const std::string& portName) const {
+  auto it = uses_.find(portName);
+  LISI_CHECK(it != uses_.end(),
+             "getPort: no uses port named '" + portName + "'");
+  LISI_CHECK(it->second.connected != nullptr,
+             "getPort: uses port '" + portName + "' is not connected");
+  return it->second.connected;
+}
+
+bool Services::isConnected(const std::string& portName) const {
+  auto it = uses_.find(portName);
+  LISI_CHECK(it != uses_.end(),
+             "isConnected: no uses port named '" + portName + "'");
+  return it->second.connected != nullptr;
+}
+
+std::vector<Services::PortInfo> Services::providedPorts() const {
+  std::vector<PortInfo> out;
+  out.reserve(provided_.size());
+  for (const auto& [name, p] : provided_) out.push_back({name, p.type});
+  return out;
+}
+
+std::vector<Services::PortInfo> Services::usedPorts() const {
+  std::vector<PortInfo> out;
+  out.reserve(uses_.size());
+  for (const auto& [name, u] : uses_) out.push_back({name, u.type});
+  return out;
+}
+
+// ---- class registry ------------------------------------------------------
+
+namespace {
+
+struct ClassRegistry {
+  std::mutex mutex;
+  std::map<std::string, Framework::Factory> factories;
+};
+
+ClassRegistry& classRegistry() {
+  static ClassRegistry instance;
+  return instance;
+}
+
+}  // namespace
+
+void Framework::registerClass(const std::string& className, Factory factory) {
+  LISI_CHECK(!className.empty() && factory != nullptr,
+             "registerClass: empty name or null factory");
+  ClassRegistry& reg = classRegistry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.factories[className] = std::move(factory);
+}
+
+bool Framework::isClassRegistered(const std::string& className) {
+  ClassRegistry& reg = classRegistry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.factories.find(className) != reg.factories.end();
+}
+
+std::vector<std::string> Framework::registeredClasses() {
+  ClassRegistry& reg = classRegistry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<std::string> names;
+  names.reserve(reg.factories.size());
+  for (const auto& [name, factory] : reg.factories) names.push_back(name);
+  return names;
+}
+
+// ---- Framework -----------------------------------------------------------
+
+Framework::Instance& Framework::find(const std::string& instanceName) {
+  auto it = instances_.find(instanceName);
+  LISI_CHECK(it != instances_.end(),
+             "no component instance named '" + instanceName + "'");
+  return it->second;
+}
+
+const Framework::Instance& Framework::find(
+    const std::string& instanceName) const {
+  auto it = instances_.find(instanceName);
+  LISI_CHECK(it != instances_.end(),
+             "no component instance named '" + instanceName + "'");
+  return it->second;
+}
+
+void Framework::instantiate(const std::string& instanceName,
+                            const std::string& className) {
+  LISI_CHECK(!instanceName.empty(), "instantiate: empty instance name");
+  LISI_CHECK(instances_.find(instanceName) == instances_.end(),
+             "instantiate: instance '" + instanceName + "' already exists");
+  Factory factory;
+  {
+    ClassRegistry& reg = classRegistry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto it = reg.factories.find(className);
+    LISI_CHECK(it != reg.factories.end(),
+               "instantiate: unknown component class '" + className + "'");
+    factory = it->second;
+  }
+  Instance inst;
+  inst.className = className;
+  inst.component = factory();
+  LISI_CHECK(inst.component != nullptr,
+             "instantiate: factory for '" + className + "' returned null");
+  auto [it, inserted] = instances_.emplace(instanceName, std::move(inst));
+  LISI_ASSERT(inserted);
+  it->second.component->setServices(it->second.services);
+}
+
+void Framework::destroy(const std::string& instanceName) {
+  Instance& inst = find(instanceName);
+  (void)inst;
+  // Disconnect every connection that touches this instance.
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->user == instanceName || it->provider == instanceName) {
+      auto userIt = instances_.find(it->user);
+      if (userIt != instances_.end()) {
+        userIt->second.services.uses_[it->usesPort].connected = nullptr;
+      }
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  instances_.erase(instanceName);
+}
+
+void Framework::connect(const std::string& userInstance,
+                        const std::string& usesPort,
+                        const std::string& providerInstance,
+                        const std::string& providesPort) {
+  Instance& user = find(userInstance);
+  Instance& provider = find(providerInstance);
+  auto usesIt = user.services.uses_.find(usesPort);
+  LISI_CHECK(usesIt != user.services.uses_.end(),
+             "connect: '" + userInstance + "' has no uses port '" + usesPort +
+                 "'");
+  auto provIt = provider.services.provided_.find(providesPort);
+  LISI_CHECK(provIt != provider.services.provided_.end(),
+             "connect: '" + providerInstance + "' has no provides port '" +
+                 providesPort + "'");
+  LISI_CHECK(usesIt->second.type == provIt->second.type,
+             "connect: port type mismatch ('" + usesIt->second.type +
+                 "' uses vs '" + provIt->second.type + "' provides)");
+  LISI_CHECK(usesIt->second.connected == nullptr,
+             "connect: uses port '" + userInstance + "." + usesPort +
+                 "' is already connected (disconnect first)");
+  usesIt->second.connected = provIt->second.port;
+  connections_.push_back(
+      {userInstance, usesPort, providerInstance, providesPort});
+}
+
+void Framework::disconnect(const std::string& userInstance,
+                           const std::string& usesPort) {
+  Instance& user = find(userInstance);
+  auto usesIt = user.services.uses_.find(usesPort);
+  LISI_CHECK(usesIt != user.services.uses_.end(),
+             "disconnect: '" + userInstance + "' has no uses port '" +
+                 usesPort + "'");
+  usesIt->second.connected = nullptr;
+  connections_.erase(
+      std::remove_if(connections_.begin(), connections_.end(),
+                     [&](const Connection& c) {
+                       return c.user == userInstance && c.usesPort == usesPort;
+                     }),
+      connections_.end());
+}
+
+std::shared_ptr<Port> Framework::getProvidesPort(
+    const std::string& instanceName, const std::string& portName) const {
+  const Instance& inst = find(instanceName);
+  auto it = inst.services.provided_.find(portName);
+  LISI_CHECK(it != inst.services.provided_.end(),
+             "getProvidesPort: '" + instanceName + "' has no provides port '" +
+                 portName + "'");
+  return it->second.port;
+}
+
+const Services& Framework::servicesOf(const std::string& instanceName) const {
+  return find(instanceName).services;
+}
+
+std::vector<std::string> Framework::instances() const {
+  std::vector<std::string> names;
+  names.reserve(instances_.size());
+  for (const auto& [name, inst] : instances_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Framework::connections() const {
+  std::vector<std::string> out;
+  out.reserve(connections_.size());
+  for (const auto& c : connections_) {
+    out.push_back(c.user + "." + c.usesPort + " -> " + c.provider + "." +
+                  c.providesPort);
+  }
+  return out;
+}
+
+}  // namespace cca

@@ -1,0 +1,191 @@
+// A Common Component Architecture (CCA) framework in the style of
+// Ccaffeine (the framework the paper's experiments ran on, §8).
+//
+// The CCA model (§4 of the paper): a *component* is a collection of
+// *ports*; ports a component implements are its *provides* ports, ports it
+// calls are its *uses* ports.  A *framework* instantiates components,
+// connects uses ports to provides ports (type-checked), and can
+// disconnect/reconnect them at run time — the "dynamic switching of
+// components with the same interface and different implementation" that
+// motivates LISI.
+//
+// In SPMD usage, every rank instantiates its own framework and the same
+// wiring; a component's per-rank instances are its *cohorts* (§8), and the
+// parallelism lives inside the components (they receive a communicator
+// through their ports, not from the framework).
+//
+// SIDL/Babel language bindings are out of scope (single-language C++):
+// a port is an abstract class deriving from cca::Port, and the port *type*
+// string plays the role of the SIDL interface name for connection-time
+// type checking.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace cca {
+
+/// Base class of every port interface (gov.cca.Port analogue).
+class Port {
+ public:
+  virtual ~Port() = default;
+};
+
+class Services;
+
+/// Base class of every component (gov.cca.Component analogue).
+/// setServices is called exactly once, right after instantiation; the
+/// component registers its provides/uses ports there.
+class Component {
+ public:
+  virtual ~Component() = default;
+  virtual void setServices(Services& services) = 0;
+};
+
+/// Per-instance registry handle a component uses to declare and resolve
+/// ports (gov.cca.Services analogue).
+class Services {
+ public:
+  /// Declare a provides port: `port` implements interface `type` under the
+  /// instance-local name `portName`.
+  void addProvidesPort(std::shared_ptr<Port> port, const std::string& portName,
+                       const std::string& type);
+
+  /// Declare a uses port slot of interface `type` named `portName`.
+  void registerUsesPort(const std::string& portName, const std::string& type);
+
+  /// Resolve a uses port to whatever provides port it is currently
+  /// connected to.  Throws lisi::Error when unconnected — resolution is
+  /// late-bound, so reconnection between calls switches implementations.
+  [[nodiscard]] std::shared_ptr<Port> getPort(const std::string& portName) const;
+
+  /// Typed convenience wrapper around getPort.
+  template <class PortT>
+  [[nodiscard]] std::shared_ptr<PortT> getPortAs(const std::string& portName) const {
+    auto port = std::dynamic_pointer_cast<PortT>(getPort(portName));
+    LISI_CHECK(port != nullptr,
+               "getPort('" + portName + "'): connected port has wrong C++ type");
+    return port;
+  }
+
+  /// True if the uses port is currently connected.
+  [[nodiscard]] bool isConnected(const std::string& portName) const;
+
+  // ---- introspection -----------------------------------------------
+
+  struct PortInfo {
+    std::string name;
+    std::string type;
+  };
+  [[nodiscard]] std::vector<PortInfo> providedPorts() const;
+  [[nodiscard]] std::vector<PortInfo> usedPorts() const;
+
+ private:
+  friend class Framework;
+  struct Provided {
+    std::string type;
+    std::shared_ptr<Port> port;
+  };
+  struct Uses {
+    std::string type;
+    std::shared_ptr<Port> connected;  ///< null when disconnected
+  };
+  std::map<std::string, Provided> provided_;
+  std::map<std::string, Uses> uses_;
+};
+
+/// The framework: class registry + instance lifecycle + wiring
+/// (Ccaffeine / BuilderService analogue).  One Framework per rank in SPMD
+/// runs; not thread-safe across ranks (each rank owns its instance).
+class Framework {
+ public:
+  using Factory = std::function<std::shared_ptr<Component>()>;
+
+  /// Register a component class in the process-global class registry
+  /// (idempotent for identical names; re-registering replaces the factory).
+  static void registerClass(const std::string& className, Factory factory);
+
+  /// True if `className` is registered.
+  static bool isClassRegistered(const std::string& className);
+
+  /// Names of all registered classes (sorted).
+  static std::vector<std::string> registeredClasses();
+
+  /// Create an instance of `className` under `instanceName` and invoke its
+  /// setServices.  Throws on duplicate instance names or unknown classes.
+  void instantiate(const std::string& instanceName,
+                   const std::string& className);
+
+  /// Destroy an instance (its provides ports connected elsewhere are
+  /// disconnected first).
+  void destroy(const std::string& instanceName);
+
+  /// Connect `userInstance`'s uses port to `providerInstance`'s provides
+  /// port.  Port types must match exactly; an already-connected uses port
+  /// must be disconnected first.
+  void connect(const std::string& userInstance, const std::string& usesPort,
+               const std::string& providerInstance,
+               const std::string& providesPort);
+
+  /// Disconnect a uses port (no-op if already disconnected).
+  void disconnect(const std::string& userInstance, const std::string& usesPort);
+
+  /// Access an instance's provides port from driver code (the way a
+  /// Ccaffeine "go" button invokes a component's entry port).
+  [[nodiscard]] std::shared_ptr<Port> getProvidesPort(
+      const std::string& instanceName, const std::string& portName) const;
+
+  template <class PortT>
+  [[nodiscard]] std::shared_ptr<PortT> getProvidesPortAs(
+      const std::string& instanceName, const std::string& portName) const {
+    auto port = std::dynamic_pointer_cast<PortT>(
+        getProvidesPort(instanceName, portName));
+    LISI_CHECK(port != nullptr, "provides port '" + portName + "' of '" +
+                                    instanceName + "' has wrong C++ type");
+    return port;
+  }
+
+  /// The Services handle of an instance (introspection, tests).
+  [[nodiscard]] const Services& servicesOf(const std::string& instanceName) const;
+
+  /// Instance names currently alive (sorted).
+  [[nodiscard]] std::vector<std::string> instances() const;
+
+  /// Live connections as strings "user.usesPort -> provider.providesPort".
+  [[nodiscard]] std::vector<std::string> connections() const;
+
+ private:
+  struct Instance {
+    std::string className;
+    std::shared_ptr<Component> component;
+    Services services;
+  };
+  struct Connection {
+    std::string user;
+    std::string usesPort;
+    std::string provider;
+    std::string providesPort;
+  };
+
+  Instance& find(const std::string& instanceName);
+  [[nodiscard]] const Instance& find(const std::string& instanceName) const;
+
+  std::map<std::string, Instance> instances_;
+  std::vector<Connection> connections_;
+};
+
+/// Helper for static registration:
+///   namespace { const cca::ClassRegistrar reg("my.Component", [] { ... }); }
+class ClassRegistrar {
+ public:
+  ClassRegistrar(const std::string& className, Framework::Factory factory) {
+    Framework::registerClass(className, std::move(factory));
+  }
+};
+
+}  // namespace cca

@@ -1,0 +1,343 @@
+#include "comm/comm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+namespace lisi::comm {
+namespace detail {
+
+namespace {
+
+/// recv() deadlock guard: a blocked receive that sees no matching message
+/// for this long aborts the world instead of hanging the test suite.
+double recvTimeoutSeconds() {
+  static const double timeout = [] {
+    if (const char* env = std::getenv("LISI_COMM_TIMEOUT_SEC")) {
+      const double v = std::atof(env);
+      if (v > 0) return v;
+    }
+    return 120.0;
+  }();
+  return timeout;
+}
+
+}  // namespace
+
+/// One in-flight message.
+struct Envelope {
+  std::uint64_t ctx = 0;  ///< Communicator context id.
+  int src = 0;            ///< Sender rank, local to the context.
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Per-world-rank message queue.
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Envelope> queue;
+};
+
+/// State shared by every rank of one World::run invocation.
+class WorldContext {
+ public:
+  explicit WorldContext(int nranks)
+      : nranks_(nranks), mailboxes_(static_cast<std::size_t>(nranks)) {}
+
+  [[nodiscard]] int worldSize() const { return nranks_; }
+
+  void deliver(int worldDest, Envelope env) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(worldDest)];
+    {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      box.queue.push_back(std::move(env));
+    }
+    box.cv.notify_all();
+  }
+
+  /// Blocking matched receive for `worldRank`.
+  Envelope receive(int worldRank, std::uint64_t ctx, int src, int tag) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(worldRank)];
+    std::unique_lock<std::mutex> lock(box.mutex);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(recvTimeoutSeconds()));
+    while (true) {
+      checkAborted();
+      auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                             [&](const Envelope& e) {
+                               return e.ctx == ctx &&
+                                      (src == kAnySource || e.src == src) &&
+                                      (tag == kAnyTag || e.tag == tag);
+                             });
+      if (it != box.queue.end()) {
+        Envelope env = std::move(*it);
+        box.queue.erase(it);
+        return env;
+      }
+      if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+        abort("recv timed out (possible deadlock): rank " +
+              std::to_string(worldRank) + " waiting for src=" +
+              std::to_string(src) + " tag=" + std::to_string(tag));
+        checkAborted();
+      }
+    }
+  }
+
+  void abort(const std::string& reason) {
+    {
+      std::lock_guard<std::mutex> lock(abortMutex_);
+      if (!aborted_.load()) abortReason_ = reason;
+    }
+    aborted_.store(true);
+    for (Mailbox& box : mailboxes_) box.cv.notify_all();
+  }
+
+  void checkAborted() const {
+    if (aborted_.load()) {
+      std::lock_guard<std::mutex> lock(abortMutex_);
+      throw Error("communicator aborted: " + abortReason_);
+    }
+  }
+
+  [[nodiscard]] bool aborted() const { return aborted_.load(); }
+
+  /// Allocate (or look up) the context id for a split group.  Every member
+  /// of the group computes the same (parentCtx, splitSeq, color) key, so the
+  /// first arriver allocates and the rest observe the same id.
+  std::uint64_t splitContextId(std::uint64_t parentCtx, std::uint64_t splitSeq,
+                               int color) {
+    std::lock_guard<std::mutex> lock(splitMutex_);
+    auto [it, inserted] = splitIds_.try_emplace(
+        std::make_tuple(parentCtx, splitSeq, color), nextCtxId_);
+    if (inserted) ++nextCtxId_;
+    return it->second;
+  }
+
+  /// Record which rank failed first so World::run can rethrow its exception
+  /// rather than a secondary "aborted" echo from another rank.
+  void noteFailure(int worldRank) {
+    int expected = -1;
+    firstFailedRank_.compare_exchange_strong(expected, worldRank);
+  }
+  [[nodiscard]] int firstFailedRank() const { return firstFailedRank_.load(); }
+
+ private:
+  int nranks_;
+  std::vector<Mailbox> mailboxes_;
+  std::atomic<bool> aborted_{false};
+  mutable std::mutex abortMutex_;
+  std::string abortReason_;
+
+  std::mutex splitMutex_;
+  std::map<std::tuple<std::uint64_t, std::uint64_t, int>, std::uint64_t> splitIds_;
+  std::uint64_t nextCtxId_ = 1;  // 0 is the world context
+
+  std::atomic<int> firstFailedRank_{-1};
+};
+
+/// Per-rank communicator state (shared by all Comm copies in that rank).
+struct CommState {
+  std::shared_ptr<WorldContext> world;
+  std::uint64_t ctx = 0;
+  std::vector<int> groupWorldRanks;  ///< local rank -> world rank
+  int myLocalRank = 0;
+  std::atomic<std::uint64_t> collSeq{0};
+  std::atomic<std::uint64_t> splitSeq{0};
+
+  [[nodiscard]] int worldRankOf(int localRank) const {
+    return groupWorldRanks[static_cast<std::size_t>(localRank)];
+  }
+};
+
+}  // namespace detail
+
+int Comm::rank() const {
+  LISI_CHECK(valid(), "rank() on an invalid communicator");
+  return state_->myLocalRank;
+}
+
+int Comm::size() const {
+  LISI_CHECK(valid(), "size() on an invalid communicator");
+  return static_cast<int>(state_->groupWorldRanks.size());
+}
+
+void Comm::sendBytes(const void* data, std::size_t n, int dest, int tag) const {
+  LISI_CHECK(valid(), "sendBytes() on an invalid communicator");
+  LISI_CHECK(dest >= 0 && dest < size(), "sendBytes: dest out of range");
+  LISI_CHECK(tag >= 0, "sendBytes: negative tag");
+  state_->world->checkAborted();
+  detail::Envelope env;
+  env.ctx = state_->ctx;
+  env.src = state_->myLocalRank;
+  env.tag = tag;
+  env.payload.resize(n);
+  if (n != 0) std::memcpy(env.payload.data(), data, n);
+  state_->world->deliver(state_->worldRankOf(dest), std::move(env));
+}
+
+std::vector<std::byte> Comm::recvBytes(int src, int tag, Status* status) const {
+  LISI_CHECK(valid(), "recvBytes() on an invalid communicator");
+  LISI_CHECK(src == kAnySource || (src >= 0 && src < size()),
+             "recvBytes: src out of range");
+  detail::Envelope env = state_->world->receive(
+      state_->worldRankOf(state_->myLocalRank), state_->ctx, src, tag);
+  if (status) {
+    status->source = env.src;
+    status->tag = env.tag;
+    status->bytes = env.payload.size();
+  }
+  return std::move(env.payload);
+}
+
+void Comm::recvBytesInto(void* data, std::size_t n, int src, int tag,
+                         Status* status) const {
+  std::vector<std::byte> payload = recvBytes(src, tag, status);
+  LISI_CHECK(payload.size() == n,
+             "recvBytesInto: message size (" + std::to_string(payload.size()) +
+                 ") != buffer size (" + std::to_string(n) + ")");
+  if (n != 0) std::memcpy(data, payload.data(), n);
+}
+
+int Comm::nextCollectiveTag() const {
+  LISI_CHECK(valid(), "collective on an invalid communicator");
+  constexpr std::uint64_t kWindow = 1u << 20;
+  const std::uint64_t seq = state_->collSeq.fetch_add(1);
+  return kMaxUserTag + 1 + static_cast<int>(seq % kWindow);
+}
+
+void Comm::barrier() const {
+  const int tag = nextCollectiveTag();
+  const int p = size();
+  if (p == 1) return;
+  const char token = 0;
+  if (rank() == 0) {
+    for (int r = 1; r < p; ++r) (void)recvValue<char>(r, tag);
+    for (int r = 1; r < p; ++r) sendValue(token, r, tag);
+  } else {
+    sendValue(token, 0, tag);
+    (void)recvValue<char>(0, tag);
+  }
+}
+
+void Comm::bcastBytes(void* data, std::size_t n, int root) const {
+  const int tag = nextCollectiveTag();
+  const int p = size();
+  LISI_CHECK(root >= 0 && root < p, "bcast: root out of range");
+  if (p == 1) return;
+  if (rank() == root) {
+    for (int r = 0; r < p; ++r) {
+      if (r != root) sendBytes(data, n, r, tag);
+    }
+  } else {
+    recvBytesInto(data, n, root, tag);
+  }
+}
+
+void Comm::reduceBytes(const void* in, void* out, std::size_t count,
+                       std::size_t elemSize, ReduceOp op, int root,
+                       void (*combine)(void*, const void*, std::size_t,
+                                       ReduceOp)) const {
+  const int tag = nextCollectiveTag();
+  const int p = size();
+  LISI_CHECK(root >= 0 && root < p, "reduce: root out of range");
+  const std::size_t bytes = count * elemSize;
+  if (rank() == root) {
+    if (bytes != 0 && out != in) std::memcpy(out, in, bytes);
+    std::vector<std::byte> contrib(bytes);
+    // Rank-ordered combination => deterministic (bitwise reproducible).
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      recvBytesInto(contrib.data(), bytes, r, tag);
+      combine(out, contrib.data(), count, op);
+    }
+  } else {
+    sendBytes(in, bytes, root, tag);
+  }
+}
+
+Comm Comm::split(int color, int key) const {
+  LISI_CHECK(valid(), "split() on an invalid communicator");
+  struct Triple {
+    int color;
+    int key;
+    int parentRank;
+  };
+  const Triple mine{color, key, rank()};
+  std::vector<Triple> all =
+      allgatherv(std::span<const Triple>(&mine, 1), nullptr);
+  const std::uint64_t seq = state_->splitSeq.fetch_add(1);
+  if (color < 0) return Comm{};  // like MPI_UNDEFINED: not in any new group
+  std::vector<Triple> group;
+  for (const Triple& t : all) {
+    if (t.color == color) group.push_back(t);
+  }
+  std::sort(group.begin(), group.end(), [](const Triple& a, const Triple& b) {
+    return std::tie(a.key, a.parentRank) < std::tie(b.key, b.parentRank);
+  });
+  auto newState = std::make_shared<detail::CommState>();
+  newState->world = state_->world;
+  newState->ctx = state_->world->splitContextId(state_->ctx, seq, color);
+  newState->groupWorldRanks.reserve(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    newState->groupWorldRanks.push_back(
+        state_->worldRankOf(group[i].parentRank));
+    if (group[i].parentRank == rank()) {
+      newState->myLocalRank = static_cast<int>(i);
+    }
+  }
+  return Comm(std::move(newState));
+}
+
+Comm Comm::dup() const { return split(0, rank()); }
+
+void Comm::abort(const std::string& reason) const {
+  LISI_CHECK(valid(), "abort() on an invalid communicator");
+  state_->world->abort(reason);
+}
+
+void World::run(int nranks, const std::function<void(Comm&)>& body) {
+  LISI_CHECK(nranks >= 1, "World::run: nranks must be >= 1");
+  auto world = std::make_shared<detail::WorldContext>(nranks);
+  std::vector<std::exception_ptr> failures(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      auto state = std::make_shared<detail::CommState>();
+      state->world = world;
+      state->ctx = 0;
+      state->groupWorldRanks.resize(static_cast<std::size_t>(nranks));
+      for (int i = 0; i < nranks; ++i) {
+        state->groupWorldRanks[static_cast<std::size_t>(i)] = i;
+      }
+      state->myLocalRank = r;
+      Comm comm(state);
+      try {
+        body(comm);
+      } catch (...) {
+        failures[static_cast<std::size_t>(r)] = std::current_exception();
+        world->noteFailure(r);
+        world->abort("rank " + std::to_string(r) + " threw an exception");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const int first = world->firstFailedRank();
+  if (first >= 0 && failures[static_cast<std::size_t>(first)]) {
+    std::rethrow_exception(failures[static_cast<std::size_t>(first)]);
+  }
+  for (const std::exception_ptr& e : failures) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace lisi::comm

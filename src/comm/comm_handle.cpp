@@ -1,0 +1,52 @@
+#include "comm/comm_handle.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace lisi::comm {
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<long, Comm> comms;
+  long next = 1;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace
+
+long registerHandle(const Comm& comm) {
+  LISI_CHECK(comm.valid(), "registerHandle: invalid communicator");
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const long handle = reg.next++;
+  reg.comms.emplace(handle, comm);
+  return handle;
+}
+
+Comm commFromHandle(long handle) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.comms.find(handle);
+  LISI_CHECK(it != reg.comms.end(),
+             "commFromHandle: unknown handle " + std::to_string(handle));
+  return it->second;
+}
+
+void releaseHandle(long handle) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.comms.erase(handle);
+}
+
+std::size_t liveHandleCount() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.comms.size();
+}
+
+}  // namespace lisi::comm

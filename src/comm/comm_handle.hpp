@@ -1,0 +1,30 @@
+// Long-integer communicator handles.
+//
+// The LISI SIDL interface declares `int initialize(in long comm)`: the
+// application passes its communicator to the solver component as an opaque
+// integer, exactly as Fortran MPI codes pass MPI_Comm integers through
+// language boundaries.  This registry provides the conversion both ways
+// (the analogue of MPI_Comm_c2f / MPI_Comm_f2c).
+#pragma once
+
+#include "comm/comm.hpp"
+
+namespace lisi::comm {
+
+/// Register `comm` and obtain an opaque handle (> 0) for it.  The handle is
+/// valid until releaseHandle(); handles are process-global so they can cross
+/// component boundaries within a rank.
+[[nodiscard]] long registerHandle(const Comm& comm);
+
+/// Look up a registered communicator.  Throws lisi::Error for an unknown
+/// handle.
+[[nodiscard]] Comm commFromHandle(long handle);
+
+/// Drop a handle from the registry (the communicator itself stays alive as
+/// long as other Comm copies exist).
+void releaseHandle(long handle);
+
+/// Number of live handles (used by leak-checking tests).
+[[nodiscard]] std::size_t liveHandleCount();
+
+}  // namespace lisi::comm

@@ -1,0 +1,477 @@
+// HyMG implementation: hierarchy construction, smoothers, grid transfers,
+// the recursive cycle, and the coarse-grid dense solve.
+#include "hymg/hymg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/matmul.hpp"
+#include "sparse/partition.hpp"
+
+namespace hymg {
+
+using lisi::comm::Comm;
+using lisi::sparse::BlockRowPartition;
+using lisi::sparse::CsrMatrix;
+using lisi::sparse::DistCsrMatrix;
+
+Stencil5 laplaceStencil(double h) {
+  const double ih2 = 1.0 / (h * h);
+  return {4.0 * ih2, -ih2, -ih2, -ih2, -ih2};
+}
+
+StencilFn convectionDiffusionStencil(double bx, double by) {
+  return [bx, by](double h) {
+    const double ih2 = 1.0 / (h * h);
+    Stencil5 st;
+    st.c = 4.0 * ih2;
+    st.w = -ih2 - bx / (2.0 * h);
+    st.e = -ih2 + bx / (2.0 * h);
+    st.s = -ih2 - by / (2.0 * h);
+    st.n = -ih2 + by / (2.0 * h);
+    return st;
+  };
+}
+
+namespace {
+
+/// Assemble this rank's rows of the 5-point operator on an n-by-n grid.
+CsrMatrix assembleLevelRows(int n, const Stencil5& st, int rowBegin,
+                            int rowEnd) {
+  CsrMatrix a;
+  a.rows = rowEnd - rowBegin;
+  a.cols = n * n;
+  a.rowPtr.reserve(static_cast<std::size_t>(a.rows) + 1);
+  a.rowPtr.push_back(0);
+  for (int row = rowBegin; row < rowEnd; ++row) {
+    const int ix = row % n;
+    const int iy = row / n;
+    if (iy > 0) {
+      a.colIdx.push_back(row - n);
+      a.values.push_back(st.s);
+    }
+    if (ix > 0) {
+      a.colIdx.push_back(row - 1);
+      a.values.push_back(st.w);
+    }
+    a.colIdx.push_back(row);
+    a.values.push_back(st.c);
+    if (ix + 1 < n) {
+      a.colIdx.push_back(row + 1);
+      a.values.push_back(st.e);
+    }
+    if (iy + 1 < n) {
+      a.colIdx.push_back(row + n);
+      a.values.push_back(st.n);
+    }
+    a.rowPtr.push_back(static_cast<int>(a.colIdx.size()));
+  }
+  return a;
+}
+
+/// Assemble this rank's rows of the bilinear prolongation from an nc-by-nc
+/// coarse grid to the nf-by-nf fine grid (nf = 2*nc + 1).  Coarse node
+/// (jx, jy) sits at fine node (2jx+1, 2jy+1); out-of-range coarse
+/// neighbours are homogeneous boundary (contribute nothing).
+CsrMatrix assembleProlongationRows(int nf, int nc, int rowBegin, int rowEnd) {
+  CsrMatrix p;
+  p.rows = rowEnd - rowBegin;
+  p.cols = nc * nc;
+  p.rowPtr.reserve(static_cast<std::size_t>(p.rows) + 1);
+  p.rowPtr.push_back(0);
+  auto push = [&p, nc](int jx, int jy, double wgt) {
+    if (jx < 0 || jx >= nc || jy < 0 || jy >= nc) return;
+    p.colIdx.push_back(jy * nc + jx);
+    p.values.push_back(wgt);
+  };
+  for (int row = rowBegin; row < rowEnd; ++row) {
+    const int ix = row % nf;
+    const int iy = row / nf;
+    const bool oddX = (ix % 2) == 1;
+    const bool oddY = (iy % 2) == 1;
+    if (oddX && oddY) {
+      push((ix - 1) / 2, (iy - 1) / 2, 1.0);
+    } else if (!oddX && oddY) {
+      push(ix / 2 - 1, (iy - 1) / 2, 0.5);
+      push(ix / 2, (iy - 1) / 2, 0.5);
+    } else if (oddX && !oddY) {
+      push((ix - 1) / 2, iy / 2 - 1, 0.5);
+      push((ix - 1) / 2, iy / 2, 0.5);
+    } else {
+      push(ix / 2 - 1, iy / 2 - 1, 0.25);
+      push(ix / 2, iy / 2 - 1, 0.25);
+      push(ix / 2 - 1, iy / 2, 0.25);
+      push(ix / 2, iy / 2, 0.25);
+    }
+    p.rowPtr.push_back(static_cast<int>(p.colIdx.size()));
+  }
+  return p;
+}
+
+/// Assemble this rank's rows of the full-weighting restriction from the
+/// nf-by-nf fine grid to the nc-by-nc coarse grid: the 1/16 [1 2 1; 2 4 2;
+/// 1 2 1] stencil centered on the fine image of each coarse node.
+CsrMatrix assembleRestrictionRows(int nf, int nc, int rowBegin, int rowEnd) {
+  CsrMatrix r;
+  r.rows = rowEnd - rowBegin;
+  r.cols = nf * nf;
+  r.rowPtr.reserve(static_cast<std::size_t>(r.rows) + 1);
+  r.rowPtr.push_back(0);
+  for (int row = rowBegin; row < rowEnd; ++row) {
+    const int jx = row % nc;
+    const int jy = row / nc;
+    const int cx = 2 * jx + 1;
+    const int cy = 2 * jy + 1;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int ix = cx + dx;
+        const int iy = cy + dy;
+        if (ix < 0 || ix >= nf || iy < 0 || iy >= nf) continue;
+        const double wgt =
+            (dx == 0 ? 2.0 : 1.0) * (dy == 0 ? 2.0 : 1.0) / 16.0;
+        r.colIdx.push_back(iy * nf + ix);
+        r.values.push_back(wgt);
+      }
+    }
+    r.rowPtr.push_back(static_cast<int>(r.colIdx.size()));
+  }
+  return r;
+}
+
+/// Dense LU with partial pivoting for the coarsest grid (run on rank 0).
+class DenseLu {
+ public:
+  DenseLu() = default;
+  void factor(std::vector<double> a, int n) {
+    n_ = n;
+    a_ = std::move(a);
+    piv_.resize(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      int p = k;
+      double best = std::abs(at(k, k));
+      for (int i = k + 1; i < n; ++i) {
+        if (std::abs(at(i, k)) > best) {
+          best = std::abs(at(i, k));
+          p = i;
+        }
+      }
+      LISI_CHECK(best > 0.0, "HyMG coarse solve: singular coarse operator");
+      piv_[static_cast<std::size_t>(k)] = p;
+      if (p != k) {
+        for (int j = 0; j < n; ++j) std::swap(at(k, j), at(p, j));
+      }
+      for (int i = k + 1; i < n; ++i) {
+        at(i, k) /= at(k, k);
+        const double lik = at(i, k);
+        for (int j = k + 1; j < n; ++j) at(i, j) -= lik * at(k, j);
+      }
+    }
+  }
+
+  void solve(std::vector<double>& b) const {
+    for (int k = 0; k < n_; ++k) {
+      std::swap(b[static_cast<std::size_t>(k)],
+                b[static_cast<std::size_t>(piv_[static_cast<std::size_t>(k)])]);
+      for (int i = k + 1; i < n_; ++i) {
+        b[static_cast<std::size_t>(i)] -= at(i, k) * b[static_cast<std::size_t>(k)];
+      }
+    }
+    for (int k = n_ - 1; k >= 0; --k) {
+      for (int j = k + 1; j < n_; ++j) {
+        b[static_cast<std::size_t>(k)] -= at(k, j) * b[static_cast<std::size_t>(j)];
+      }
+      b[static_cast<std::size_t>(k)] /= at(k, k);
+    }
+  }
+
+ private:
+  double& at(int i, int j) {
+    return a_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+              static_cast<std::size_t>(j)];
+  }
+  [[nodiscard]] double at(int i, int j) const {
+    return a_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+              static_cast<std::size_t>(j)];
+  }
+  int n_ = 0;
+  std::vector<double> a_;
+  std::vector<int> piv_;
+};
+
+struct Level {
+  int n = 0;  ///< grid side
+  std::unique_ptr<DistCsrMatrix> a;
+  std::unique_ptr<DistCsrMatrix> p;  ///< prolongation from the next level
+  std::unique_ptr<DistCsrMatrix> r;  ///< restriction to the next level
+  std::vector<double> invDiag;       ///< Jacobi smoother data
+  // Hybrid GS data: local diagonal block in local indices.
+  CsrMatrix gsBlock;
+  std::vector<int> gsDiagPos;
+};
+
+}  // namespace
+
+struct Solver::Impl {
+  Comm comm;
+  Options options;
+  StencilFn stencil;
+  std::vector<Level> levels;
+  DenseLu coarseLu;  ///< valid on rank 0 only
+
+  void build(int gridN);
+  void smooth(const Level& lvl, std::span<const double> b,
+              std::span<double> x, int sweeps) const;
+  void cycle(std::size_t l, std::span<const double> b,
+             std::span<double> x) const;
+  void coarseSolve(std::span<const double> b, std::span<double> x) const;
+};
+
+void Solver::Impl::build(int gridN) {
+  LISI_CHECK(gridN >= 1, "HyMG: gridN must be >= 1");
+  int n = gridN;
+  // In Galerkin mode the next level's operator is the triple product of the
+  // previous level's transfers; it is carried across loop iterations here.
+  std::unique_ptr<DistCsrMatrix> pendingA;
+  while (true) {
+    Level lvl;
+    lvl.n = n;
+    const double h = 1.0 / (n + 1);
+    const BlockRowPartition part(n * n, comm.size());
+    const int begin = part.startRow(comm.rank());
+    const int end = begin + part.localRows(comm.rank());
+    if (pendingA) {
+      lvl.a = std::move(pendingA);
+    } else {
+      const Stencil5 st = stencil(h);
+      lvl.a = std::make_unique<DistCsrMatrix>(
+          comm, n * n, n * n, begin, assembleLevelRows(n, st, begin, end));
+    }
+    // Smoother data.
+    lvl.invDiag = lvl.a->localDiagonal();
+    for (double& d : lvl.invDiag) {
+      LISI_CHECK(d != 0.0, "HyMG: zero diagonal on a level");
+      d = 1.0 / d;
+    }
+    if (options.smoother == Smoother::kHybridGs) {
+      // Local diagonal block with local column indices.
+      const CsrMatrix& loc = lvl.a->localBlock();
+      const int s = lvl.a->startRow();
+      const int e = s + lvl.a->localRows();
+      CsrMatrix blk;
+      blk.rows = lvl.a->localRows();
+      blk.cols = blk.rows;
+      blk.rowPtr.assign(static_cast<std::size_t>(blk.rows) + 1, 0);
+      for (int i = 0; i < loc.rows; ++i) {
+        for (int k = loc.rowPtr[static_cast<std::size_t>(i)];
+             k < loc.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+          const int c = loc.colIdx[static_cast<std::size_t>(k)];
+          if (c >= s && c < e) {
+            blk.colIdx.push_back(c - s);
+            blk.values.push_back(loc.values[static_cast<std::size_t>(k)]);
+          }
+        }
+        blk.rowPtr[static_cast<std::size_t>(i) + 1] =
+            static_cast<int>(blk.values.size());
+      }
+      lvl.gsDiagPos.assign(static_cast<std::size_t>(blk.rows), -1);
+      for (int i = 0; i < blk.rows; ++i) {
+        for (int k = blk.rowPtr[static_cast<std::size_t>(i)];
+             k < blk.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+          if (blk.colIdx[static_cast<std::size_t>(k)] == i) {
+            lvl.gsDiagPos[static_cast<std::size_t>(i)] = k;
+          }
+        }
+        LISI_CHECK(lvl.gsDiagPos[static_cast<std::size_t>(i)] >= 0,
+                   "HyMG: missing diagonal in local block");
+      }
+      lvl.gsBlock = std::move(blk);
+    }
+    levels.push_back(std::move(lvl));
+
+    const bool canCoarsen = (n % 2 == 1) && n > options.coarsestN &&
+                            static_cast<int>(levels.size()) < options.maxLevels;
+    if (!canCoarsen) break;
+    const int nc = (n - 1) / 2;
+    // Transfer operators between this level (fine) and the next (coarse).
+    const BlockRowPartition fpart(n * n, comm.size());
+    const BlockRowPartition cpart(nc * nc, comm.size());
+    const int fb = fpart.startRow(comm.rank());
+    const int fe = fb + fpart.localRows(comm.rank());
+    const int cb = cpart.startRow(comm.rank());
+    const int ce = cb + cpart.localRows(comm.rank());
+    Level& fine = levels.back();
+    fine.p = std::make_unique<DistCsrMatrix>(
+        comm, n * n, nc * nc, fb, assembleProlongationRows(n, nc, fb, fe),
+        cpart.boundaries());
+    fine.r = std::make_unique<DistCsrMatrix>(
+        comm, nc * nc, n * n, cb, assembleRestrictionRows(n, nc, cb, ce),
+        fpart.boundaries());
+    if (options.coarseOperator == CoarseOperator::kGalerkin) {
+      pendingA = std::make_unique<DistCsrMatrix>(
+          lisi::sparse::galerkinProduct(*fine.r, *fine.a, *fine.p));
+    }
+    n = nc;
+  }
+
+  // Coarsest-level exact solve: gather the operator to rank 0 and factor.
+  const Level& coarse = levels.back();
+  const CsrMatrix gathered = coarse.a->gatherToRoot(0);
+  if (comm.rank() == 0) {
+    const int cn = coarse.n * coarse.n;
+    std::vector<double> dense(static_cast<std::size_t>(cn) *
+                                  static_cast<std::size_t>(cn),
+                              0.0);
+    for (int i = 0; i < cn; ++i) {
+      for (int k = gathered.rowPtr[static_cast<std::size_t>(i)];
+           k < gathered.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+        dense[static_cast<std::size_t>(i) * static_cast<std::size_t>(cn) +
+              static_cast<std::size_t>(
+                  gathered.colIdx[static_cast<std::size_t>(k)])] +=
+            gathered.values[static_cast<std::size_t>(k)];
+      }
+    }
+    coarseLu.factor(std::move(dense), cn);
+  }
+}
+
+void Solver::Impl::smooth(const Level& lvl, std::span<const double> b,
+                          std::span<double> x, int sweeps) const {
+  const auto m = static_cast<std::size_t>(lvl.a->localRows());
+  std::vector<double> r(m);
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    lvl.a->spmv(x, std::span<double>(r));
+    for (std::size_t i = 0; i < m; ++i) r[i] = b[i] - r[i];
+    if (options.smoother == Smoother::kJacobi) {
+      for (std::size_t i = 0; i < m; ++i) {
+        x[i] += options.jacobiWeight * lvl.invDiag[i] * r[i];
+      }
+    } else {
+      // Hybrid GS: x += (D + L_local)^{-1} r (forward substitution on the
+      // local block's lower triangle).
+      const CsrMatrix& blk = lvl.gsBlock;
+      for (int i = 0; i < blk.rows; ++i) {
+        double acc = r[static_cast<std::size_t>(i)];
+        for (int k = blk.rowPtr[static_cast<std::size_t>(i)];
+             k < lvl.gsDiagPos[static_cast<std::size_t>(i)]; ++k) {
+          acc -= blk.values[static_cast<std::size_t>(k)] *
+                 r[static_cast<std::size_t>(
+                     blk.colIdx[static_cast<std::size_t>(k)])];
+        }
+        // Reuse r to hold the correction (already-final entries only are
+        // read above because the block's lower columns are < i).
+        r[static_cast<std::size_t>(i)] =
+            acc / blk.values[static_cast<std::size_t>(
+                      lvl.gsDiagPos[static_cast<std::size_t>(i)])];
+      }
+      for (std::size_t i = 0; i < m; ++i) x[i] += r[i];
+    }
+  }
+}
+
+void Solver::Impl::coarseSolve(std::span<const double> b,
+                               std::span<double> x) const {
+  const Level& coarse = levels.back();
+  std::vector<double> bg = coarse.a->gatherVectorToRoot(b, 0);
+  if (comm.rank() == 0) coarseLu.solve(bg);
+  const std::vector<double> xl = coarse.a->scatterVectorFromRoot(
+      comm.rank() == 0 ? std::span<const double>(bg)
+                       : std::span<const double>(),
+      0);
+  std::copy(xl.begin(), xl.end(), x.begin());
+}
+
+void Solver::Impl::cycle(std::size_t l, std::span<const double> b,
+                         std::span<double> x) const {
+  const Level& lvl = levels[l];
+  if (l + 1 == levels.size()) {
+    coarseSolve(b, x);
+    return;
+  }
+  smooth(lvl, b, x, options.preSmooth);
+  // Coarse-grid correction (gamma-fold for W-cycles).
+  const auto m = static_cast<std::size_t>(lvl.a->localRows());
+  const auto mc = static_cast<std::size_t>(levels[l + 1].a->localRows());
+  std::vector<double> r(m), rc(mc), ec(mc, 0.0), pe(m);
+  for (int g = 0; g < options.gamma; ++g) {
+    lvl.a->spmv(x, std::span<double>(r));
+    for (std::size_t i = 0; i < m; ++i) r[i] = b[i] - r[i];
+    lvl.r->spmv(std::span<const double>(r), std::span<double>(rc));
+    std::fill(ec.begin(), ec.end(), 0.0);
+    cycle(l + 1, std::span<const double>(rc), std::span<double>(ec));
+    lvl.p->spmv(std::span<const double>(ec), std::span<double>(pe));
+    for (std::size_t i = 0; i < m; ++i) x[i] += pe[i];
+    if (g + 1 < options.gamma) smooth(lvl, b, x, options.postSmooth);
+  }
+  smooth(lvl, b, x, options.postSmooth);
+}
+
+Solver::Solver(Comm comm, int gridN, StencilFn stencil, Options options)
+    : impl_(new Impl) {
+  LISI_CHECK(comm.valid(), "HyMG: invalid communicator");
+  LISI_CHECK(options.preSmooth >= 0 && options.postSmooth >= 0,
+             "HyMG: negative smoothing counts");
+  LISI_CHECK(options.gamma >= 1, "HyMG: gamma must be >= 1");
+  LISI_CHECK(options.jacobiWeight > 0 && options.jacobiWeight <= 1.0,
+             "HyMG: jacobiWeight must be in (0, 1]");
+  impl_->comm = std::move(comm);
+  impl_->options = options;
+  impl_->stencil = std::move(stencil);
+  impl_->build(gridN);
+}
+
+Solver::~Solver() = default;
+Solver::Solver(Solver&&) noexcept = default;
+Solver& Solver::operator=(Solver&&) noexcept = default;
+
+int Solver::numLevels() const { return static_cast<int>(impl_->levels.size()); }
+
+int Solver::gridN(int level) const {
+  LISI_CHECK(level >= 0 && level < numLevels(), "HyMG: level out of range");
+  return impl_->levels[static_cast<std::size_t>(level)].n;
+}
+
+const DistCsrMatrix& Solver::fineMatrix() const {
+  return *impl_->levels.front().a;
+}
+
+int Solver::fineLocalRows() const {
+  return impl_->levels.front().a->localRows();
+}
+
+void Solver::applyCycle(std::span<const double> b, std::span<double> x) const {
+  LISI_CHECK(static_cast<int>(b.size()) == fineLocalRows() &&
+                 b.size() == x.size(),
+             "HyMG::applyCycle: size mismatch");
+  std::fill(x.begin(), x.end(), 0.0);
+  impl_->cycle(0, b, x);
+}
+
+SolveInfo Solver::solve(std::span<const double> b, std::span<double> x,
+                        double rtol, int maxCycles) const {
+  LISI_CHECK(static_cast<int>(b.size()) == fineLocalRows() &&
+                 b.size() == x.size(),
+             "HyMG::solve: size mismatch");
+  const DistCsrMatrix& a = fineMatrix();
+  const double bnorm = lisi::sparse::distNorm2(impl_->comm, b);
+  SolveInfo info;
+  if (bnorm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    info.converged = true;
+    return info;
+  }
+  std::vector<double> r(b.size());
+  for (int c = 0; c < maxCycles; ++c) {
+    impl_->cycle(0, b, x);
+    info.cycles = c + 1;
+    a.spmv(x, std::span<double>(r));
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+    info.relResidual = lisi::sparse::distNorm2(impl_->comm, r) / bnorm;
+    if (info.relResidual <= rtol) {
+      info.converged = true;
+      return info;
+    }
+  }
+  return info;
+}
+
+}  // namespace hymg

@@ -1,0 +1,115 @@
+// HyMG — a distributed geometric multigrid package in the spirit of
+// hypre's structured-grid solvers (SMG/PFMG).
+//
+// The paper (§2.2) names multilevel methods as "the only widely available
+// and applicable solvers that have proved scalable in practice" and demands
+// that a common solver interface support them, including re-entrant
+// recursive level solves (§5.2 use case e).  HyMG provides that capability
+// for 5-point operators on the unit square: a rediscretized grid hierarchy
+// (each level assembles the same stencil at its own mesh width), bilinear
+// prolongation, full-weighting restriction, weighted-Jacobi or hybrid
+// (process-local) Gauss-Seidel smoothing, V- and W-cycles, and an exact
+// dense solve on the coarsest grid.
+//
+// All levels are block-row distributed over the communicator; transfer
+// operators are rectangular DistCsrMatrix instances, so every grid
+// transfer is genuine message-passing communication.
+//
+// Grid-size requirement: vertex-centered coarsening needs an odd number of
+// interior points per side at every level, so gridN should be 2^k - 1
+// (coarsening stops early otherwise).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "comm/comm.hpp"
+#include "sparse/dist_csr.hpp"
+
+namespace hymg {
+
+/// 5-point stencil at mesh width h: y_ij = c*x_ij + w*x_(i-1)j + e*x_(i+1)j
+///                                       + s*x_i(j-1) + n*x_i(j+1).
+struct Stencil5 {
+  double c = 0, w = 0, e = 0, s = 0, n = 0;
+};
+
+/// Stencil generator: the same continuous operator discretized at width h.
+using StencilFn = std::function<Stencil5(double h)>;
+
+/// Stencil of -laplace(u) (SPD model problem).
+Stencil5 laplaceStencil(double h);
+
+/// Stencil of -laplace(u) + bx*u_x + by*u_y (centered differences).
+/// The paper's operator u_xx + u_yy - 3 u_x, negated to an M-matrix,
+/// corresponds to bx = 3, by = 0.
+StencilFn convectionDiffusionStencil(double bx, double by);
+
+/// Smoother selection.
+enum class Smoother {
+  kJacobi,    ///< weighted Jacobi (fully parallel)
+  kHybridGs,  ///< Gauss-Seidel within each rank's block, Jacobi across
+};
+
+/// How coarse-level operators are formed.
+enum class CoarseOperator {
+  kRediscretize,  ///< assemble the stencil at each level's mesh width
+  kGalerkin,      ///< A_{l+1} = R * A_l * P (distributed triple product);
+                  ///< variationally consistent, denser (9-point) stencils
+};
+
+/// Cycle shape: gamma = 1 is a V-cycle, gamma = 2 a W-cycle.
+struct Options {
+  int preSmooth = 2;
+  int postSmooth = 2;
+  double jacobiWeight = 0.8;
+  Smoother smoother = Smoother::kHybridGs;
+  CoarseOperator coarseOperator = CoarseOperator::kRediscretize;
+  int gamma = 1;
+  int coarsestN = 3;   ///< stop coarsening at (or below) this grid side
+  int maxLevels = 25;
+};
+
+/// Result of an iterative MG solve.
+struct SolveInfo {
+  int cycles = 0;
+  double relResidual = 0.0;  ///< final ||b-Ax|| / ||b||
+  bool converged = false;
+};
+
+/// A multigrid hierarchy over an N-by-N interior grid, usable as a
+/// standalone solver (solve) or as a preconditioner (applyCycle).
+class Solver {
+ public:
+  /// Build the hierarchy.  Collective over `comm`.
+  Solver(lisi::comm::Comm comm, int gridN, StencilFn stencil,
+         Options options = {});
+  ~Solver();
+  Solver(Solver&&) noexcept;
+  Solver& operator=(Solver&&) noexcept;
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  [[nodiscard]] int numLevels() const;
+  [[nodiscard]] int gridN(int level) const;
+  /// The level-0 (finest) operator.
+  [[nodiscard]] const lisi::sparse::DistCsrMatrix& fineMatrix() const;
+  /// This rank's share of the finest grid.
+  [[nodiscard]] int fineLocalRows() const;
+
+  /// One multigrid cycle with zero initial guess: x = MG(b).  This is the
+  /// preconditioner form (linear in b).  Collective.
+  void applyCycle(std::span<const double> b, std::span<double> x) const;
+
+  /// Iterate cycles until ||b - A x|| <= rtol * ||b|| or maxCycles.
+  /// x carries the initial guess in and the solution out.  Collective.
+  SolveInfo solve(std::span<const double> b, std::span<double> x, double rtol,
+                  int maxCycles) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hymg

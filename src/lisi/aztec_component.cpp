@@ -1,0 +1,123 @@
+// LISI solver component backed by Aztec (the Trilinos/AztecOO analogue):
+// the generic parameter keys are translated into AZ_* option/parameter
+// array entries; matrix-free mode wraps the application's MatrixFree port
+// in a RowMatrix subclass, the §5.5 Epetra_RowMatrix pattern.
+#include "aztec/aztecoo.hpp"
+#include "lisi/solver_base.hpp"
+
+namespace lisi {
+namespace {
+
+/// RowMatrix over the application's MatrixFree port.
+class MatrixFreeRowMatrix final : public aztec::RowMatrix {
+ public:
+  MatrixFreeRowMatrix(const aztec::Map& map, MatrixFree* mf)
+      : map_(&map), mf_(mf) {}
+  [[nodiscard]] const aztec::Map& rowMap() const override { return *map_; }
+  void apply(const aztec::Vector& x, aztec::Vector& y) const override {
+    const int n = x.myLength();
+    const int rc = mf_->matMult(
+        OperatorId::kMatrix, RArray<const double>(x.localView().data(), n),
+        RArray<double>(y.localView().data(), n), n);
+    LISI_CHECK(rc == 0, "MatrixFree::matMult failed");
+  }
+
+ private:
+  const aztec::Map* map_;
+  MatrixFree* mf_;
+};
+
+class AztecSolverPort final : public detail::SolverComponentBase {
+ protected:
+  const char* backendName() const override { return "aztec"; }
+  bool supportsMatrixFree() const override { return true; }
+
+  bool acceptsParam(const std::string& key) const override {
+    return SolverComponentBase::acceptsParam(key) || key == "restart" ||
+           key == "poly_ord";
+  }
+
+  int backendSolve(const detail::SolveContext& ctx, std::span<const double> b,
+                   std::span<double> x, detail::BackendStats& stats) override {
+    using namespace aztec;
+    // (Re)build the Aztec objects when the operator changed.
+    if (!ctx.operatorUnchanged || !map_) {
+      map_ = std::make_unique<Map>(ctx.globalRows, ctx.localRows, *ctx.comm);
+      if (ctx.matrixFree != nullptr) {
+        rowMatrix_ =
+            std::make_unique<MatrixFreeRowMatrix>(*map_, ctx.matrixFree);
+      } else {
+        rowMatrix_ =
+            std::make_unique<CrsMatrix>(*map_, ctx.matrix->localBlock());
+      }
+    } else if (ctx.matrixFree != nullptr) {
+      // The port pointer may change between solves even if "unchanged".
+      rowMatrix_ = std::make_unique<MatrixFreeRowMatrix>(*map_, ctx.matrixFree);
+    }
+
+    const std::string method = paramString("solver", "gmres");
+    int azSolver = AZ_gmres;
+    if (method == "cg") azSolver = AZ_cg;
+    else if (method == "gmres") azSolver = AZ_gmres;
+    else if (method == "bicgstab") azSolver = AZ_bicgstab;
+    else return static_cast<int>(ErrorCode::kInvalidArgument);
+
+    const std::string pc = paramString("preconditioner", "none");
+    int azPrecond = AZ_none;
+    if (pc == "none") azPrecond = AZ_none;
+    else if (pc == "jacobi") azPrecond = AZ_Jacobi;
+    else if (pc == "neumann") azPrecond = AZ_Neumann;
+    else if (pc == "symgs" || pc == "sgs") azPrecond = AZ_sym_GS;
+    else if (pc == "ilu" || pc == "ilu0" || pc == "bjacobi") {
+      azPrecond = AZ_dom_decomp;
+    } else {
+      return static_cast<int>(ErrorCode::kInvalidArgument);
+    }
+    if (ctx.matrixFree != nullptr &&
+        (azPrecond == AZ_dom_decomp || azPrecond == AZ_sym_GS)) {
+      return static_cast<int>(ErrorCode::kUnsupported);
+    }
+
+    Vector xv(*map_, x);
+    const Vector bv(*map_, b);
+    AztecOO solver(*rowMatrix_, xv, bv);
+    solver.setOption(AZ_solver, azSolver)
+        .setOption(AZ_precond, azPrecond)
+        .setOption(AZ_kspace, paramInt("restart", 30))
+        .setOption(AZ_poly_ord, paramInt("poly_ord", 3))
+        .setOption(AZ_conv, AZ_rhs);
+    (void)solver.iterate(paramInt("maxits", 10000), paramDouble("tol", 1e-6));
+    std::copy(xv.localView().begin(), xv.localView().end(), x.begin());
+    stats.iterations = solver.numIters();
+    stats.residualNorm = solver.trueResidual();
+    stats.converged = solver.terminationReason() == AZ_normal;
+    return static_cast<int>(ErrorCode::kOk);
+  }
+
+ private:
+  std::unique_ptr<aztec::Map> map_;
+  std::unique_ptr<aztec::RowMatrix> rowMatrix_;
+};
+
+class AztecSolverComponent final : public cca::Component {
+ public:
+  void setServices(cca::Services& services) override {
+    auto port = std::make_shared<AztecSolverPort>();
+    port->attachServices(&services);
+    services.addProvidesPort(port, kSparseSolverPortName,
+                             kSparseSolverPortType);
+    services.registerUsesPort(kMatrixFreePortName, kMatrixFreePortType);
+  }
+};
+
+}  // namespace
+
+namespace detail_registration {
+void registerAztec() {
+  cca::Framework::registerClass(kAztecComponentClass, [] {
+    return std::make_shared<AztecSolverComponent>();
+  });
+}
+}  // namespace detail_registration
+
+}  // namespace lisi

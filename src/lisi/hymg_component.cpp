@@ -1,0 +1,115 @@
+// LISI solver component backed by HyMG (the hypre-analogue structured
+// multigrid package).
+//
+// Like hypre's structured-grid solvers, HyMG needs the grid description,
+// which cannot be recovered from an assembled matrix alone.  The adapter
+// therefore requires the generic parameters
+//   mg_grid_n  (int, interior points per side; mg_grid_n^2 == global rows)
+//   mg_bx, mg_by (doubles, convection coefficients of -lap(u)+bx*u_x+by*u_y;
+//                 default 0: pure Laplacian)
+// and checks that the supplied matrix matches the rediscretized fine-level
+// operator (so a mismatched matrix is an error, not silent wrong answers).
+#include <limits>
+
+#include "hymg/hymg.hpp"
+#include "lisi/solver_base.hpp"
+#include "sparse/ops.hpp"
+
+namespace lisi {
+namespace {
+
+class HymgSolverPort final : public detail::SolverComponentBase {
+ protected:
+  const char* backendName() const override { return "hymg"; }
+
+  bool acceptsParam(const std::string& key) const override {
+    return SolverComponentBase::acceptsParam(key) || key == "mg_grid_n" ||
+           key == "mg_bx" || key == "mg_by" || key == "mg_pre_smooth" ||
+           key == "mg_post_smooth" || key == "mg_gamma" ||
+           key == "mg_smoother" || key == "mg_jacobi_weight" ||
+           key == "mg_coarse_op";
+  }
+
+  int backendSolve(const detail::SolveContext& ctx, std::span<const double> b,
+                   std::span<double> x, detail::BackendStats& stats) override {
+    const int gridN = paramInt("mg_grid_n", -1);
+    if (gridN < 1 || gridN * gridN != ctx.globalRows) {
+      return static_cast<int>(ErrorCode::kInvalidArgument);
+    }
+    if (!ctx.operatorUnchanged || !mg_) {
+      hymg::Options opts;
+      opts.preSmooth = paramInt("mg_pre_smooth", 2);
+      opts.postSmooth = paramInt("mg_post_smooth", 2);
+      opts.gamma = paramInt("mg_gamma", 1);
+      opts.jacobiWeight = paramDouble("mg_jacobi_weight", 0.8);
+      const std::string smoother = paramString("mg_smoother", "gs");
+      if (smoother == "jacobi") opts.smoother = hymg::Smoother::kJacobi;
+      else if (smoother == "gs") opts.smoother = hymg::Smoother::kHybridGs;
+      else return static_cast<int>(ErrorCode::kInvalidArgument);
+      const std::string coarseOp = paramString("mg_coarse_op", "rediscretize");
+      if (coarseOp == "galerkin") {
+        opts.coarseOperator = hymg::CoarseOperator::kGalerkin;
+      } else if (coarseOp != "rediscretize") {
+        return static_cast<int>(ErrorCode::kInvalidArgument);
+      }
+      mg_.emplace(*ctx.comm, gridN,
+                  hymg::convectionDiffusionStencil(paramDouble("mg_bx", 0.0),
+                                                   paramDouble("mg_by", 0.0)),
+                  opts);
+      // Guard against a mismatched operator: the rediscretized fine level
+      // must agree with the matrix the application supplied.
+      const double diff = localBlockMaxDiff(*ctx.matrix, mg_->fineMatrix());
+      const double maxDiff =
+          ctx.comm->allreduceValue(diff, comm::ReduceOp::kMax);
+      const double scale = sparse::infNorm(ctx.matrix->localBlock()) + 1.0;
+      if (maxDiff > 1e-8 * scale) {
+        mg_.reset();
+        return static_cast<int>(ErrorCode::kInvalidArgument);
+      }
+    }
+    const hymg::SolveInfo info =
+        mg_->solve(b, x, paramDouble("tol", 1e-6), paramInt("maxits", 100));
+    stats.iterations = info.cycles;
+    stats.converged = info.converged;
+    // True residual against the application's matrix.
+    std::vector<double> r(b.size());
+    ctx.matrix->spmv(x, std::span<double>(r));
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+    stats.residualNorm = sparse::distNorm2(*ctx.comm, r);
+    return static_cast<int>(ErrorCode::kOk);
+  }
+
+ private:
+  static double localBlockMaxDiff(const sparse::DistCsrMatrix& a,
+                                  const sparse::DistCsrMatrix& b) {
+    if (a.localRows() != b.localRows()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return sparse::maxAbsDiff(a.localBlock(), b.localBlock());
+  }
+
+  std::optional<hymg::Solver> mg_;
+};
+
+class HymgSolverComponent final : public cca::Component {
+ public:
+  void setServices(cca::Services& services) override {
+    auto port = std::make_shared<HymgSolverPort>();
+    port->attachServices(&services);
+    services.addProvidesPort(port, kSparseSolverPortName,
+                             kSparseSolverPortType);
+    services.registerUsesPort(kMatrixFreePortName, kMatrixFreePortType);
+  }
+};
+
+}  // namespace
+
+namespace detail_registration {
+void registerHymg() {
+  cca::Framework::registerClass(kHymgComponentClass, [] {
+    return std::make_shared<HymgSolverComponent>();
+  });
+}
+}  // namespace detail_registration
+
+}  // namespace lisi

@@ -1,0 +1,131 @@
+#include "lisi/pde_driver.hpp"
+
+#include "comm/comm_handle.hpp"
+#include "mesh/pde5pt.hpp"
+#include "sparse/dist_csr.hpp"
+#include "support/timer.hpp"
+
+namespace lisi {
+namespace {
+
+/// MatrixFree provides-port backed by the driver's own assembled operator
+/// (stands in for an application that computes A*x from its physics).
+class DriverMatrixFree final : public MatrixFree {
+ public:
+  void bind(const sparse::DistCsrMatrix* a) { a_ = a; }
+
+  int matMult(OperatorId id, RArray<const double> x, RArray<double> y,
+              int length) override {
+    if (a_ == nullptr || id != OperatorId::kMatrix) return 1;
+    if (length != a_->localRows() || x.length() != length ||
+        y.length() != length) {
+      return 1;
+    }
+    a_->spmv(std::span<const double>(x.data(), static_cast<std::size_t>(length)),
+             std::span<double>(y.data(), static_cast<std::size_t>(length)));
+    return 0;
+  }
+
+ private:
+  const sparse::DistCsrMatrix* a_ = nullptr;
+};
+
+class DriverGoPort final : public GoPort {
+ public:
+  DriverGoPort(cca::Services* services, std::shared_ptr<DriverMatrixFree> mf)
+      : services_(services), matrixFree_(std::move(mf)) {}
+
+  PdeDriverResult go(const comm::Comm& comm,
+                     const PdeDriverConfig& config) override {
+    PdeDriverResult result;
+    WallTimer wall;
+
+    // [a] Parallel mesh data generation (each rank assembles its rows).
+    mesh::Pde5ptSpec spec;
+    spec.gridN = config.gridN;
+    const mesh::Pde5ptLocalSystem sys =
+        mesh::assembleLocal(spec, comm.rank(), comm.size());
+    const int m = sys.localA.rows;
+
+    // Keep a distributed copy for verification and the MatrixFree port.
+    const sparse::DistCsrMatrix dist(comm, sys.globalN, sys.globalN,
+                                     sys.startRow, sys.localA);
+    matrixFree_->bind(&dist);
+
+    // [b] Drive the connected solver through the LISI uses port.
+    auto solver =
+        services_->getPortAs<SparseSolver>(kSparseSolverPortName);
+    const long handle = comm::registerHandle(comm);
+    int rc = solver->initialize(handle);
+    if (rc == 0) rc = solver->setStartRow(sys.startRow);
+    if (rc == 0) rc = solver->setLocalRows(m);
+    if (rc == 0) rc = solver->setLocalNNZ(sys.localA.nnz());
+    if (rc == 0) rc = solver->setGlobalCols(sys.globalN);
+    for (const auto& [key, value] : config.solverParams) {
+      if (rc == 0) rc = solver->set(key, value);
+    }
+    if (rc == 0) rc = solver->setBool("matrix_free", config.matrixFree);
+    if (rc == 0 && !config.matrixFree) {
+      // CSR rows with global column indices (the natural assembled form).
+      rc = solver->setupMatrix(
+          RArray<const double>(sys.localA.values.data(), sys.localA.nnz()),
+          RArray<const int>(sys.localA.rowPtr.data(), m + 1),
+          RArray<const int>(sys.localA.colIdx.data(), sys.localA.nnz()),
+          SparseStruct::kCsr, m + 1, sys.localA.nnz());
+    }
+    std::vector<double> rhs;
+    rhs.reserve(static_cast<std::size_t>(m) * static_cast<std::size_t>(config.nRhs));
+    for (int k = 0; k < config.nRhs; ++k) {
+      rhs.insert(rhs.end(), sys.localB.begin(), sys.localB.end());
+    }
+    if (rc == 0) {
+      rc = solver->setupRHS(RArray<const double>(rhs.data(),
+                                                 static_cast<int>(rhs.size())),
+                            m, config.nRhs);
+    }
+    result.localSolution.assign(rhs.size(), 0.0);
+    std::vector<double> status(kStatusLength, 0.0);
+    if (rc == 0) {
+      rc = solver->solve(
+          RArray<double>(result.localSolution.data(),
+                         static_cast<int>(result.localSolution.size())),
+          RArray<double>(status.data(), kStatusLength), m, kStatusLength);
+    }
+    comm::releaseHandle(handle);
+    matrixFree_->bind(nullptr);
+
+    result.returnCode = rc;
+    result.solved = (rc == 0);
+    result.iterations = static_cast<int>(status[kStatusIterations]);
+    result.residualNorm = status[kStatusResidualNorm];
+    result.setupSeconds = status[kStatusSetupSeconds];
+    result.solveSeconds = status[kStatusSolveSeconds];
+    result.wallSeconds = wall.seconds();
+    return result;
+  }
+
+ private:
+  cca::Services* services_;
+  std::shared_ptr<DriverMatrixFree> matrixFree_;
+};
+
+class PdeDriverComponent final : public cca::Component {
+ public:
+  void setServices(cca::Services& services) override {
+    auto mf = std::make_shared<DriverMatrixFree>();
+    services.addProvidesPort(mf, kMatrixFreePortName, kMatrixFreePortType);
+    services.addProvidesPort(std::make_shared<DriverGoPort>(&services, mf),
+                             kGoPortName, kGoPortType);
+    services.registerUsesPort(kSparseSolverPortName, kSparseSolverPortType);
+  }
+};
+
+}  // namespace
+
+void registerDriverComponent() {
+  cca::Framework::registerClass(kDriverComponentClass, [] {
+    return std::make_shared<PdeDriverComponent>();
+  });
+}
+
+}  // namespace lisi

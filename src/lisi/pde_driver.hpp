@@ -1,0 +1,59 @@
+// The application side of the paper's experiment (Figure 3): a parallel
+// mesh data generator plus a driver that pushes the assembled system
+// through a connected SparseSolver uses-port and collects timings.
+//
+// Wiring (per rank, SPMD):
+//   driver (lisi.PdeDriver)
+//     uses  "SparseSolver"  -> provided by any lisi.*Solver component
+//     provides "MatrixFree" -> connected back to the solver for §5.5 runs
+//     provides "Go"         -> invoked by the framework driver code
+//
+// The driver is also the component whose solver link is re-wired in the
+// Figure 4 demo: the same instance solves through PETSc-, Trilinos- and
+// SuperLU-style components with zero application-code changes.
+#pragma once
+
+#include <map>
+
+#include "comm/comm.hpp"
+#include "lisi/sparse_solver.hpp"
+
+namespace lisi {
+
+/// One experiment's configuration.
+struct PdeDriverConfig {
+  int gridN = 100;                 ///< interior points per side
+  int nRhs = 1;                    ///< number of right-hand sides
+  bool matrixFree = false;         ///< use the MatrixFree port (§5.5)
+  /// Generic parameters forwarded via SparseSolver::set.
+  std::map<std::string, std::string> solverParams;
+};
+
+/// One experiment's outcome.
+struct PdeDriverResult {
+  bool solved = false;             ///< solve() returned 0
+  int returnCode = 0;              ///< raw LISI status code
+  int iterations = 0;
+  double residualNorm = 0.0;
+  double setupSeconds = 0.0;       ///< solver-side operator setup
+  double solveSeconds = 0.0;       ///< solver-side iteration time
+  double wallSeconds = 0.0;        ///< driver-observed end-to-end time
+  std::vector<double> localSolution;
+};
+
+/// The driver's entry port (the Ccaffeine "go" button).
+class GoPort : public cca::Port {
+ public:
+  /// Run one experiment on `comm`.  Collective.
+  virtual PdeDriverResult go(const comm::Comm& comm,
+                             const PdeDriverConfig& config) = 0;
+};
+
+inline constexpr const char* kGoPortName = "Go";
+inline constexpr const char* kGoPortType = "lisi.Go";
+inline constexpr const char* kDriverComponentClass = "lisi.PdeDriver";
+
+/// Register lisi.PdeDriver with the CCA class registry.
+void registerDriverComponent();
+
+}  // namespace lisi

@@ -1,0 +1,88 @@
+// r-array and SIDL-array argument types for the LISI port.
+//
+// §6.2 of the paper chooses Babel *r-arrays* ("raw arrays") over normal
+// SIDL arrays for the interface parameters: r-arrays are restricted to
+// `in`/`inout` modes, 0-based contiguous data, and primitive element types,
+// but in exchange map directly onto legacy library signatures and avoid
+// malloc/free traffic.  RArray<T> reproduces those semantics in C++: a
+// non-owning contiguous view whose construction never copies.
+//
+// SidlArray<T> models the alternative the paper rejected — a boxed,
+// descriptor-carrying array that owns a copy of its data — so the §6.2
+// design decision can be measured (bench/ablation_rarray).
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lisi {
+
+/// Non-owning contiguous 1-D view with r-array semantics (0-based, in/inout
+/// only, no NULL unless empty).  T may be const-qualified for `in` mode.
+template <class T>
+class RArray {
+ public:
+  RArray() = default;
+  RArray(T* data, int length) : data_(data), length_(length) {
+    LISI_CHECK(length >= 0, "RArray: negative length");
+    LISI_CHECK(length == 0 || data != nullptr, "RArray: null data");
+  }
+  /// View over a vector (non-const overload resolves for inout mode).
+  explicit RArray(std::vector<std::remove_const_t<T>>& v)
+      : RArray(v.data(), static_cast<int>(v.size())) {}
+  explicit RArray(const std::vector<std::remove_const_t<T>>& v)
+      : RArray(v.data(), static_cast<int>(v.size())) {}
+
+  [[nodiscard]] T* data() const { return data_; }
+  [[nodiscard]] int length() const { return length_; }
+  [[nodiscard]] bool empty() const { return length_ == 0; }
+  [[nodiscard]] T& operator[](int i) const { return data_[i]; }
+  [[nodiscard]] T* begin() const { return data_; }
+  [[nodiscard]] T* end() const { return data_ + length_; }
+
+ private:
+  T* data_ = nullptr;
+  int length_ = 0;
+};
+
+/// Boxed SIDL-style array: owns a copy, carries a descriptor with a lower
+/// bound and stride (always materialized contiguously here).  Construction
+/// from raw memory copies — that copy is exactly the overhead the paper's
+/// r-array decision avoids.
+template <class T>
+class SidlArray {
+ public:
+  SidlArray() = default;
+  SidlArray(const T* data, int length, int lowerBound = 0)
+      : values_(static_cast<std::size_t>(length)), lower_(lowerBound) {
+    LISI_CHECK(length >= 0, "SidlArray: negative length");
+    if (length > 0) {
+      std::memcpy(values_.data(), data, sizeof(T) * static_cast<std::size_t>(length));
+    }
+  }
+
+  [[nodiscard]] int length() const { return static_cast<int>(values_.size()); }
+  [[nodiscard]] int lower() const { return lower_; }
+  [[nodiscard]] int upper() const { return lower_ + length() - 1; }
+  /// Indexed with descriptor-aware bounds checking (the boxed-access cost).
+  [[nodiscard]] T get(int index) const {
+    LISI_CHECK(index >= lower_ && index < lower_ + length(),
+               "SidlArray: index out of bounds");
+    return values_[static_cast<std::size_t>(index - lower_)];
+  }
+  void set(int index, T value) {
+    LISI_CHECK(index >= lower_ && index < lower_ + length(),
+               "SidlArray: index out of bounds");
+    values_[static_cast<std::size_t>(index - lower_)] = value;
+  }
+  [[nodiscard]] const T* data() const { return values_.data(); }
+  [[nodiscard]] T* data() { return values_.data(); }
+
+ private:
+  std::vector<T> values_;
+  int lower_ = 0;
+};
+
+}  // namespace lisi

@@ -1,0 +1,22 @@
+// Registration of the LISI solver components with the CCA class registry.
+// Explicit (rather than static-initializer magic) so static-archive linking
+// cannot silently drop the registrars.
+#include "lisi/sparse_solver.hpp"
+
+namespace lisi {
+
+namespace detail_registration {
+void registerPksp();
+void registerAztec();
+void registerSlu();
+void registerHymg();
+}  // namespace detail_registration
+
+void registerSolverComponents() {
+  detail_registration::registerPksp();
+  detail_registration::registerAztec();
+  detail_registration::registerSlu();
+  detail_registration::registerHymg();
+}
+
+}  // namespace lisi

@@ -1,0 +1,108 @@
+// LISI solver component backed by SLU (the SuperLU-analogue direct solver).
+//
+// SLU is sequential, so the adapter gathers the block-row distributed
+// system onto rank 0, factors and solves there, and scatters the solution
+// back — the interface contract (block rows in, block rows out) is
+// identical to the iterative components', which is exactly the paper's
+// point: the application cannot tell a direct component from an iterative
+// one.  The factorization is cached and reused while the operator is
+// unchanged (§5.2 use case b).
+#include "lisi/solver_base.hpp"
+#include "slu/slu.hpp"
+#include "sparse/convert.hpp"
+
+namespace lisi {
+namespace {
+
+class SluSolverPort final : public detail::SolverComponentBase {
+ protected:
+  const char* backendName() const override { return "slu"; }
+
+  bool acceptsParam(const std::string& key) const override {
+    return SolverComponentBase::acceptsParam(key) || key == "ordering" ||
+           key == "pivot_threshold" || key == "equilibrate";
+  }
+
+  int backendSolve(const detail::SolveContext& ctx, std::span<const double> b,
+                   std::span<double> x, detail::BackendStats& stats) override {
+    const sparse::DistCsrMatrix& a = *ctx.matrix;
+    const bool isRoot = ctx.comm->rank() == 0;
+
+    if (!ctx.operatorUnchanged || !haveFactor_) {
+      const sparse::CsrMatrix global = a.gatherToRoot(0);
+      int failed = 0;
+      if (isRoot) {
+        slu::Options opts;
+        const std::string ord = paramString("ordering", "rcm");
+        if (ord == "natural") opts.ordering = slu::Ordering::kNatural;
+        else if (ord == "rcm") opts.ordering = slu::Ordering::kRcm;
+        else if (ord == "mindeg") opts.ordering = slu::Ordering::kMinDeg;
+        else failed = static_cast<int>(ErrorCode::kInvalidArgument);
+        opts.diagPivotThresh = paramDouble("pivot_threshold", 1.0);
+        opts.equilibrate = paramBool("equilibrate", false);
+        if (failed == 0) {
+          try {
+            factor_ = slu::Factorization::factorize(sparse::csrToCsc(global),
+                                                    opts);
+          } catch (const Error&) {
+            failed = static_cast<int>(ErrorCode::kNumericFailure);
+          }
+        }
+      }
+      failed = ctx.comm->bcastValue(failed, 0);
+      if (failed != 0) return failed;
+      haveFactor_ = true;
+    }
+
+    // Gather b, solve on root, scatter x.
+    const std::vector<double> bGlobal = a.gatherVectorToRoot(b, 0);
+    std::vector<double> xGlobal;
+    if (isRoot) {
+      xGlobal.resize(bGlobal.size());
+      factor_->solve(bGlobal, xGlobal);
+    }
+    const std::vector<double> xLocal = a.scatterVectorFromRoot(
+        isRoot ? std::span<const double>(xGlobal) : std::span<const double>(),
+        0);
+    std::copy(xLocal.begin(), xLocal.end(), x.begin());
+
+    // True residual through the distributed operator.
+    std::vector<double> r(b.size());
+    a.spmv(x, std::span<double>(r));
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+    stats.iterations = 0;  // direct solve
+    stats.residualNorm = sparse::distNorm2(*ctx.comm, r);
+    stats.converged = true;
+    return static_cast<int>(ErrorCode::kOk);
+  }
+
+ private:
+  std::optional<slu::Factorization> factor_;  ///< rank 0 only
+  bool haveFactor_ = false;
+};
+
+class SluSolverComponent final : public cca::Component {
+ public:
+  void setServices(cca::Services& services) override {
+    auto port = std::make_shared<SluSolverPort>();
+    port->attachServices(&services);
+    services.addProvidesPort(port, kSparseSolverPortName,
+                             kSparseSolverPortType);
+    // SLU cannot run matrix-free, but the uses port is still declared so
+    // frameworks can wire applications uniformly; solve() reports
+    // kUnsupported if matrix_free is set.
+    services.registerUsesPort(kMatrixFreePortName, kMatrixFreePortType);
+  }
+};
+
+}  // namespace
+
+namespace detail_registration {
+void registerSlu() {
+  cca::Framework::registerClass(kSluComponentClass, [] {
+    return std::make_shared<SluSolverComponent>();
+  });
+}
+}  // namespace detail_registration
+
+}  // namespace lisi

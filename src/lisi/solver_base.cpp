@@ -1,0 +1,412 @@
+#include "lisi/solver_base.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "sparse/convert.hpp"
+#include "support/string_util.hpp"
+#include "support/timer.hpp"
+
+namespace lisi::detail {
+
+namespace {
+
+int code(ErrorCode c) { return static_cast<int>(c); }
+
+}  // namespace
+
+SolverComponentBase::SolverComponentBase() = default;
+
+int SolverComponentBase::initialize(long comm) {
+  try {
+    comm_ = comm::commFromHandle(comm);
+  } catch (const Error&) {
+    return code(ErrorCode::kInvalidArgument);
+  }
+  initialized_ = true;
+  return code(ErrorCode::kOk);
+}
+
+int SolverComponentBase::setBlockSize(int bs) {
+  if (bs < 1) return code(ErrorCode::kInvalidArgument);
+  blockSize_ = bs;
+  return code(ErrorCode::kOk);
+}
+
+int SolverComponentBase::setStartRow(int startRow) {
+  if (startRow < 0) return code(ErrorCode::kInvalidArgument);
+  startRow_ = startRow;
+  return code(ErrorCode::kOk);
+}
+
+int SolverComponentBase::setLocalRows(int rows) {
+  if (rows < 0) return code(ErrorCode::kInvalidArgument);
+  localRows_ = rows;
+  return code(ErrorCode::kOk);
+}
+
+int SolverComponentBase::setLocalNNZ(int nnz) {
+  if (nnz < 0) return code(ErrorCode::kInvalidArgument);
+  localNnz_ = nnz;
+  return code(ErrorCode::kOk);
+}
+
+int SolverComponentBase::setGlobalCols(int cols) {
+  if (cols < 0) return code(ErrorCode::kInvalidArgument);
+  globalCols_ = cols;
+  return code(ErrorCode::kOk);
+}
+
+int SolverComponentBase::setupMatrix(RArray<const double> values,
+                                     RArray<const int> rows,
+                                     RArray<const int> columns, int nnz) {
+  // few_args: COO triplets with 0-based global indices.
+  return setupMatrixImpl(values, rows, columns, SparseStruct::kCoo, nnz, nnz,
+                         0);
+}
+
+int SolverComponentBase::setupMatrix(RArray<const double> values,
+                                     RArray<const int> rows,
+                                     RArray<const int> columns,
+                                     SparseStruct dataStruct, int rowsLength,
+                                     int nnz) {
+  return setupMatrixImpl(values, rows, columns, dataStruct, rowsLength, nnz,
+                         0);
+}
+
+int SolverComponentBase::setupMatrix(RArray<const double> values,
+                                     RArray<const int> rows,
+                                     RArray<const int> columns,
+                                     SparseStruct dataStruct, int rowsLength,
+                                     int nnz, int offset) {
+  return setupMatrixImpl(values, rows, columns, dataStruct, rowsLength, nnz,
+                         offset);
+}
+
+int SolverComponentBase::setupMatrixImpl(RArray<const double> values,
+                                         RArray<const int> rows,
+                                         RArray<const int> columns,
+                                         SparseStruct dataStruct,
+                                         int rowsLength, int nnz, int offset) {
+  if (!initialized_) return code(ErrorCode::kBadState);
+  if (startRow_ < 0 || localRows_ < 0 || globalCols_ < 0) {
+    return code(ErrorCode::kBadState);  // distribution not declared (§6.3)
+  }
+  if (nnz < 0 || rowsLength < 0 || offset < 0) {
+    return code(ErrorCode::kInvalidArgument);
+  }
+  if (localNnz_ >= 0 && nnz != localNnz_) {
+    return code(ErrorCode::kInvalidArgument);  // contradicts setLocalNNZ
+  }
+  if (values.length() < nnz) return code(ErrorCode::kInvalidArgument);
+
+  try {
+    sparse::CsrMatrix local;
+    local.rows = localRows_;
+    local.cols = globalCols_;
+    switch (dataStruct) {
+      case SparseStruct::kCoo:
+      case SparseStruct::kFem: {
+        // rows/columns: nnz global indices; duplicates sum (FEM assembly).
+        if (rows.length() < nnz || columns.length() < nnz) {
+          return code(ErrorCode::kInvalidArgument);
+        }
+        sparse::CooMatrix coo;
+        coo.rows = localRows_;
+        coo.cols = globalCols_;
+        coo.rowIdx.reserve(static_cast<std::size_t>(nnz));
+        coo.colIdx.reserve(static_cast<std::size_t>(nnz));
+        coo.values.assign(values.begin(), values.begin() + nnz);
+        for (int k = 0; k < nnz; ++k) {
+          const int g = rows[k] - offset;
+          if (g < startRow_ || g >= startRow_ + localRows_) {
+            return code(ErrorCode::kInvalidArgument);  // not my row
+          }
+          coo.rowIdx.push_back(g - startRow_);
+          coo.colIdx.push_back(columns[k] - offset);
+        }
+        local = sparse::cooToCsr(coo);
+        break;
+      }
+      case SparseStruct::kCsr: {
+        // rows: row-pointer array of length localRows+1 (values offset too,
+        // Fortran style); columns: nnz global column indices.
+        if (rowsLength != localRows_ + 1 || rows.length() < rowsLength ||
+            columns.length() < nnz) {
+          return code(ErrorCode::kInvalidArgument);
+        }
+        local.rowPtr.resize(static_cast<std::size_t>(rowsLength));
+        for (int i = 0; i < rowsLength; ++i) {
+          local.rowPtr[static_cast<std::size_t>(i)] = rows[i] - offset;
+        }
+        if (local.rowPtr.front() != 0 || local.rowPtr.back() != nnz) {
+          return code(ErrorCode::kInvalidArgument);
+        }
+        local.colIdx.resize(static_cast<std::size_t>(nnz));
+        for (int k = 0; k < nnz; ++k) {
+          local.colIdx[static_cast<std::size_t>(k)] = columns[k] - offset;
+        }
+        local.values.assign(values.begin(), values.begin() + nnz);
+        break;
+      }
+      case SparseStruct::kMsr: {
+        // MSR per §5.3: values = [diag(localRows), pad, offdiag...];
+        // rows = bindx pointer section (localRows+1 entries, MSR convention
+        // bindx[0] = localRows+1, relative to the packed array); columns =
+        // the offdiag global column indices (nnz - localRows - 1 entries).
+        const int m = localRows_;
+        if (rowsLength != m + 1 || rows.length() < rowsLength ||
+            nnz < m + 1 || columns.length() < nnz - m - 1) {
+          return code(ErrorCode::kInvalidArgument);
+        }
+        sparse::CooMatrix coo;
+        coo.rows = m;
+        coo.cols = globalCols_;
+        for (int i = 0; i < m; ++i) {
+          // Diagonal entry (implicit global column startRow + i).
+          coo.rowIdx.push_back(i);
+          coo.colIdx.push_back(startRow_ + i);
+          coo.values.push_back(values[i]);
+          const int b = rows[i] - offset;
+          const int e = rows[i + 1] - offset;
+          if (b < m + 1 || e < b || e > nnz) {
+            return code(ErrorCode::kInvalidArgument);
+          }
+          for (int k = b; k < e; ++k) {
+            coo.rowIdx.push_back(i);
+            coo.colIdx.push_back(columns[k - m - 1] - offset);
+            coo.values.push_back(values[k]);
+          }
+        }
+        local = sparse::cooToCsr(coo);
+        break;
+      }
+      case SparseStruct::kVbr: {
+        // Uniform blocks of setBlockSize: rows = block-row pointer
+        // (numBlockRows+1), columns = global block column indices, values =
+        // column-major dense blocks in block order.
+        const int bs = blockSize_;
+        if (bs < 1 || localRows_ % bs != 0 || globalCols_ % bs != 0) {
+          return code(ErrorCode::kUnsupported);
+        }
+        const int nbr = localRows_ / bs;
+        if (rowsLength != nbr + 1 || rows.length() < rowsLength) {
+          return code(ErrorCode::kInvalidArgument);
+        }
+        const int nblocks = rows[nbr] - offset;
+        if (nblocks < 0 || columns.length() < nblocks ||
+            nblocks * bs * bs != nnz) {
+          return code(ErrorCode::kInvalidArgument);
+        }
+        sparse::CooMatrix coo;
+        coo.rows = localRows_;
+        coo.cols = globalCols_;
+        for (int br = 0; br < nbr; ++br) {
+          const int bBegin = rows[br] - offset;
+          const int bEnd = rows[br + 1] - offset;
+          if (bBegin < 0 || bEnd < bBegin || bEnd > nblocks) {
+            return code(ErrorCode::kInvalidArgument);
+          }
+          for (int b = bBegin; b < bEnd; ++b) {
+            const int bc = columns[b] - offset;
+            const int base = b * bs * bs;
+            for (int lj = 0; lj < bs; ++lj) {
+              for (int li = 0; li < bs; ++li) {
+                coo.rowIdx.push_back(br * bs + li);
+                coo.colIdx.push_back(bc * bs + lj);
+                coo.values.push_back(values[base + lj * bs + li]);
+              }
+            }
+          }
+        }
+        local = sparse::cooToCsr(coo);
+        break;
+      }
+      default:
+        return code(ErrorCode::kUnsupported);
+    }
+    local.check();
+    localA_ = std::move(local);
+    haveMatrix_ = true;
+    matrixDirty_ = true;
+  } catch (const Error&) {
+    return code(ErrorCode::kInvalidArgument);
+  }
+  return code(ErrorCode::kOk);
+}
+
+int SolverComponentBase::setupRHS(RArray<const double> rightHandSide,
+                                  int numLocalRow, int nRhs) {
+  if (!initialized_) return code(ErrorCode::kBadState);
+  if (numLocalRow != localRows_ || nRhs < 1 ||
+      rightHandSide.length() < numLocalRow * nRhs) {
+    return code(ErrorCode::kInvalidArgument);
+  }
+  rhs_.assign(rightHandSide.begin(),
+              rightHandSide.begin() + numLocalRow * nRhs);
+  nRhs_ = nRhs;
+  return code(ErrorCode::kOk);
+}
+
+int SolverComponentBase::solve(RArray<double> solution, RArray<double> status,
+                               int numLocalRow, int statusLength) {
+  if (!initialized_) return code(ErrorCode::kBadState);
+  if (numLocalRow != localRows_ || nRhs_ < 1) {
+    return code(ErrorCode::kBadState);
+  }
+  if (solution.length() < numLocalRow * nRhs_ ||
+      status.length() < statusLength || statusLength < 0) {
+    return code(ErrorCode::kInvalidArgument);
+  }
+  const bool matrixFree = paramBool("matrix_free", false);
+  if (matrixFree && !supportsMatrixFree()) {
+    return code(ErrorCode::kUnsupported);
+  }
+  if (!matrixFree && !haveMatrix_) return code(ErrorCode::kBadState);
+
+  WallTimer total;
+  double setupSeconds = 0.0;
+  SolveContext ctx;
+  ctx.comm = &comm_;
+  ctx.localRows = localRows_;
+  ctx.startRow = startRow_;
+
+  std::shared_ptr<MatrixFree> mfPort;  // keep alive through the solve
+  try {
+    if (matrixFree) {
+      LISI_CHECK(services_ != nullptr,
+                 "matrix-free mode requires CCA services (MatrixFree port)");
+      mfPort = std::dynamic_pointer_cast<MatrixFree>(
+          services_->getPort(kMatrixFreePortName));
+      LISI_CHECK(mfPort != nullptr,
+                 "connected MatrixFree port has the wrong type");
+      ctx.matrixFree = mfPort.get();
+      const int globalRows =
+          comm_.allreduceValue(localRows_, comm::ReduceOp::kSum);
+      ctx.globalRows = globalRows;
+      ctx.operatorUnchanged = false;
+    } else {
+      WallTimer setup;
+      if (matrixDirty_ || !distA_) {
+        // Collective: every rank rebuilds the distributed operator together.
+        distA_.emplace(comm_, comm_.allreduceValue(localRows_,
+                                                   comm::ReduceOp::kSum),
+                       globalCols_, startRow_, localA_);
+        matrixDirty_ = false;
+        ++operatorEpoch_;
+      }
+      setupSeconds += setup.seconds();
+      ctx.matrix = &*distA_;
+      ctx.globalRows = distA_->globalRows();
+      ctx.operatorUnchanged = (operatorEpoch_ == lastSolvedEpoch_);
+    }
+  } catch (const Error&) {
+    return code(ErrorCode::kInternal);
+  }
+
+  BackendStats last{};
+  WallTimer solveTimer;
+  const auto m = static_cast<std::size_t>(numLocalRow);
+  for (int k = 0; k < nRhs_; ++k) {
+    std::span<const double> b(rhs_.data() + m * static_cast<std::size_t>(k), m);
+    std::span<double> x(solution.data() + m * static_cast<std::size_t>(k), m);
+    if (!paramBool("use_initial_guess", false)) {
+      std::fill(x.begin(), x.end(), 0.0);
+    }
+    int rc = code(ErrorCode::kOk);
+    try {
+      rc = backendSolve(ctx, b, x, last);
+    } catch (const Error&) {
+      rc = code(ErrorCode::kNumericFailure);
+    }
+    if (rc != code(ErrorCode::kOk)) return rc;
+  }
+  lastSolvedEpoch_ = operatorEpoch_;
+
+  const double solveSeconds = solveTimer.seconds();
+  (void)total;
+  const double entries[kStatusLength] = {
+      static_cast<double>(last.iterations), last.residualNorm,
+      last.converged ? 1.0 : 0.0, setupSeconds, solveSeconds};
+  for (int i = 0; i < statusLength && i < kStatusLength; ++i) {
+    status[i] = entries[i];
+  }
+  return last.converged ? code(ErrorCode::kOk)
+                        : code(ErrorCode::kNumericFailure);
+}
+
+bool SolverComponentBase::isCommonParam(const std::string& key) {
+  return key == "solver" || key == "preconditioner" || key == "tol" ||
+         key == "atol" || key == "maxits" || key == "matrix_free" ||
+         key == "use_initial_guess" || key == "reuse_preconditioner";
+}
+
+bool SolverComponentBase::acceptsParam(const std::string& key) const {
+  return isCommonParam(key);
+}
+
+int SolverComponentBase::storeParam(const std::string& key,
+                                    const std::string& value) {
+  const std::string k = toLower(trim(key));
+  if (k.empty()) return code(ErrorCode::kInvalidArgument);
+  if (!acceptsParam(k)) return code(ErrorCode::kUnsupported);
+  params_[k] = trim(value);
+  return code(ErrorCode::kOk);
+}
+
+int SolverComponentBase::set(const std::string& key,
+                             const std::string& value) {
+  return storeParam(key, value);
+}
+
+int SolverComponentBase::setInt(const std::string& key, int value) {
+  return storeParam(key, std::to_string(value));
+}
+
+int SolverComponentBase::setBool(const std::string& key, bool value) {
+  return storeParam(key, value ? "true" : "false");
+}
+
+int SolverComponentBase::setDouble(const std::string& key, double value) {
+  // Shortest round-trip representation ("1e-07", not a 17-digit expansion).
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  LISI_ASSERT(ec == std::errc{});
+  return storeParam(key, std::string(buf, end));
+}
+
+std::string SolverComponentBase::get_all() {
+  std::ostringstream os;
+  os << "backend=" << backendName() << ';';
+  for (const auto& [k, v] : params_) os << k << '=' << v << ';';
+  return os.str();
+}
+
+std::string SolverComponentBase::paramString(const std::string& key,
+                                             const std::string& fallback) const {
+  auto it = params_.find(key);
+  return it == params_.end() ? fallback : it->second;
+}
+
+double SolverComponentBase::paramDouble(const std::string& key,
+                                        double fallback) const {
+  auto it = params_.find(key);
+  if (it == params_.end()) return fallback;
+  return parseDouble(it->second).value_or(fallback);
+}
+
+int SolverComponentBase::paramInt(const std::string& key, int fallback) const {
+  auto it = params_.find(key);
+  if (it == params_.end()) return fallback;
+  const auto v = parseInt(it->second);
+  return v ? static_cast<int>(*v) : fallback;
+}
+
+bool SolverComponentBase::paramBool(const std::string& key,
+                                    bool fallback) const {
+  auto it = params_.find(key);
+  if (it == params_.end()) return fallback;
+  return parseBool(it->second).value_or(fallback);
+}
+
+}  // namespace lisi::detail

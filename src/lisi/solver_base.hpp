@@ -1,0 +1,146 @@
+// Shared scaffolding for LISI solver components.
+//
+// Every backend adapter (PKSP, Aztec, SLU, HyMG) faces the same four jobs:
+//   1. bookkeeping for the block-row distribution parameters (§6.3:
+//      separate setStartRow/setLocalRows/setLocalNNZ/setGlobalCols methods
+//      so setupMatrix/setupRHS/solve need not repeat them),
+//   2. adapting the input format (CSR/COO/MSR/VBR/FEM, any index offset) to
+//      a local CSR block — "the implementation works as an adapter to
+//      convert the input data format to the libraries' internal data
+//      structure" (§7.2),
+//   3. a generic parameter table behind set/setInt/setBool/setDouble (§6.5),
+//   4. status reporting and error-code translation (no exceptions cross the
+//      port).
+//
+// SolverComponentBase implements all of that once; backends override the
+// backendSolve/backendName hooks and read their parameters from the table.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "comm/comm.hpp"
+#include "comm/comm_handle.hpp"
+#include "lisi/sparse_solver.hpp"
+#include "sparse/dist_csr.hpp"
+
+namespace lisi::detail {
+
+/// Everything a backend needs for one solve call.
+struct SolveContext {
+  const comm::Comm* comm = nullptr;
+  /// Assembled operator; null in matrix-free mode.
+  const sparse::DistCsrMatrix* matrix = nullptr;
+  /// Application-provided operator; null unless matrix-free mode is on.
+  MatrixFree* matrixFree = nullptr;
+  int localRows = 0;
+  int globalRows = 0;
+  int startRow = 0;
+  /// True when the same operator object was already passed to the previous
+  /// backendSolve (lets backends reuse factorizations/preconditioners).
+  bool operatorUnchanged = false;
+};
+
+/// Per-solve results a backend reports back.
+struct BackendStats {
+  int iterations = 0;
+  double residualNorm = 0.0;
+  bool converged = false;
+};
+
+/// Base class implementing the full SparseSolver contract.
+class SolverComponentBase : public SparseSolver {
+ public:
+  // ---- SparseSolver ----------------------------------------------------
+  int initialize(long comm) final;
+  int setBlockSize(int bs) final;
+  int setStartRow(int startRow) final;
+  int setLocalRows(int rows) final;
+  int setLocalNNZ(int nnz) final;
+  int setGlobalCols(int cols) final;
+  int setupMatrix(RArray<const double> values, RArray<const int> rows,
+                  RArray<const int> columns, int nnz) final;
+  int setupMatrix(RArray<const double> values, RArray<const int> rows,
+                  RArray<const int> columns, SparseStruct dataStruct,
+                  int rowsLength, int nnz) final;
+  int setupMatrix(RArray<const double> values, RArray<const int> rows,
+                  RArray<const int> columns, SparseStruct dataStruct,
+                  int rowsLength, int nnz, int offset) final;
+  int setupRHS(RArray<const double> rightHandSide, int numLocalRow,
+               int nRhs) final;
+  int solve(RArray<double> solution, RArray<double> status, int numLocalRow,
+            int statusLength) final;
+  int set(const std::string& key, const std::string& value) final;
+  int setInt(const std::string& key, int value) final;
+  int setBool(const std::string& key, bool value) final;
+  int setDouble(const std::string& key, double value) final;
+  std::string get_all() final;
+
+  /// Wire the owning component's Services in (for the MatrixFree uses port).
+  void attachServices(cca::Services* services) { services_ = services; }
+
+ protected:
+  SolverComponentBase();
+
+  // ---- backend hooks ----------------------------------------------------
+
+  /// Solve A x = b for one right-hand side.  `x` carries the initial guess
+  /// in (zero unless "use_initial_guess") and the solution out.  Throw
+  /// lisi::Error for numerical failures; return one of ErrorCode otherwise.
+  virtual int backendSolve(const SolveContext& ctx,
+                           std::span<const double> b, std::span<double> x,
+                           BackendStats& stats) = 0;
+
+  /// Short name used in get_all() and error messages ("pksp", "slu", ...).
+  [[nodiscard]] virtual const char* backendName() const = 0;
+
+  /// Whether this backend can run without an assembled matrix.
+  [[nodiscard]] virtual bool supportsMatrixFree() const { return false; }
+
+  /// Reject unsupported parameter keys/values.  Called by the set methods
+  /// after canonicalization; default accepts the common key set.
+  [[nodiscard]] virtual bool acceptsParam(const std::string& key) const;
+
+  // ---- parameter helpers for backends -----------------------------------
+
+  [[nodiscard]] std::string paramString(const std::string& key,
+                                        const std::string& fallback) const;
+  [[nodiscard]] double paramDouble(const std::string& key,
+                                   double fallback) const;
+  [[nodiscard]] int paramInt(const std::string& key, int fallback) const;
+  [[nodiscard]] bool paramBool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const comm::Comm& comm() const { return comm_; }
+
+ private:
+  int setupMatrixImpl(RArray<const double> values, RArray<const int> rows,
+                      RArray<const int> columns, SparseStruct dataStruct,
+                      int rowsLength, int nnz, int offset);
+  int storeParam(const std::string& key, const std::string& value);
+  /// Common keys every backend understands.
+  [[nodiscard]] static bool isCommonParam(const std::string& key);
+
+  cca::Services* services_ = nullptr;
+  comm::Comm comm_;
+  bool initialized_ = false;
+
+  int blockSize_ = 1;
+  int startRow_ = -1;
+  int localRows_ = -1;
+  int localNnz_ = -1;
+  int globalCols_ = -1;
+
+  sparse::CsrMatrix localA_;  ///< adapted local rows, global columns
+  bool haveMatrix_ = false;
+  bool matrixDirty_ = false;  ///< local block changed since distA_ was built
+  std::optional<sparse::DistCsrMatrix> distA_;
+  std::uint64_t operatorEpoch_ = 0;  ///< bumped when distA_ is rebuilt
+  std::uint64_t lastSolvedEpoch_ = 0;
+
+  std::vector<double> rhs_;
+  int nRhs_ = 0;
+
+  std::map<std::string, std::string> params_;
+};
+
+}  // namespace lisi::detail

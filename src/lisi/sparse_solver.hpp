@@ -1,0 +1,162 @@
+// LISI — the LInear Solver Interface (the paper's contribution, §7).
+//
+// This header is the C++ rendering of the paper's SIDL specification
+// (package lisi, version 0.1), method for method:
+//
+//   enum SparseStruct { CSR, COO, MSR, VBR, FEM }
+//   enum ID { MATRIX, PRECONDITIONER }
+//   interface MatrixFree extends gov.cca.Port {
+//     int matMult(in ID id, in rarray<double,1> x(length),
+//                 inout rarray<double,1> y(length), in int length);
+//   }
+//   interface SparseSolver extends gov.cca.Port {
+//     int initialize(in long comm);
+//     int setBlockSize(in int bs);
+//     int setStartRow(in int startrow);          // block row partitioning
+//     int setLocalRows(in int rows);
+//     int setLocalNNZ(in int nnz);
+//     int setGlobalCols(in int cols);
+//     int setupMatrix[few_args|media_args|large_args](...);
+//     int setupRHS(...);
+//     int solve(inout Solution, inout Status, in NumLocalRow, in StatusLength);
+//     int set/setInt/setBool/setDouble(key, value);
+//     string get_all();
+//   }
+//
+// Every method returns an int status code (0 = success; see lisi::ErrorCode)
+// and never throws across the port boundary.  A solver component implements
+// SparseSolver as a CCA *provides* port; the application holds the *uses*
+// port (§6.4).  Matrix-free operation reverses the roles for one port only:
+// the application provides MatrixFree and the solver uses it (§5.6 choice c).
+#pragma once
+
+#include <string>
+
+#include "cca/cca.hpp"
+#include "lisi/rarray.hpp"
+#include "sparse/formats.hpp"
+
+namespace lisi {
+
+/// Input storage formats for setupMatrix (the SIDL enum SparseStruct).
+/// kFem means unassembled triplets that may repeat (assembled by summation);
+/// numerically COO with duplicates behaves identically.
+using sparse::SparseStruct;
+
+/// Distinguishes which operator a MatrixFree callback applies (SIDL enum ID).
+enum class OperatorId : int {
+  kMatrix = 0,
+  kPreconditioner = 1,
+};
+
+/// Layout of the Status array filled by SparseSolver::solve.  The paper
+/// leaves the post-solve statistics order as an open design point (§5.1);
+/// this is LISI-CPP's documented answer.  solve() fills
+/// min(StatusLength, kStatusLength) entries.
+enum StatusIndex : int {
+  kStatusIterations = 0,    ///< iterations (0 for direct solvers)
+  kStatusResidualNorm = 1,  ///< final true residual 2-norm
+  kStatusConverged = 2,     ///< 1.0 converged / 0.0 not
+  kStatusSetupSeconds = 3,  ///< operator+preconditioner setup time
+  kStatusSolveSeconds = 4,  ///< iteration/factor-solve time
+};
+inline constexpr int kStatusLength = 5;
+
+/// Application-side matrix-free port (SIDL interface lisi.MatrixFree).
+class MatrixFree : public cca::Port {
+ public:
+  /// y = Op*x over this rank's block of rows; `id` selects the operator.
+  /// Returns 0 on success.
+  virtual int matMult(OperatorId id, RArray<const double> x, RArray<double> y,
+                      int length) = 0;
+};
+
+/// The solver port (SIDL interface lisi.SparseSolver).
+class SparseSolver : public cca::Port {
+ public:
+  // ---- lifecycle ------------------------------------------------------
+
+  /// Attach the communicator (a handle from lisi::comm::registerHandle,
+  /// exactly as Fortran codes pass integer MPI communicators).  Must be the
+  /// first call.  Collective.
+  virtual int initialize(long comm) = 0;
+
+  // ---- data distribution (block row partitioning, §5.4) ----------------
+
+  /// Block size hint for VBR-style inputs (1 = scalar rows).
+  virtual int setBlockSize(int bs) = 0;
+  /// First global row owned by this rank.
+  virtual int setStartRow(int startRow) = 0;
+  /// Number of rows owned by this rank.
+  virtual int setLocalRows(int rows) = 0;
+  /// Number of local nonzeros the next setupMatrix will pass.
+  virtual int setLocalNNZ(int nnz) = 0;
+  /// Global number of columns (== global rows for solvable systems).
+  virtual int setGlobalCols(int cols) = 0;
+
+  // ---- linear system setup ---------------------------------------------
+
+  /// setupMatrix[few_args]: COO triplets with this rank's global row
+  /// indices; the canonical minimal entry point.
+  virtual int setupMatrix(RArray<const double> values, RArray<const int> rows,
+                          RArray<const int> columns, int nnz) = 0;
+
+  /// setupMatrix[media_args]: `dataStruct` selects the layout.  For CSR/MSR
+  /// `rows` is the row-pointer array of length rowsLength; for COO/FEM it is
+  /// the row-index array (rowsLength == nnz); for VBR it is the block row
+  /// pointer (with block size from setBlockSize).
+  virtual int setupMatrix(RArray<const double> values, RArray<const int> rows,
+                          RArray<const int> columns, SparseStruct dataStruct,
+                          int rowsLength, int nnz) = 0;
+
+  /// setupMatrix[large_args]: media_args plus an index `offset` (1 for
+  /// Fortran-style 1-based arrays; indices are shifted down by offset).
+  virtual int setupMatrix(RArray<const double> values, RArray<const int> rows,
+                          RArray<const int> columns, SparseStruct dataStruct,
+                          int rowsLength, int nnz, int offset) = 0;
+
+  /// Right-hand side(s): nRhs systems, stored contiguously one after the
+  /// other (numLocalRow entries each).
+  virtual int setupRHS(RArray<const double> rightHandSide, int numLocalRow,
+                       int nRhs) = 0;
+
+  // ---- solve -----------------------------------------------------------
+
+  /// Solve A x = b for every stored right-hand side.  `solution` must hold
+  /// numLocalRow * nRhs entries (it also carries the initial guess when the
+  /// "use_initial_guess" key is set).  Fills `status` per StatusIndex.
+  /// Collective.
+  virtual int solve(RArray<double> solution, RArray<double> status,
+                    int numLocalRow, int statusLength) = 0;
+
+  // ---- generic parameter setting (§6.5) ---------------------------------
+
+  /// Generic string parameter ("solver", "preconditioner", "ordering", ...).
+  virtual int set(const std::string& key, const std::string& value) = 0;
+  virtual int setInt(const std::string& key, int value) = 0;
+  virtual int setBool(const std::string& key, bool value) = 0;
+  virtual int setDouble(const std::string& key, double value) = 0;
+
+  /// All current parameter settings as "key=value;" pairs (one line).
+  virtual std::string get_all() = 0;
+};
+
+/// Port-type strings used for CCA wiring.
+inline constexpr const char* kSparseSolverPortType = "lisi.SparseSolver";
+inline constexpr const char* kMatrixFreePortType = "lisi.MatrixFree";
+/// Conventional port names.
+inline constexpr const char* kSparseSolverPortName = "SparseSolver";
+inline constexpr const char* kMatrixFreePortName = "MatrixFree";
+
+/// Component class names registered by this library (one per backend).
+inline constexpr const char* kPkspComponentClass = "lisi.PkspSolver";
+inline constexpr const char* kAztecComponentClass = "lisi.AztecSolver";
+inline constexpr const char* kSluComponentClass = "lisi.SluSolver";
+inline constexpr const char* kHymgComponentClass = "lisi.HymgSolver";
+
+/// Force-link helper: ensures the solver components' static registrars run
+/// even when the lisi library is linked from an archive.  Call once before
+/// Framework::instantiate of lisi.* classes.
+void registerSolverComponents();
+
+}  // namespace lisi

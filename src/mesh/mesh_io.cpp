@@ -1,0 +1,68 @@
+#include "mesh/mesh_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+
+#include "support/error.hpp"
+
+namespace lisi::mesh {
+
+std::string localSystemPath(const std::string& dir, int rank) {
+  return dir + "/mesh_rank" + std::to_string(rank) + ".dat";
+}
+
+void writeLocalSystem(const std::string& dir, int rank,
+                      const Pde5ptLocalSystem& sys) {
+  std::filesystem::create_directories(dir);
+  const std::string path = localSystemPath(dir, rank);
+  std::ofstream os(path);
+  LISI_CHECK(os.good(), "cannot open mesh file for write: " + path);
+  os << "lisi-mesh 1\n";
+  os << sys.globalN << ' ' << sys.startRow << ' ' << sys.localA.rows << ' '
+     << sys.localA.nnz() << '\n';
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < sys.localA.rowPtr.size(); ++i) {
+    os << sys.localA.rowPtr[i] << '\n';
+  }
+  for (int k = 0; k < sys.localA.nnz(); ++k) {
+    os << sys.localA.colIdx[static_cast<std::size_t>(k)] << ' '
+       << sys.localA.values[static_cast<std::size_t>(k)] << '\n';
+  }
+  for (double b : sys.localB) os << b << '\n';
+  LISI_CHECK(os.good(), "mesh file write failed: " + path);
+}
+
+Pde5ptLocalSystem readLocalSystem(const std::string& dir, int rank) {
+  const std::string path = localSystemPath(dir, rank);
+  std::ifstream is(path);
+  LISI_CHECK(is.good(), "cannot open mesh file for read: " + path);
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  LISI_CHECK(magic == "lisi-mesh" && version == 1,
+             "bad mesh file header: " + path);
+  Pde5ptLocalSystem sys;
+  int localRows = 0;
+  int nnz = 0;
+  is >> sys.globalN >> sys.startRow >> localRows >> nnz;
+  LISI_CHECK(static_cast<bool>(is) && localRows >= 0 && nnz >= 0,
+             "bad mesh file size line: " + path);
+  sys.localA.rows = localRows;
+  sys.localA.cols = sys.globalN;
+  sys.localA.rowPtr.resize(static_cast<std::size_t>(localRows) + 1);
+  for (auto& p : sys.localA.rowPtr) is >> p;
+  sys.localA.colIdx.resize(static_cast<std::size_t>(nnz));
+  sys.localA.values.resize(static_cast<std::size_t>(nnz));
+  for (int k = 0; k < nnz; ++k) {
+    is >> sys.localA.colIdx[static_cast<std::size_t>(k)] >>
+        sys.localA.values[static_cast<std::size_t>(k)];
+  }
+  sys.localB.resize(static_cast<std::size_t>(localRows));
+  for (auto& b : sys.localB) is >> b;
+  LISI_CHECK(static_cast<bool>(is), "truncated mesh file: " + path);
+  sys.localA.check();
+  return sys;
+}
+
+}  // namespace lisi::mesh

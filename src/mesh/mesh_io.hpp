@@ -1,0 +1,25 @@
+// Per-rank mesh data files.
+//
+// §8[a]: "Mesh data files are written out on each compute node locally for
+// faster data input."  Each rank persists its block of the assembled system
+// (local A rows, local b, and the partition metadata) and can reload it
+// without touching other ranks' files.
+#pragma once
+
+#include <string>
+
+#include "mesh/pde5pt.hpp"
+
+namespace lisi::mesh {
+
+/// File-name of rank `rank`'s local system inside `dir`.
+std::string localSystemPath(const std::string& dir, int rank);
+
+/// Write one rank's local system to `dir` (creates `dir` if needed).
+void writeLocalSystem(const std::string& dir, int rank,
+                      const Pde5ptLocalSystem& sys);
+
+/// Load one rank's local system back.
+Pde5ptLocalSystem readLocalSystem(const std::string& dir, int rank);
+
+}  // namespace lisi::mesh

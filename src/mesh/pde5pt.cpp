@@ -1,0 +1,133 @@
+#include "mesh/pde5pt.hpp"
+
+#include <cmath>
+
+namespace lisi::mesh {
+
+double paperForcing(double x, double y) {
+  (void)y;
+  return (2.0 - 6.0 * x - x * x) * std::sin(x);
+}
+
+double zeroBoundary(double x, double y) {
+  (void)x;
+  (void)y;
+  return 0.0;
+}
+
+long long pde5ptNnz(int gridN) {
+  return 5LL * gridN * gridN - 4LL * gridN;
+}
+
+namespace {
+
+/// Assemble rows [rowBegin, rowEnd) of A = -(u_xx + u_yy - 3 u_x) and the
+/// matching right-hand side b = -f + boundary lift.
+Pde5ptLocalSystem assembleRange(const Pde5ptSpec& spec, int rowBegin,
+                                int rowEnd) {
+  const int n = spec.gridN;
+  LISI_CHECK(n >= 1, "Pde5ptSpec: gridN must be >= 1");
+  const int globalN = n * n;
+  LISI_CHECK(0 <= rowBegin && rowBegin <= rowEnd && rowEnd <= globalN,
+             "assembleRange: bad row range");
+  const double h = 1.0 / (n + 1);
+  // Stencil of A = -L (positive diagonal M-matrix):
+  //   center   +4/h^2
+  //   west     -(1/h^2 + 3/(2h))   (x - h)
+  //   east     -(1/h^2 - 3/(2h))   (x + h)
+  //   south    -1/h^2              (y - h)
+  //   north    -1/h^2              (y + h)
+  const double invH2 = 1.0 / (h * h);
+  const double cCenter = 4.0 * invH2;
+  const double cWest = -(invH2 + 1.5 / h);
+  const double cEast = -(invH2 - 1.5 / h);
+  const double cNS = -invH2;
+
+  Pde5ptLocalSystem sys;
+  sys.globalN = globalN;
+  sys.startRow = rowBegin;
+  sys.localA.rows = rowEnd - rowBegin;
+  sys.localA.cols = globalN;
+  sys.localA.rowPtr.reserve(static_cast<std::size_t>(sys.localA.rows) + 1);
+  sys.localA.rowPtr.push_back(0);
+  sys.localB.reserve(static_cast<std::size_t>(sys.localA.rows));
+
+  auto nodeX = [h](int ix) { return (ix + 1) * h; };
+  auto nodeY = [h](int iy) { return (iy + 1) * h; };
+
+  for (int row = rowBegin; row < rowEnd; ++row) {
+    const int ix = row % n;
+    const int iy = row / n;
+    const double x = nodeX(ix);
+    const double y = nodeY(iy);
+    double b = -spec.forcing(x, y);
+
+    // Emit in global column order: south, west, center, east, north.
+    if (iy > 0) {
+      sys.localA.colIdx.push_back(row - n);
+      sys.localA.values.push_back(cNS);
+    } else {
+      b -= cNS * spec.boundary(x, 0.0);
+    }
+    if (ix > 0) {
+      sys.localA.colIdx.push_back(row - 1);
+      sys.localA.values.push_back(cWest);
+    } else {
+      b -= cWest * spec.boundary(0.0, y);
+    }
+    sys.localA.colIdx.push_back(row);
+    sys.localA.values.push_back(cCenter);
+    if (ix + 1 < n) {
+      sys.localA.colIdx.push_back(row + 1);
+      sys.localA.values.push_back(cEast);
+    } else {
+      b -= cEast * spec.boundary(1.0, y);
+    }
+    if (iy + 1 < n) {
+      sys.localA.colIdx.push_back(row + n);
+      sys.localA.values.push_back(cNS);
+    } else {
+      b -= cNS * spec.boundary(x, 1.0);
+    }
+    sys.localA.rowPtr.push_back(static_cast<int>(sys.localA.colIdx.size()));
+    sys.localB.push_back(b);
+  }
+  return sys;
+}
+
+}  // namespace
+
+Pde5ptLocalSystem assembleLocal(const Pde5ptSpec& spec, int rank, int nranks) {
+  const sparse::BlockRowPartition part(spec.gridN * spec.gridN, nranks);
+  const int begin = part.startRow(rank);
+  return assembleRange(spec, begin, begin + part.localRows(rank));
+}
+
+Pde5ptLocalSystem assembleGlobal(const Pde5ptSpec& spec) {
+  return assembleRange(spec, 0, spec.gridN * spec.gridN);
+}
+
+std::vector<double> sampleField(int gridN, const Field2d& field) {
+  const double h = 1.0 / (gridN + 1);
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(gridN) * static_cast<std::size_t>(gridN));
+  for (int iy = 0; iy < gridN; ++iy) {
+    for (int ix = 0; ix < gridN; ++ix) {
+      v.push_back(field((ix + 1) * h, (iy + 1) * h));
+    }
+  }
+  return v;
+}
+
+double manufacturedSolution(double x, double y) {
+  return std::sin(M_PI * x) * std::sin(M_PI * y);
+}
+
+double manufacturedForcing(double x, double y) {
+  // L u = u_xx + u_yy - 3 u_x for u = sin(pi x) sin(pi y).
+  const double s = std::sin(M_PI * x) * std::sin(M_PI * y);
+  const double ux = M_PI * std::cos(M_PI * x) * std::sin(M_PI * y);
+  return -2.0 * M_PI * M_PI * s - 3.0 * ux;
+}
+
+}  // namespace lisi::mesh

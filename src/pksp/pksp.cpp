@@ -1,0 +1,359 @@
+// PKSP public API: handle lifecycle, configuration, options-string parsing,
+// and the solve dispatcher.
+#include "pksp/pksp.hpp"
+
+#include <sstream>
+
+#include "pksp/pksp_internal.hpp"
+#include "support/string_util.hpp"
+
+namespace pksp {
+
+using detail::LinearOperator;
+using detail::Preconditioner;
+using detail::SolveReport;
+using detail::Tolerances;
+
+/// The state behind a KSP handle.
+struct PkspSolver {
+  lisi::comm::Comm comm;
+
+  std::unique_ptr<LinearOperator> op;
+  PkspType type = PKSP_GMRES;
+  PkspPcType pcType = PKSP_PC_NONE;
+  Tolerances tol;
+  int restart = 30;
+  double sorOmega = 1.0;
+  int sorSweeps = 1;
+  bool nonzeroGuess = false;
+  bool reusePc = false;
+
+  // Built lazily at solve time (the operator may change between solves).
+  std::unique_ptr<Preconditioner> pc;
+  bool pcStale = true;
+
+  SolveReport lastReport;
+  double lastTrueResidual = 0.0;
+
+  PkspMonitorFn monitor = nullptr;
+  void* monitorCtx = nullptr;
+  std::vector<double> residualHistory;
+};
+
+namespace {
+
+int guard(KSP ksp) { return ksp == nullptr ? PKSP_ERR_ARG : PKSP_SUCCESS; }
+
+/// Build (or rebuild) the preconditioner for the current operator/config.
+int buildPc(KSP ksp) {
+  const lisi::sparse::DistCsrMatrix* a = ksp->op->matrix();
+  try {
+    switch (ksp->pcType) {
+      case PKSP_PC_NONE:
+        ksp->pc = std::make_unique<detail::IdentityPc>();
+        break;
+      case PKSP_PC_JACOBI:
+        if (!a) return PKSP_ERR_UNSUPPORTED;  // shell operators: PC_NONE only
+        ksp->pc = detail::makeJacobi(*a);
+        break;
+      case PKSP_PC_SOR:
+        if (!a) return PKSP_ERR_UNSUPPORTED;
+        ksp->pc = detail::makeLocalSor(*a, ksp->sorOmega, ksp->sorSweeps);
+        break;
+      case PKSP_PC_ILU0:
+      case PKSP_PC_BJACOBI:
+        if (!a) return PKSP_ERR_UNSUPPORTED;
+        ksp->pc = detail::makeLocalIlu0(*a);
+        break;
+      default:
+        return PKSP_ERR_ARG;
+    }
+  } catch (const lisi::Error&) {
+    return PKSP_ERR_NUMERIC;
+  }
+  ksp->pcStale = false;
+  return PKSP_SUCCESS;
+}
+
+const char* typeName(PkspType t) {
+  switch (t) {
+    case PKSP_RICHARDSON: return "richardson";
+    case PKSP_CG: return "cg";
+    case PKSP_GMRES: return "gmres";
+    case PKSP_BICGSTAB: return "bicgstab";
+  }
+  return "?";
+}
+
+const char* pcName(PkspPcType t) {
+  switch (t) {
+    case PKSP_PC_NONE: return "none";
+    case PKSP_PC_JACOBI: return "jacobi";
+    case PKSP_PC_SOR: return "sor";
+    case PKSP_PC_ILU0: return "ilu0";
+    case PKSP_PC_BJACOBI: return "bjacobi";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int KSPCreate(const lisi::comm::Comm& comm, KSP* outKsp) {
+  if (outKsp == nullptr || !comm.valid()) return PKSP_ERR_ARG;
+  *outKsp = new PkspSolver{};
+  (*outKsp)->comm = comm;
+  return PKSP_SUCCESS;
+}
+
+int KSPDestroy(KSP* ksp) {
+  if (ksp == nullptr) return PKSP_ERR_ARG;
+  delete *ksp;
+  *ksp = nullptr;
+  return PKSP_SUCCESS;
+}
+
+int KSPSetOperator(KSP ksp, const lisi::sparse::DistCsrMatrix* a) {
+  if (guard(ksp) != PKSP_SUCCESS || a == nullptr) return PKSP_ERR_ARG;
+  if (a->globalRows() != a->globalCols()) return PKSP_ERR_ARG;
+  ksp->op = std::make_unique<detail::MatrixOperator>(a);
+  if (!(ksp->reusePc && ksp->pc)) ksp->pcStale = true;
+  return PKSP_SUCCESS;
+}
+
+int KSPSetOperatorShell(KSP ksp, PkspShellMatVec matvec, void* ctx,
+                        int localRows) {
+  if (guard(ksp) != PKSP_SUCCESS || matvec == nullptr || localRows < 0) {
+    return PKSP_ERR_ARG;
+  }
+  ksp->op = std::make_unique<detail::ShellOperator>(matvec, ctx, localRows);
+  ksp->pcStale = true;
+  return PKSP_SUCCESS;
+}
+
+int KSPSetType(KSP ksp, PkspType type) {
+  if (guard(ksp) != PKSP_SUCCESS) return PKSP_ERR_ARG;
+  switch (type) {
+    case PKSP_RICHARDSON:
+    case PKSP_CG:
+    case PKSP_GMRES:
+    case PKSP_BICGSTAB:
+      ksp->type = type;
+      return PKSP_SUCCESS;
+  }
+  return PKSP_ERR_ARG;
+}
+
+int KSPSetPCType(KSP ksp, PkspPcType type) {
+  if (guard(ksp) != PKSP_SUCCESS) return PKSP_ERR_ARG;
+  switch (type) {
+    case PKSP_PC_NONE:
+    case PKSP_PC_JACOBI:
+    case PKSP_PC_SOR:
+    case PKSP_PC_ILU0:
+    case PKSP_PC_BJACOBI:
+      ksp->pcType = type;
+      ksp->pcStale = true;
+      return PKSP_SUCCESS;
+  }
+  return PKSP_ERR_ARG;
+}
+
+int KSPSetTolerances(KSP ksp, double rtol, double atol, int maxits) {
+  if (guard(ksp) != PKSP_SUCCESS) return PKSP_ERR_ARG;
+  if (rtol >= 0) ksp->tol.rtol = rtol;
+  if (atol >= 0) ksp->tol.atol = atol;
+  if (maxits >= 0) ksp->tol.maxits = maxits;
+  return PKSP_SUCCESS;
+}
+
+int KSPSetRestart(KSP ksp, int restart) {
+  if (guard(ksp) != PKSP_SUCCESS || restart < 1) return PKSP_ERR_ARG;
+  ksp->restart = restart;
+  return PKSP_SUCCESS;
+}
+
+int KSPSetSorOptions(KSP ksp, double omega, int sweeps) {
+  if (guard(ksp) != PKSP_SUCCESS) return PKSP_ERR_ARG;
+  if (omega <= 0.0 || omega >= 2.0 || sweeps < 1) return PKSP_ERR_ARG;
+  ksp->sorOmega = omega;
+  ksp->sorSweeps = sweeps;
+  ksp->pcStale = true;
+  return PKSP_SUCCESS;
+}
+
+int KSPSetInitialGuessNonzero(KSP ksp, bool flag) {
+  if (guard(ksp) != PKSP_SUCCESS) return PKSP_ERR_ARG;
+  ksp->nonzeroGuess = flag;
+  return PKSP_SUCCESS;
+}
+
+int KSPSetReusePreconditioner(KSP ksp, bool flag) {
+  if (guard(ksp) != PKSP_SUCCESS) return PKSP_ERR_ARG;
+  ksp->reusePc = flag;
+  return PKSP_SUCCESS;
+}
+
+int KSPSetFromString(KSP ksp, const char* options) {
+  if (guard(ksp) != PKSP_SUCCESS || options == nullptr) return PKSP_ERR_ARG;
+  std::istringstream tokens{std::string(options)};
+  std::string key;
+  while (tokens >> key) {
+    auto value = [&tokens]() -> std::string {
+      std::string v;
+      tokens >> v;
+      return v;
+    };
+    if (key == "-ksp_type") {
+      const std::string v = lisi::toLower(value());
+      if (v == "richardson") KSPSetType(ksp, PKSP_RICHARDSON);
+      else if (v == "cg") KSPSetType(ksp, PKSP_CG);
+      else if (v == "gmres") KSPSetType(ksp, PKSP_GMRES);
+      else if (v == "bicgstab" || v == "bcgs") KSPSetType(ksp, PKSP_BICGSTAB);
+      else return PKSP_ERR_UNSUPPORTED;
+    } else if (key == "-pc_type") {
+      const std::string v = lisi::toLower(value());
+      if (v == "none") KSPSetPCType(ksp, PKSP_PC_NONE);
+      else if (v == "jacobi") KSPSetPCType(ksp, PKSP_PC_JACOBI);
+      else if (v == "sor") KSPSetPCType(ksp, PKSP_PC_SOR);
+      else if (v == "ilu" || v == "ilu0") KSPSetPCType(ksp, PKSP_PC_ILU0);
+      else if (v == "bjacobi") KSPSetPCType(ksp, PKSP_PC_BJACOBI);
+      else return PKSP_ERR_UNSUPPORTED;
+    } else if (key == "-ksp_rtol") {
+      const auto v = lisi::parseDouble(value());
+      if (!v) return PKSP_ERR_ARG;
+      KSPSetTolerances(ksp, *v, -1, -1);
+    } else if (key == "-ksp_atol") {
+      const auto v = lisi::parseDouble(value());
+      if (!v) return PKSP_ERR_ARG;
+      KSPSetTolerances(ksp, -1, *v, -1);
+    } else if (key == "-ksp_max_it") {
+      const auto v = lisi::parseInt(value());
+      if (!v) return PKSP_ERR_ARG;
+      KSPSetTolerances(ksp, -1, -1, static_cast<int>(*v));
+    } else if (key == "-ksp_gmres_restart") {
+      const auto v = lisi::parseInt(value());
+      if (!v || *v < 1) return PKSP_ERR_ARG;
+      KSPSetRestart(ksp, static_cast<int>(*v));
+    } else if (key == "-pc_sor_omega") {
+      const auto v = lisi::parseDouble(value());
+      if (!v) return PKSP_ERR_ARG;
+      if (KSPSetSorOptions(ksp, *v, ksp->sorSweeps) != PKSP_SUCCESS) {
+        return PKSP_ERR_ARG;
+      }
+    } else if (key == "-ksp_initial_guess_nonzero") {
+      const auto v = lisi::parseBool(value());
+      if (!v) return PKSP_ERR_ARG;
+      KSPSetInitialGuessNonzero(ksp, *v);
+    } else {
+      return PKSP_ERR_UNSUPPORTED;
+    }
+  }
+  return PKSP_SUCCESS;
+}
+
+int KSPSolve(KSP ksp, std::span<const double> bLocal,
+             std::span<double> xLocal) {
+  if (guard(ksp) != PKSP_SUCCESS) return PKSP_ERR_ARG;
+  if (!ksp->op) return PKSP_ERR_ORDER;
+  const auto n = static_cast<std::size_t>(ksp->op->localRows());
+  if (bLocal.size() != n || xLocal.size() != n) return PKSP_ERR_ARG;
+
+  if (ksp->pcStale) {
+    const int rc = buildPc(ksp);
+    if (rc != PKSP_SUCCESS) return rc;
+  }
+  if (!ksp->nonzeroGuess) {
+    std::fill(xLocal.begin(), xLocal.end(), 0.0);
+  }
+
+  // Arm the per-iteration observer: records the residual history and relays
+  // to the user monitor if one is set.
+  ksp->residualHistory.clear();
+  Tolerances tol = ksp->tol;
+  tol.monitor = [ksp](int iteration, double rnorm) {
+    if (static_cast<std::size_t>(iteration) >= ksp->residualHistory.size()) {
+      ksp->residualHistory.resize(static_cast<std::size_t>(iteration) + 1);
+    }
+    ksp->residualHistory[static_cast<std::size_t>(iteration)] = rnorm;
+    if (ksp->monitor) ksp->monitor(ksp->monitorCtx, iteration, rnorm);
+  };
+
+  try {
+    switch (ksp->type) {
+      case PKSP_CG:
+        ksp->lastReport = detail::runCg(ksp->comm, *ksp->op, *ksp->pc, bLocal,
+                                        xLocal, tol);
+        break;
+      case PKSP_GMRES:
+        ksp->lastReport = detail::runGmres(ksp->comm, *ksp->op, *ksp->pc,
+                                           bLocal, xLocal, tol, ksp->restart);
+        break;
+      case PKSP_BICGSTAB:
+        ksp->lastReport = detail::runBiCgStab(ksp->comm, *ksp->op, *ksp->pc,
+                                              bLocal, xLocal, tol);
+        break;
+      case PKSP_RICHARDSON:
+        ksp->lastReport = detail::runRichardson(ksp->comm, *ksp->op, *ksp->pc,
+                                                bLocal, xLocal, tol);
+        break;
+      default:
+        return PKSP_ERR_ARG;
+    }
+    // True (unpreconditioned) residual for diagnostics.
+    std::vector<double> r(n);
+    ksp->op->apply(xLocal, std::span<double>(r));
+    for (std::size_t i = 0; i < n; ++i) r[i] = bLocal[i] - r[i];
+    ksp->lastTrueResidual =
+        lisi::sparse::distNorm2(ksp->comm, std::span<const double>(r));
+  } catch (const lisi::Error&) {
+    return PKSP_ERR_NUMERIC;
+  }
+  return ksp->lastReport.reason > 0 ? PKSP_SUCCESS : PKSP_ERR_NUMERIC;
+}
+
+int KSPGetIterationNumber(KSP ksp, int* iters) {
+  if (guard(ksp) != PKSP_SUCCESS || iters == nullptr) return PKSP_ERR_ARG;
+  *iters = ksp->lastReport.iterations;
+  return PKSP_SUCCESS;
+}
+
+int KSPGetResidualNorm(KSP ksp, double* norm) {
+  if (guard(ksp) != PKSP_SUCCESS || norm == nullptr) return PKSP_ERR_ARG;
+  *norm = ksp->lastTrueResidual;
+  return PKSP_SUCCESS;
+}
+
+int KSPGetConvergedReason(KSP ksp, PkspConvergedReason* reason) {
+  if (guard(ksp) != PKSP_SUCCESS || reason == nullptr) return PKSP_ERR_ARG;
+  *reason = ksp->lastReport.reason;
+  return PKSP_SUCCESS;
+}
+
+int KSPSetMonitor(KSP ksp, PkspMonitorFn monitor, void* ctx) {
+  if (guard(ksp) != PKSP_SUCCESS) return PKSP_ERR_ARG;
+  ksp->monitor = monitor;
+  ksp->monitorCtx = ctx;
+  return PKSP_SUCCESS;
+}
+
+int KSPGetResidualHistory(KSP ksp, const double** history, int* count) {
+  if (guard(ksp) != PKSP_SUCCESS || history == nullptr || count == nullptr) {
+    return PKSP_ERR_ARG;
+  }
+  *history = ksp->residualHistory.data();
+  *count = static_cast<int>(ksp->residualHistory.size());
+  return PKSP_SUCCESS;
+}
+
+int KSPGetDescription(KSP ksp, std::string* description) {
+  if (guard(ksp) != PKSP_SUCCESS || description == nullptr) return PKSP_ERR_ARG;
+  std::ostringstream os;
+  os << typeName(ksp->type);
+  if (ksp->type == PKSP_GMRES) os << '(' << ksp->restart << ')';
+  os << '+' << pcName(ksp->pcType) << " rtol=" << ksp->tol.rtol
+     << " atol=" << ksp->tol.atol << " maxits=" << ksp->tol.maxits;
+  *description = os.str();
+  return PKSP_SUCCESS;
+}
+
+}  // namespace pksp

@@ -1,0 +1,116 @@
+// Internal machinery of the PKSP package: the operator and preconditioner
+// abstractions behind the opaque handle.  Not installed; include only from
+// pksp sources and white-box tests.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pksp/pksp.hpp"
+
+namespace pksp::detail {
+
+/// Abstract distributed linear operator y = A*x over block-row pieces.
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+  virtual void apply(std::span<const double> x, std::span<double> y) const = 0;
+  [[nodiscard]] virtual int localRows() const = 0;
+  /// Assembled matrix if the operator has one (preconditioners need it);
+  /// nullptr for shell operators.
+  [[nodiscard]] virtual const lisi::sparse::DistCsrMatrix* matrix() const {
+    return nullptr;
+  }
+};
+
+/// Operator backed by an assembled DistCsrMatrix.
+class MatrixOperator final : public LinearOperator {
+ public:
+  explicit MatrixOperator(const lisi::sparse::DistCsrMatrix* a) : a_(a) {}
+  void apply(std::span<const double> x, std::span<double> y) const override {
+    a_->spmv(x, y);
+  }
+  [[nodiscard]] int localRows() const override { return a_->localRows(); }
+  [[nodiscard]] const lisi::sparse::DistCsrMatrix* matrix() const override {
+    return a_;
+  }
+
+ private:
+  const lisi::sparse::DistCsrMatrix* a_;
+};
+
+/// Matrix-free operator calling back into user code.
+class ShellOperator final : public LinearOperator {
+ public:
+  ShellOperator(PkspShellMatVec fn, void* ctx, int localRows)
+      : fn_(fn), ctx_(ctx), localRows_(localRows) {}
+  void apply(std::span<const double> x, std::span<double> y) const override {
+    fn_(ctx_, x.data(), y.data(), localRows_);
+  }
+  [[nodiscard]] int localRows() const override { return localRows_; }
+
+ private:
+  PkspShellMatVec fn_;
+  void* ctx_;
+  int localRows_;
+};
+
+/// Abstract preconditioner: z = M^{-1} r, process-local application.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  virtual void apply(std::span<const double> r, std::span<double> z) const = 0;
+};
+
+/// Identity (PC_NONE).
+class IdentityPc final : public Preconditioner {
+ public:
+  void apply(std::span<const double> r, std::span<double> z) const override {
+    std::copy(r.begin(), r.end(), z.begin());
+  }
+};
+
+/// Factory for the matrix-based preconditioners; throws lisi::Error when a
+/// zero pivot or similar defect makes the preconditioner unusable.
+std::unique_ptr<Preconditioner> makeJacobi(
+    const lisi::sparse::DistCsrMatrix& a);
+std::unique_ptr<Preconditioner> makeLocalSor(
+    const lisi::sparse::DistCsrMatrix& a, double omega, int sweeps);
+std::unique_ptr<Preconditioner> makeLocalIlu0(
+    const lisi::sparse::DistCsrMatrix& a);
+
+/// Result of one Krylov run.
+struct SolveReport {
+  int iterations = 0;
+  double residualNorm = 0.0;  ///< preconditioned norm tracked by the method
+  PkspConvergedReason reason = PKSP_ITERATING;
+};
+
+/// Common tolerance bundle plus the optional per-iteration monitor
+/// (invoked with (iteration, tracked residual norm); iteration 0 reports
+/// the initial residual).
+struct Tolerances {
+  double rtol = 1e-6;
+  double atol = 1e-50;
+  int maxits = 10000;
+  std::function<void(int, double)> monitor;
+};
+
+// Krylov kernels (x holds the initial guess on entry, solution on exit).
+SolveReport runCg(const lisi::comm::Comm& comm, const LinearOperator& a,
+                  const Preconditioner& m, std::span<const double> b,
+                  std::span<double> x, const Tolerances& tol);
+SolveReport runGmres(const lisi::comm::Comm& comm, const LinearOperator& a,
+                     const Preconditioner& m, std::span<const double> b,
+                     std::span<double> x, const Tolerances& tol, int restart);
+SolveReport runBiCgStab(const lisi::comm::Comm& comm, const LinearOperator& a,
+                        const Preconditioner& m, std::span<const double> b,
+                        std::span<double> x, const Tolerances& tol);
+SolveReport runRichardson(const lisi::comm::Comm& comm,
+                          const LinearOperator& a, const Preconditioner& m,
+                          std::span<const double> b, std::span<double> x,
+                          const Tolerances& tol);
+
+}  // namespace pksp::detail

@@ -1,0 +1,217 @@
+// Process-local preconditioners for PKSP: Jacobi, local SOR, and ILU(0) on
+// the local diagonal block (one block per process, i.e. block Jacobi).
+#include <algorithm>
+#include <cmath>
+
+#include "pksp/pksp_internal.hpp"
+
+namespace pksp::detail {
+namespace {
+
+using lisi::sparse::CsrMatrix;
+using lisi::sparse::DistCsrMatrix;
+
+/// Extract the process-local diagonal block (rows owned by this rank,
+/// columns restricted to the owned range) with 0-based local indices.
+CsrMatrix localDiagonalBlock(const DistCsrMatrix& a) {
+  const CsrMatrix& loc = a.localBlock();
+  const int start = a.startRow();
+  const int end = start + a.localRows();
+  CsrMatrix blk;
+  blk.rows = a.localRows();
+  blk.cols = a.localRows();
+  blk.rowPtr.assign(static_cast<std::size_t>(blk.rows) + 1, 0);
+  for (int i = 0; i < loc.rows; ++i) {
+    for (int k = loc.rowPtr[static_cast<std::size_t>(i)];
+         k < loc.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int c = loc.colIdx[static_cast<std::size_t>(k)];
+      if (c >= start && c < end) {
+        blk.colIdx.push_back(c - start);
+        blk.values.push_back(loc.values[static_cast<std::size_t>(k)]);
+      }
+    }
+    blk.rowPtr[static_cast<std::size_t>(i) + 1] =
+        static_cast<int>(blk.values.size());
+  }
+  return blk;
+}
+
+class JacobiPc final : public Preconditioner {
+ public:
+  explicit JacobiPc(const DistCsrMatrix& a) : invDiag_(a.localDiagonal()) {
+    for (double& d : invDiag_) {
+      LISI_CHECK(d != 0.0, "Jacobi preconditioner: zero diagonal entry");
+      d = 1.0 / d;
+    }
+  }
+  void apply(std::span<const double> r, std::span<double> z) const override {
+    for (std::size_t i = 0; i < r.size(); ++i) z[i] = invDiag_[i] * r[i];
+  }
+
+ private:
+  std::vector<double> invDiag_;
+};
+
+/// Local SOR: `sweeps` forward Gauss-Seidel-with-relaxation passes on the
+/// local diagonal block, starting from z = 0 (standard SOR preconditioning).
+class LocalSorPc final : public Preconditioner {
+ public:
+  LocalSorPc(const DistCsrMatrix& a, double omega, int sweeps)
+      : blk_(localDiagonalBlock(a)), omega_(omega), sweeps_(sweeps) {
+    LISI_CHECK(omega > 0.0 && omega < 2.0,
+               "SOR preconditioner: omega must be in (0, 2)");
+    LISI_CHECK(sweeps >= 1, "SOR preconditioner: need at least one sweep");
+    diag_.resize(static_cast<std::size_t>(blk_.rows));
+    for (int i = 0; i < blk_.rows; ++i) {
+      double d = 0.0;
+      for (int k = blk_.rowPtr[static_cast<std::size_t>(i)];
+           k < blk_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+        if (blk_.colIdx[static_cast<std::size_t>(k)] == i) {
+          d += blk_.values[static_cast<std::size_t>(k)];
+        }
+      }
+      LISI_CHECK(d != 0.0, "SOR preconditioner: zero diagonal entry");
+      diag_[static_cast<std::size_t>(i)] = d;
+    }
+  }
+
+  void apply(std::span<const double> r, std::span<double> z) const override {
+    std::fill(z.begin(), z.end(), 0.0);
+    for (int sweep = 0; sweep < sweeps_; ++sweep) {
+      for (int i = 0; i < blk_.rows; ++i) {
+        double sigma = 0.0;
+        for (int k = blk_.rowPtr[static_cast<std::size_t>(i)];
+             k < blk_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+          const int j = blk_.colIdx[static_cast<std::size_t>(k)];
+          if (j != i) {
+            sigma += blk_.values[static_cast<std::size_t>(k)] *
+                     z[static_cast<std::size_t>(j)];
+          }
+        }
+        const double gs =
+            (r[static_cast<std::size_t>(i)] - sigma) /
+            diag_[static_cast<std::size_t>(i)];
+        z[static_cast<std::size_t>(i)] =
+            (1.0 - omega_) * z[static_cast<std::size_t>(i)] + omega_ * gs;
+      }
+    }
+  }
+
+ private:
+  CsrMatrix blk_;
+  std::vector<double> diag_;
+  double omega_;
+  int sweeps_;
+};
+
+/// ILU(0) of the local diagonal block: incomplete LU with zero fill,
+/// i.e. L and U inherit exactly the sparsity of the block.  apply() performs
+/// the two triangular solves.  One block per process = block-Jacobi ILU(0),
+/// PETSc's default parallel preconditioner configuration.
+class LocalIlu0Pc final : public Preconditioner {
+ public:
+  explicit LocalIlu0Pc(const DistCsrMatrix& a) : lu_(localDiagonalBlock(a)) {
+    lu_.canonicalize();
+    const int n = lu_.rows;
+    diagPos_.assign(static_cast<std::size_t>(n), -1);
+    for (int i = 0; i < n; ++i) {
+      for (int k = lu_.rowPtr[static_cast<std::size_t>(i)];
+           k < lu_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+        if (lu_.colIdx[static_cast<std::size_t>(k)] == i) {
+          diagPos_[static_cast<std::size_t>(i)] = k;
+        }
+      }
+      LISI_CHECK(diagPos_[static_cast<std::size_t>(i)] >= 0,
+                 "ILU(0): structurally zero diagonal");
+    }
+    factor();
+  }
+
+  void apply(std::span<const double> r, std::span<double> z) const override {
+    const int n = lu_.rows;
+    // Forward solve L y = r (unit lower triangular).
+    for (int i = 0; i < n; ++i) {
+      double acc = r[static_cast<std::size_t>(i)];
+      for (int k = lu_.rowPtr[static_cast<std::size_t>(i)];
+           k < diagPos_[static_cast<std::size_t>(i)]; ++k) {
+        acc -= lu_.values[static_cast<std::size_t>(k)] *
+               z[static_cast<std::size_t>(lu_.colIdx[static_cast<std::size_t>(k)])];
+      }
+      z[static_cast<std::size_t>(i)] = acc;
+    }
+    // Backward solve U z = y.
+    for (int i = n - 1; i >= 0; --i) {
+      double acc = z[static_cast<std::size_t>(i)];
+      for (int k = diagPos_[static_cast<std::size_t>(i)] + 1;
+           k < lu_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+        acc -= lu_.values[static_cast<std::size_t>(k)] *
+               z[static_cast<std::size_t>(lu_.colIdx[static_cast<std::size_t>(k)])];
+      }
+      z[static_cast<std::size_t>(i)] =
+          acc / lu_.values[static_cast<std::size_t>(
+                    diagPos_[static_cast<std::size_t>(i)])];
+    }
+  }
+
+ private:
+  void factor() {
+    // IKJ-variant ILU(0) (Saad, Alg. 10.4) restricted to existing pattern.
+    const int n = lu_.rows;
+    std::vector<int> posInRow(static_cast<std::size_t>(n), -1);
+    for (int i = 0; i < n; ++i) {
+      const int rb = lu_.rowPtr[static_cast<std::size_t>(i)];
+      const int re = lu_.rowPtr[static_cast<std::size_t>(i) + 1];
+      for (int k = rb; k < re; ++k) {
+        posInRow[static_cast<std::size_t>(
+            lu_.colIdx[static_cast<std::size_t>(k)])] = k;
+      }
+      for (int k = rb; k < re; ++k) {
+        const int j = lu_.colIdx[static_cast<std::size_t>(k)];
+        if (j >= i) break;  // only strictly-lower entries eliminate
+        const double pivot =
+            lu_.values[static_cast<std::size_t>(
+                diagPos_[static_cast<std::size_t>(j)])];
+        LISI_CHECK(pivot != 0.0, "ILU(0): zero pivot during factorization");
+        const double lij = lu_.values[static_cast<std::size_t>(k)] / pivot;
+        lu_.values[static_cast<std::size_t>(k)] = lij;
+        for (int kk = diagPos_[static_cast<std::size_t>(j)] + 1;
+             kk < lu_.rowPtr[static_cast<std::size_t>(j) + 1]; ++kk) {
+          const int col = lu_.colIdx[static_cast<std::size_t>(kk)];
+          const int pos = posInRow[static_cast<std::size_t>(col)];
+          if (pos >= 0) {
+            lu_.values[static_cast<std::size_t>(pos)] -=
+                lij * lu_.values[static_cast<std::size_t>(kk)];
+          }
+        }
+      }
+      for (int k = rb; k < re; ++k) {
+        posInRow[static_cast<std::size_t>(
+            lu_.colIdx[static_cast<std::size_t>(k)])] = -1;
+      }
+      LISI_CHECK(
+          lu_.values[static_cast<std::size_t>(
+              diagPos_[static_cast<std::size_t>(i)])] != 0.0,
+          "ILU(0): zero pivot");
+    }
+  }
+
+  CsrMatrix lu_;
+  std::vector<int> diagPos_;
+};
+
+}  // namespace
+
+std::unique_ptr<Preconditioner> makeJacobi(const DistCsrMatrix& a) {
+  return std::make_unique<JacobiPc>(a);
+}
+
+std::unique_ptr<Preconditioner> makeLocalSor(const DistCsrMatrix& a,
+                                             double omega, int sweeps) {
+  return std::make_unique<LocalSorPc>(a, omega, sweeps);
+}
+
+std::unique_ptr<Preconditioner> makeLocalIlu0(const DistCsrMatrix& a) {
+  return std::make_unique<LocalIlu0Pc>(a);
+}
+
+}  // namespace pksp::detail

@@ -1,0 +1,390 @@
+// SLU factorization core: Gilbert-Peierls left-looking sparse LU with
+// threshold partial pivoting (the algorithm at the heart of SuperLU,
+// without supernodes) and the column-oriented triangular solves.
+#include "slu/slu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sparse/ops.hpp"
+
+namespace slu {
+
+using lisi::sparse::CscMatrix;
+
+/// Flattened column-compressed triangular factors in pivot coordinates.
+struct Factorization::Impl {
+  int n = 0;
+  Options options;
+  Stats stats;
+  std::vector<int> q;        ///< column permutation (position -> original col)
+  std::vector<int> pinv;     ///< original row -> pivot position
+  std::vector<double> rowScale;  ///< row equilibration factors (or empty)
+
+  // L: unit lower triangular, off-diagonal entries only, by column.
+  std::vector<int> lPtr, lRow;
+  std::vector<double> lVal;
+  // U: strictly upper entries by column plus the diagonal.
+  std::vector<int> uPtr, uRow;
+  std::vector<double> uVal;
+  std::vector<double> uDiag;
+};
+
+Factorization::Factorization() : impl_(new Impl) {}
+Factorization::~Factorization() = default;
+Factorization::Factorization(Factorization&&) noexcept = default;
+Factorization& Factorization::operator=(Factorization&&) noexcept = default;
+
+const Stats& Factorization::stats() const { return impl_->stats; }
+int Factorization::order() const { return impl_->n; }
+
+namespace {
+
+/// Depth-first reach computation for one column (Gilbert-Peierls).
+/// Nodes are original row indices; a node with pinv[r] >= 0 has children:
+/// the row patterns of L column pinv[r].  Emits reached nodes in reverse
+/// topological order into `topo` (so numeric updates can run front-to-back
+/// after a reverse).
+class Reach {
+ public:
+  explicit Reach(int n)
+      : visited_(static_cast<std::size_t>(n), 0), stamp_(0) {}
+
+  void begin() {
+    ++stamp_;
+    topo_.clear();
+  }
+
+  void dfs(int root, const std::vector<int>& pinv,
+           const std::vector<std::vector<std::pair<int, double>>>& lCols) {
+    if (visited_[static_cast<std::size_t>(root)] == stamp_) return;
+    stack_.clear();
+    stack_.push_back({root, 0});
+    visited_[static_cast<std::size_t>(root)] = stamp_;
+    while (!stack_.empty()) {
+      auto& top = stack_.back();
+      const int r = top.node;
+      const int k = pinv[static_cast<std::size_t>(r)];
+      bool descended = false;
+      if (k >= 0) {
+        const auto& col = lCols[static_cast<std::size_t>(k)];
+        while (top.child < static_cast<int>(col.size())) {
+          const int next = col[static_cast<std::size_t>(top.child)].first;
+          ++top.child;
+          if (visited_[static_cast<std::size_t>(next)] != stamp_) {
+            visited_[static_cast<std::size_t>(next)] = stamp_;
+            stack_.push_back({next, 0});
+            descended = true;
+            break;
+          }
+        }
+      }
+      if (!descended && (k < 0 || top.child >= static_cast<int>(
+                                      lCols[static_cast<std::size_t>(k)].size()))) {
+        topo_.push_back(r);
+        stack_.pop_back();
+      }
+    }
+  }
+
+  /// Reached nodes, children-before-parents; reverse for update order.
+  [[nodiscard]] std::vector<int>& topo() { return topo_; }
+  [[nodiscard]] bool wasReached(int r) const {
+    return visited_[static_cast<std::size_t>(r)] == stamp_;
+  }
+
+ private:
+  struct Frame {
+    int node;
+    int child;
+  };
+  std::vector<int> visited_;
+  int stamp_;
+  std::vector<Frame> stack_;
+  std::vector<int> topo_;
+};
+
+}  // namespace
+
+Factorization Factorization::factorize(const CscMatrix& a,
+                                       const Options& options) {
+  a.check();
+  LISI_CHECK(a.rows == a.cols, "SLU: matrix must be square");
+  const int n = a.cols;
+
+  Factorization fact;
+  Impl& f = *fact.impl_;
+  f.n = n;
+  f.options = options;
+  f.stats.n = n;
+  f.stats.nnzA = a.nnz();
+  f.q = computeOrdering(a, options.ordering);
+  f.pinv.assign(static_cast<std::size_t>(n), -1);
+
+  if (options.equilibrate) {
+    f.rowScale.assign(static_cast<std::size_t>(n), 0.0);
+    for (std::size_t k = 0; k < a.values.size(); ++k) {
+      auto& s = f.rowScale[static_cast<std::size_t>(a.rowIdx[k])];
+      s = std::max(s, std::abs(a.values[k]));
+    }
+    for (double& s : f.rowScale) {
+      LISI_CHECK(s != 0.0, "SLU: structurally zero row");
+      s = 1.0 / s;
+    }
+  }
+
+  // Working factors as per-column (row, value) lists; rows are ORIGINAL row
+  // indices during factorization and are renumbered to pivot positions at
+  // the end.
+  std::vector<std::vector<std::pair<int, double>>> lCols(
+      static_cast<std::size_t>(n));
+  std::vector<std::vector<std::pair<int, double>>> uCols(
+      static_cast<std::size_t>(n));
+  f.uDiag.assign(static_cast<std::size_t>(n), 0.0);
+
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  Reach reach(n);
+
+  for (int j = 0; j < n; ++j) {
+    const int col = f.q[static_cast<std::size_t>(j)];
+    // Symbolic step: reach of the column's pattern through finished L cols.
+    reach.begin();
+    for (int k = a.colPtr[static_cast<std::size_t>(col)];
+         k < a.colPtr[static_cast<std::size_t>(col) + 1]; ++k) {
+      reach.dfs(a.rowIdx[static_cast<std::size_t>(k)], f.pinv, lCols);
+    }
+    auto& topo = reach.topo();
+    // Scatter the column of A (after symbolic, so fill positions stay 0).
+    for (int k = a.colPtr[static_cast<std::size_t>(col)];
+         k < a.colPtr[static_cast<std::size_t>(col) + 1]; ++k) {
+      const int r = a.rowIdx[static_cast<std::size_t>(k)];
+      const double scale =
+          f.rowScale.empty() ? 1.0 : f.rowScale[static_cast<std::size_t>(r)];
+      x[static_cast<std::size_t>(r)] += a.values[static_cast<std::size_t>(k)] * scale;
+    }
+    // Numeric updates in topological order (parents after children in topo_,
+    // so walk it back to front).
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const int r = *it;
+      const int k = f.pinv[static_cast<std::size_t>(r)];
+      if (k < 0) continue;
+      const double xr = x[static_cast<std::size_t>(r)];
+      if (xr == 0.0) continue;
+      for (const auto& [rr, lv] : lCols[static_cast<std::size_t>(k)]) {
+        x[static_cast<std::size_t>(rr)] -= xr * lv;
+      }
+    }
+    // Pivot among unpivoted reached rows.
+    double maxAbs = 0.0;
+    int pivotRow = -1;
+    for (int r : topo) {
+      if (f.pinv[static_cast<std::size_t>(r)] >= 0) continue;
+      const double mag = std::abs(x[static_cast<std::size_t>(r)]);
+      if (mag > maxAbs) {
+        maxAbs = mag;
+        pivotRow = r;
+      }
+    }
+    LISI_CHECK(pivotRow >= 0 && maxAbs > 0.0,
+               "SLU: matrix is singular (zero pivot column " +
+                   std::to_string(col) + ")");
+    // Threshold pivoting: prefer the diagonal when it is large enough.
+    if (col != pivotRow && f.pinv[static_cast<std::size_t>(col)] < 0 &&
+        reach.wasReached(col) &&
+        std::abs(x[static_cast<std::size_t>(col)]) >=
+            options.diagPivotThresh * maxAbs &&
+        x[static_cast<std::size_t>(col)] != 0.0) {
+      pivotRow = col;
+    }
+    if (pivotRow != col) ++f.stats.offDiagonalPivots;
+    const double pivot = x[static_cast<std::size_t>(pivotRow)];
+    f.uDiag[static_cast<std::size_t>(j)] = pivot;
+
+    // Split reached rows into U (already pivoted) and L (below the pivot).
+    for (int r : topo) {
+      const double v = x[static_cast<std::size_t>(r)];
+      const int k = f.pinv[static_cast<std::size_t>(r)];
+      if (k >= 0) {
+        if (v != 0.0) uCols[static_cast<std::size_t>(j)].emplace_back(k, v);
+      } else if (r != pivotRow) {
+        if (v != 0.0) {
+          lCols[static_cast<std::size_t>(j)].emplace_back(r, v / pivot);
+        }
+      }
+      x[static_cast<std::size_t>(r)] = 0.0;  // reset the work array
+    }
+    f.pinv[static_cast<std::size_t>(pivotRow)] = j;
+  }
+
+  // Renumber L's rows from original indices to pivot positions and flatten.
+  f.lPtr.assign(static_cast<std::size_t>(n) + 1, 0);
+  f.uPtr.assign(static_cast<std::size_t>(n) + 1, 0);
+  long long nnzL = n;  // unit diagonal
+  long long nnzU = n;  // diagonal
+  for (int j = 0; j < n; ++j) {
+    nnzL += static_cast<long long>(lCols[static_cast<std::size_t>(j)].size());
+    nnzU += static_cast<long long>(uCols[static_cast<std::size_t>(j)].size());
+  }
+  f.lRow.reserve(static_cast<std::size_t>(nnzL - n));
+  f.lVal.reserve(static_cast<std::size_t>(nnzL - n));
+  f.uRow.reserve(static_cast<std::size_t>(nnzU - n));
+  f.uVal.reserve(static_cast<std::size_t>(nnzU - n));
+  for (int j = 0; j < n; ++j) {
+    for (const auto& [r, v] : lCols[static_cast<std::size_t>(j)]) {
+      f.lRow.push_back(f.pinv[static_cast<std::size_t>(r)]);
+      f.lVal.push_back(v);
+    }
+    f.lPtr[static_cast<std::size_t>(j) + 1] = static_cast<int>(f.lRow.size());
+    for (const auto& [k, v] : uCols[static_cast<std::size_t>(j)]) {
+      f.uRow.push_back(k);
+      f.uVal.push_back(v);
+    }
+    f.uPtr[static_cast<std::size_t>(j) + 1] = static_cast<int>(f.uRow.size());
+  }
+  // Pivot growth: max|U| over max|A| (with row scaling applied).
+  double maxA = 0.0;
+  for (std::size_t k = 0; k < a.values.size(); ++k) {
+    const double scale =
+        f.rowScale.empty() ? 1.0
+                           : f.rowScale[static_cast<std::size_t>(a.rowIdx[k])];
+    maxA = std::max(maxA, std::abs(a.values[k] * scale));
+  }
+  double maxU = 0.0;
+  for (double v : f.uDiag) maxU = std::max(maxU, std::abs(v));
+  for (double v : f.uVal) maxU = std::max(maxU, std::abs(v));
+  f.stats.pivotGrowth = maxA > 0.0 ? maxU / maxA : 0.0;
+
+  f.stats.nnzL = nnzL;
+  f.stats.nnzU = nnzU;
+  f.stats.fillRatio =
+      f.stats.nnzA > 0
+          ? static_cast<double>(nnzL + nnzU - n) / static_cast<double>(f.stats.nnzA)
+          : 0.0;
+  return fact;
+}
+
+void Factorization::solve(std::span<const double> b,
+                          std::span<double> x) const {
+  solveMany(b, x, 1);
+}
+
+void Factorization::solveTranspose(std::span<const double> b,
+                                   std::span<double> x) const {
+  // A = D^{-1} P' L U Q', so A' = Q U' L' P D^{-1}:
+  //   c = Q' b  ->  solve U' y = c  ->  solve L' z = y  ->  x = D P' z.
+  const Impl& f = *impl_;
+  const auto n = static_cast<std::size_t>(f.n);
+  LISI_CHECK(b.size() == n && x.size() == n,
+             "SLU solveTranspose: size mismatch");
+  std::vector<double> c(n);
+  // c = Q' b: c[k] = b[q[k]].
+  for (std::size_t k = 0; k < n; ++k) {
+    c[k] = b[static_cast<std::size_t>(f.q[k])];
+  }
+  // Forward solve U' y = c (U is upper triangular by column => U' is lower
+  // triangular by row; column-of-U = row-of-U').
+  for (std::size_t k = 0; k < n; ++k) {
+    double acc = c[k];
+    for (int t = f.uPtr[k]; t < f.uPtr[k + 1]; ++t) {
+      acc -= f.uVal[static_cast<std::size_t>(t)] *
+             c[static_cast<std::size_t>(f.uRow[static_cast<std::size_t>(t)])];
+    }
+    c[k] = acc / f.uDiag[k];
+  }
+  // Backward solve L' z = y (unit diagonal).
+  for (int k = static_cast<int>(n) - 1; k >= 0; --k) {
+    double acc = c[static_cast<std::size_t>(k)];
+    for (int t = f.lPtr[static_cast<std::size_t>(k)];
+         t < f.lPtr[static_cast<std::size_t>(k) + 1]; ++t) {
+      acc -= f.lVal[static_cast<std::size_t>(t)] *
+             c[static_cast<std::size_t>(f.lRow[static_cast<std::size_t>(t)])];
+    }
+    c[static_cast<std::size_t>(k)] = acc;
+  }
+  // x = D P' z: x[r] = scale[r] * z[pinv[r]].
+  for (std::size_t r = 0; r < n; ++r) {
+    const double scale = f.rowScale.empty() ? 1.0 : f.rowScale[r];
+    x[r] = scale * c[static_cast<std::size_t>(f.pinv[r])];
+  }
+}
+
+void Factorization::solveMany(std::span<const double> b, std::span<double> x,
+                              int numRhs) const {
+  const Impl& f = *impl_;
+  const auto n = static_cast<std::size_t>(f.n);
+  LISI_CHECK(numRhs >= 1, "SLU solve: numRhs must be >= 1");
+  LISI_CHECK(b.size() == n * static_cast<std::size_t>(numRhs),
+             "SLU solve: b size mismatch");
+  LISI_CHECK(x.size() == b.size(), "SLU solve: x size mismatch");
+
+  std::vector<double> c(n);
+  for (int rhs = 0; rhs < numRhs; ++rhs) {
+    std::span<const double> bk = b.subspan(n * static_cast<std::size_t>(rhs), n);
+    std::span<double> xk = x.subspan(n * static_cast<std::size_t>(rhs), n);
+    // c = P D b  (apply row scaling, then the row permutation).
+    for (std::size_t r = 0; r < n; ++r) {
+      const double scale = f.rowScale.empty() ? 1.0 : f.rowScale[r];
+      c[static_cast<std::size_t>(f.pinv[r])] = bk[r] * scale;
+    }
+    // Forward solve L y = c (unit diagonal, column-oriented).
+    for (std::size_t k = 0; k < n; ++k) {
+      const double yk = c[k];
+      if (yk == 0.0) continue;
+      for (int t = f.lPtr[k]; t < f.lPtr[k + 1]; ++t) {
+        c[static_cast<std::size_t>(f.lRow[static_cast<std::size_t>(t)])] -=
+            yk * f.lVal[static_cast<std::size_t>(t)];
+      }
+    }
+    // Backward solve U z = y (column-oriented).
+    for (int k = static_cast<int>(n) - 1; k >= 0; --k) {
+      const double zk = c[static_cast<std::size_t>(k)] /
+                        f.uDiag[static_cast<std::size_t>(k)];
+      c[static_cast<std::size_t>(k)] = zk;
+      if (zk == 0.0) continue;
+      for (int t = f.uPtr[static_cast<std::size_t>(k)];
+           t < f.uPtr[static_cast<std::size_t>(k) + 1]; ++t) {
+        c[static_cast<std::size_t>(f.uRow[static_cast<std::size_t>(t)])] -=
+            zk * f.uVal[static_cast<std::size_t>(t)];
+      }
+    }
+    // Undo the column permutation: x[q[k]] = z[k].
+    for (std::size_t k = 0; k < n; ++k) {
+      xk[static_cast<std::size_t>(f.q[k])] = c[k];
+    }
+  }
+}
+
+int Factorization::solveRefined(const CscMatrix& a, std::span<const double> b,
+                                std::span<double> x, int maxSteps) const {
+  const auto n = static_cast<std::size_t>(impl_->n);
+  LISI_CHECK(a.rows == impl_->n && a.cols == impl_->n,
+             "solveRefined: matrix order mismatch");
+  LISI_CHECK(b.size() == n && x.size() == n, "solveRefined: size mismatch");
+  solve(b, x);
+  const double bnorm = lisi::sparse::norm2(b);
+  if (bnorm == 0.0) return 0;
+  std::vector<double> r(n), d(n);
+  int steps = 0;
+  double prev = std::numeric_limits<double>::infinity();
+  for (; steps < maxSteps; ++steps) {
+    lisi::sparse::spmv(a, std::span<const double>(x), std::span<double>(r));
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+    const double rnorm = lisi::sparse::norm2(std::span<const double>(r));
+    // Stop at machine-precision-level residuals or stagnation.
+    if (rnorm <= 1e-16 * bnorm || rnorm >= 0.5 * prev) break;
+    prev = rnorm;
+    solve(std::span<const double>(r), std::span<double>(d));
+    for (std::size_t i = 0; i < n; ++i) x[i] += d[i];
+  }
+  return steps;
+}
+
+void solve(const CscMatrix& a, std::span<const double> b, std::span<double> x,
+           const Options& options, Stats* statsOut) {
+  const Factorization fact = Factorization::factorize(a, options);
+  fact.solve(b, x);
+  if (statsOut) *statsOut = fact.stats();
+}
+
+}  // namespace slu

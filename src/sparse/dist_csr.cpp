@@ -1,0 +1,364 @@
+#include "sparse/dist_csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace lisi::sparse {
+
+namespace {
+constexpr int kHaloTag = 701;  ///< user-tag for per-spmv ghost traffic
+}
+
+DistCsrMatrix::DistCsrMatrix(comm::Comm comm, int globalRows, int globalCols,
+                             int startRow, CsrMatrix local,
+                             std::vector<int> colStarts)
+    : comm_(std::move(comm)),
+      globalRows_(globalRows),
+      globalCols_(globalCols),
+      local_(std::move(local)),
+      colStarts_(std::move(colStarts)) {
+  LISI_CHECK(comm_.valid(), "DistCsrMatrix: invalid communicator");
+  LISI_CHECK(globalRows_ >= 0 && globalCols_ >= 0,
+             "DistCsrMatrix: negative dimensions");
+  LISI_CHECK(local_.cols == globalCols_,
+             "DistCsrMatrix: local block must carry global column indices");
+  local_.check();
+  local_.canonicalize();
+
+  // Establish and validate the global row ownership map.
+  struct Extent {
+    int start;
+    int count;
+  };
+  const Extent mine{startRow, local_.rows};
+  std::vector<Extent> all =
+      comm_.allgatherv(std::span<const Extent>(&mine, 1), nullptr);
+  const int p = comm_.size();
+  rowStarts_.resize(static_cast<std::size_t>(p) + 1);
+  int pos = 0;
+  for (int r = 0; r < p; ++r) {
+    LISI_CHECK(all[static_cast<std::size_t>(r)].start == pos,
+               "DistCsrMatrix: ranks do not tile the global rows contiguously");
+    rowStarts_[static_cast<std::size_t>(r)] = pos;
+    pos += all[static_cast<std::size_t>(r)].count;
+  }
+  rowStarts_[static_cast<std::size_t>(p)] = pos;
+  LISI_CHECK(pos == globalRows_,
+             "DistCsrMatrix: local row counts do not sum to globalRows");
+
+  if (colStarts_.empty()) {
+    // Square operators distribute x like the rows.
+    if (globalRows_ == globalCols_) colStarts_ = rowStarts_;
+  } else {
+    LISI_CHECK(static_cast<int>(colStarts_.size()) == p + 1 &&
+                   colStarts_.front() == 0 && colStarts_.back() == globalCols_,
+               "DistCsrMatrix: bad colStarts boundaries");
+    for (int r = 0; r < p; ++r) {
+      LISI_CHECK(colStarts_[static_cast<std::size_t>(r)] <=
+                     colStarts_[static_cast<std::size_t>(r) + 1],
+                 "DistCsrMatrix: colStarts not monotone");
+    }
+  }
+  if (!colStarts_.empty()) buildHaloPlan();
+}
+
+int DistCsrMatrix::localCols() const {
+  LISI_CHECK(!colStarts_.empty(),
+             "DistCsrMatrix: no input-vector partition (rectangular matrix "
+             "constructed without colStarts)");
+  return colStarts_[static_cast<std::size_t>(comm_.rank()) + 1] -
+         colStarts_[static_cast<std::size_t>(comm_.rank())];
+}
+
+int DistCsrMatrix::startRow() const {
+  return rowStarts_[static_cast<std::size_t>(comm_.rank())];
+}
+
+long long DistCsrMatrix::globalNnz() const {
+  return comm_.allreduceValue<long long>(local_.nnz(), comm::ReduceOp::kSum);
+}
+
+DistCsrMatrix DistCsrMatrix::scatterFromRoot(comm::Comm comm,
+                                             const CsrMatrix& global,
+                                             int root) {
+  const int p = comm.size();
+  int dims[2] = {global.rows, global.cols};
+  comm.bcast(std::span<int>(dims), root);
+  const BlockRowPartition part(dims[0], p);
+  const int rank = comm.rank();
+
+  // Root slices its copy; everyone receives their block.
+  std::vector<int> rowLens;
+  std::vector<int> cols;
+  std::vector<double> vals;
+  if (rank == root) {
+    for (int r = 0; r < p; ++r) {
+      const int s = part.startRow(r);
+      const int c = part.localRows(r);
+      std::vector<int> lens(static_cast<std::size_t>(c));
+      std::vector<int> blockCols;
+      std::vector<double> blockVals;
+      for (int i = 0; i < c; ++i) {
+        const int g = s + i;
+        const int b = global.rowPtr[static_cast<std::size_t>(g)];
+        const int e = global.rowPtr[static_cast<std::size_t>(g) + 1];
+        lens[static_cast<std::size_t>(i)] = e - b;
+        blockCols.insert(blockCols.end(), global.colIdx.begin() + b,
+                         global.colIdx.begin() + e);
+        blockVals.insert(blockVals.end(), global.values.begin() + b,
+                         global.values.begin() + e);
+      }
+      if (r == root) {
+        rowLens = std::move(lens);
+        cols = std::move(blockCols);
+        vals = std::move(blockVals);
+      } else {
+        comm.send(std::span<const int>(lens), r, kHaloTag);
+        comm.send(std::span<const int>(blockCols), r, kHaloTag);
+        comm.send(std::span<const double>(blockVals), r, kHaloTag);
+      }
+    }
+  } else {
+    rowLens = comm.recvVector<int>(root, kHaloTag);
+    cols = comm.recvVector<int>(root, kHaloTag);
+    vals = comm.recvVector<double>(root, kHaloTag);
+  }
+
+  CsrMatrix local;
+  local.rows = part.localRows(rank);
+  local.cols = dims[1];
+  local.rowPtr.assign(static_cast<std::size_t>(local.rows) + 1, 0);
+  for (int i = 0; i < local.rows; ++i) {
+    local.rowPtr[static_cast<std::size_t>(i) + 1] =
+        local.rowPtr[static_cast<std::size_t>(i)] +
+        rowLens[static_cast<std::size_t>(i)];
+  }
+  local.colIdx = std::move(cols);
+  local.values = std::move(vals);
+  return DistCsrMatrix(std::move(comm), dims[0], dims[1], part.startRow(rank),
+                       std::move(local));
+}
+
+void DistCsrMatrix::buildHaloPlan() {
+  const int p = comm_.size();
+  const int rank = comm_.rank();
+  const int myStart = colStarts_[static_cast<std::size_t>(rank)];
+  const int myEnd = colStarts_[static_cast<std::size_t>(rank) + 1];
+  const int nlocal = myEnd - myStart;
+
+  // Ghost columns: referenced, not owned.
+  ghostCols_.clear();
+  for (int c : local_.colIdx) {
+    if (c < myStart || c >= myEnd) ghostCols_.push_back(c);
+  }
+  std::sort(ghostCols_.begin(), ghostCols_.end());
+  ghostCols_.erase(std::unique(ghostCols_.begin(), ghostCols_.end()),
+                   ghostCols_.end());
+
+  // Remap the local block's columns: owned -> [0, nlocal), ghost ->
+  // nlocal + position in ghostCols_.
+  mapped_ = local_;
+  for (int& c : mapped_.colIdx) {
+    if (c >= myStart && c < myEnd) {
+      c -= myStart;
+    } else {
+      const auto it = std::lower_bound(ghostCols_.begin(), ghostCols_.end(), c);
+      c = nlocal + static_cast<int>(it - ghostCols_.begin());
+    }
+  }
+  mapped_.cols = nlocal + static_cast<int>(ghostCols_.size());
+
+  // Group ghost columns by owner (ghostCols_ is sorted, so owners ascend).
+  std::vector<std::vector<int>> needFrom(static_cast<std::size_t>(p));
+  {
+    // Owner lookup over the (possibly uneven) colStarts_ boundaries.  Empty
+    // ranges make upper_bound ambiguous, so scan to the owning non-empty one.
+    for (int c : ghostCols_) {
+      const auto it =
+          std::upper_bound(colStarts_.begin(), colStarts_.end(), c);
+      int owner = static_cast<int>(it - colStarts_.begin()) - 1;
+      while (owner + 1 < p && colStarts_[static_cast<std::size_t>(owner)] ==
+                                  colStarts_[static_cast<std::size_t>(owner) + 1]) {
+        ++owner;
+      }
+      LISI_ASSERT(owner >= 0 && owner < p && owner != rank);
+      needFrom[static_cast<std::size_t>(owner)].push_back(c);
+    }
+  }
+  recvFromRanks_.clear();
+  recvCounts_.clear();
+  recvOffsets_.clear();
+  int offset = 0;
+  for (int r = 0; r < p; ++r) {
+    if (needFrom[static_cast<std::size_t>(r)].empty()) continue;
+    recvFromRanks_.push_back(r);
+    recvCounts_.push_back(
+        static_cast<int>(needFrom[static_cast<std::size_t>(r)].size()));
+    recvOffsets_.push_back(offset);
+    offset += recvCounts_.back();
+  }
+
+  // Tell every rank how many of its entries we need, then exchange the
+  // index lists so senders know what to ship each spmv.
+  std::vector<int> requestCounts(static_cast<std::size_t>(p), 0);
+  for (int r = 0; r < p; ++r) {
+    requestCounts[static_cast<std::size_t>(r)] =
+        static_cast<int>(needFrom[static_cast<std::size_t>(r)].size());
+  }
+  std::vector<int> allCounts =
+      comm_.allgatherv(std::span<const int>(requestCounts), nullptr);
+  // allCounts[q*p + r] = how many entries rank q needs from rank r.
+  sendToRanks_.clear();
+  sendLocal_.clear();
+  for (const int r : recvFromRanks_) {
+    comm_.send(std::span<const int>(needFrom[static_cast<std::size_t>(r)]), r,
+               kHaloTag);
+  }
+  for (int q = 0; q < p; ++q) {
+    if (q == rank) continue;
+    const int needed =
+        allCounts[static_cast<std::size_t>(q) * static_cast<std::size_t>(p) +
+                  static_cast<std::size_t>(rank)];
+    if (needed == 0) continue;
+    std::vector<int> globalIdx = comm_.recvVector<int>(q, kHaloTag);
+    LISI_ASSERT(static_cast<int>(globalIdx.size()) == needed);
+    std::vector<int> localIdx(globalIdx.size());
+    for (std::size_t k = 0; k < globalIdx.size(); ++k) {
+      LISI_ASSERT(globalIdx[k] >= myStart && globalIdx[k] < myEnd);
+      localIdx[k] = globalIdx[k] - myStart;
+    }
+    sendToRanks_.push_back(q);
+    sendLocal_.push_back(std::move(localIdx));
+  }
+}
+
+void DistCsrMatrix::spmv(std::span<const double> xLocal,
+                         std::span<double> yLocal) const {
+  LISI_CHECK(!colStarts_.empty(),
+             "DistCsrMatrix::spmv: rectangular operator constructed without "
+             "colStarts");
+  LISI_CHECK(static_cast<int>(xLocal.size()) == localCols(),
+             "DistCsrMatrix::spmv: x size mismatch");
+  LISI_CHECK(static_cast<int>(yLocal.size()) == localRows(),
+             "DistCsrMatrix::spmv: y size mismatch");
+
+  // Ship requested x entries to their consumers (buffered sends complete
+  // immediately in MiniMPI), then collect our ghosts.
+  std::vector<double> buffer;
+  for (std::size_t s = 0; s < sendToRanks_.size(); ++s) {
+    const std::vector<int>& idx = sendLocal_[s];
+    buffer.resize(idx.size());
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      buffer[k] = xLocal[static_cast<std::size_t>(idx[k])];
+    }
+    comm_.send(std::span<const double>(buffer), sendToRanks_[s], kHaloTag);
+  }
+  std::vector<double> xExt(xLocal.size() + ghostCols_.size());
+  std::copy(xLocal.begin(), xLocal.end(), xExt.begin());
+  for (std::size_t r = 0; r < recvFromRanks_.size(); ++r) {
+    comm_.recv(std::span<double>(xExt.data() + xLocal.size() +
+                                     static_cast<std::size_t>(recvOffsets_[r]),
+                                 static_cast<std::size_t>(recvCounts_[r])),
+               recvFromRanks_[r], kHaloTag);
+  }
+
+  // Local product on the remapped block.
+  for (int i = 0; i < mapped_.rows; ++i) {
+    double acc = 0.0;
+    for (int k = mapped_.rowPtr[static_cast<std::size_t>(i)];
+         k < mapped_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+      acc += mapped_.values[static_cast<std::size_t>(k)] *
+             xExt[static_cast<std::size_t>(
+                 mapped_.colIdx[static_cast<std::size_t>(k)])];
+    }
+    yLocal[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+CsrMatrix DistCsrMatrix::gatherToRoot(int root) const {
+  std::vector<int> lens(static_cast<std::size_t>(local_.rows));
+  for (int i = 0; i < local_.rows; ++i) {
+    lens[static_cast<std::size_t>(i)] =
+        local_.rowPtr[static_cast<std::size_t>(i) + 1] -
+        local_.rowPtr[static_cast<std::size_t>(i)];
+  }
+  std::vector<int> allLens = comm_.gatherv(std::span<const int>(lens), root);
+  std::vector<int> allCols =
+      comm_.gatherv(std::span<const int>(local_.colIdx), root);
+  std::vector<double> allVals =
+      comm_.gatherv(std::span<const double>(local_.values), root);
+  CsrMatrix global;
+  if (comm_.rank() == root) {
+    global.rows = globalRows_;
+    global.cols = globalCols_;
+    global.rowPtr.assign(static_cast<std::size_t>(globalRows_) + 1, 0);
+    for (int i = 0; i < globalRows_; ++i) {
+      global.rowPtr[static_cast<std::size_t>(i) + 1] =
+          global.rowPtr[static_cast<std::size_t>(i)] +
+          allLens[static_cast<std::size_t>(i)];
+    }
+    global.colIdx = std::move(allCols);
+    global.values = std::move(allVals);
+    global.check();
+  }
+  return global;
+}
+
+std::vector<double> DistCsrMatrix::gatherVectorToRoot(
+    std::span<const double> xLocal, int root) const {
+  LISI_CHECK(static_cast<int>(xLocal.size()) == localRows(),
+             "gatherVectorToRoot: size mismatch");
+  return comm_.gatherv(xLocal, root);
+}
+
+std::vector<double> DistCsrMatrix::scatterVectorFromRoot(
+    std::span<const double> xGlobal, int root) const {
+  const int p = comm_.size();
+  std::vector<int> counts(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    counts[static_cast<std::size_t>(r)] =
+        rowStarts_[static_cast<std::size_t>(r) + 1] -
+        rowStarts_[static_cast<std::size_t>(r)];
+  }
+  if (comm_.rank() == root) {
+    LISI_CHECK(static_cast<int>(xGlobal.size()) == globalRows_,
+               "scatterVectorFromRoot: global size mismatch");
+  }
+  return comm_.scatterv(xGlobal, std::span<const int>(counts), root);
+}
+
+std::vector<double> DistCsrMatrix::localDiagonal() const {
+  const int myStart = startRow();
+  std::vector<double> d(static_cast<std::size_t>(local_.rows), 0.0);
+  for (int i = 0; i < local_.rows; ++i) {
+    for (int k = local_.rowPtr[static_cast<std::size_t>(i)];
+         k < local_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+      if (local_.colIdx[static_cast<std::size_t>(k)] == myStart + i) {
+        d[static_cast<std::size_t>(i)] +=
+            local_.values[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  return d;
+}
+
+double distDot(const comm::Comm& comm, std::span<const double> x,
+               std::span<const double> y) {
+  LISI_CHECK(x.size() == y.size(), "distDot: local size mismatch");
+  double local = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) local += x[i] * y[i];
+  return comm.allreduceValue(local, comm::ReduceOp::kSum);
+}
+
+double distNorm2(const comm::Comm& comm, std::span<const double> x) {
+  return std::sqrt(distDot(comm, x, x));
+}
+
+double distNormInf(const comm::Comm& comm, std::span<const double> x) {
+  double local = 0.0;
+  for (double v : x) local = std::max(local, std::abs(v));
+  return comm.allreduceValue(local, comm::ReduceOp::kMax);
+}
+
+}  // namespace lisi::sparse

@@ -1,0 +1,114 @@
+// Block-row distributed sparse matrix with halo exchange.
+//
+// Every parallel solver package in this repository stores its operator this
+// way: rank r owns a contiguous range of global rows (§5.4 block row
+// partitioning) as a local CSR block whose column indices are *global*.
+// For y = A*x with x partitioned conformally, the off-process x entries a
+// rank's columns touch (its "ghosts") are fetched from their owners through
+// a communication plan built once at construction.
+#pragma once
+
+#include <span>
+
+#include "comm/comm.hpp"
+#include "sparse/formats.hpp"
+#include "sparse/partition.hpp"
+
+namespace lisi::sparse {
+
+/// Distributed CSR matrix (square operators distribute x like rows; spmv
+/// requires globalRows == globalCols).
+class DistCsrMatrix {
+ public:
+  /// Wrap this rank's block of rows [startRow, startRow + local.rows).
+  /// `local.cols` must equal `globalCols` (column indices are global).
+  /// Collective: all ranks of `comm` must construct together.
+  ///
+  /// For square operators the input vector of spmv() is partitioned like
+  /// the rows.  Rectangular operators (multigrid transfer operators, for
+  /// example) must pass `colStarts`: the ownership boundaries of the input
+  /// vector (size comm.size()+1, covering [0, globalCols]).
+  DistCsrMatrix(comm::Comm comm, int globalRows, int globalCols, int startRow,
+                CsrMatrix local, std::vector<int> colStarts = {});
+
+  /// Scatter a replicated global matrix by near-even block rows (rank 0's
+  /// copy is authoritative).  Collective.
+  static DistCsrMatrix scatterFromRoot(comm::Comm comm, const CsrMatrix& global,
+                                       int root = 0);
+
+  [[nodiscard]] int globalRows() const { return globalRows_; }
+  [[nodiscard]] int globalCols() const { return globalCols_; }
+  [[nodiscard]] int startRow() const;
+  [[nodiscard]] int localRows() const { return local_.rows; }
+  [[nodiscard]] long long globalNnz() const;
+  /// This rank's rows with *global* column indices.
+  [[nodiscard]] const CsrMatrix& localBlock() const { return local_; }
+  [[nodiscard]] const comm::Comm& comm() const { return comm_; }
+  /// Row-ownership boundaries across ranks (size comm.size()+1).
+  [[nodiscard]] const std::vector<int>& rowStarts() const { return rowStarts_; }
+  /// Input-vector ownership boundaries (== rowStarts() for square operators).
+  [[nodiscard]] const std::vector<int>& colStarts() const { return colStarts_; }
+  /// Number of input-vector entries owned by this rank.
+  [[nodiscard]] int localCols() const;
+
+  /// y = A*x; x is this rank's piece under colStarts(), y under rowStarts().
+  /// Collective.
+  void spmv(std::span<const double> xLocal, std::span<double> yLocal) const;
+
+  /// Gather the whole matrix onto `root` (empty matrix elsewhere).
+  /// Used by the direct-solver package.  Collective.
+  [[nodiscard]] CsrMatrix gatherToRoot(int root = 0) const;
+
+  /// Gather a conformally partitioned vector onto `root`.  Collective.
+  [[nodiscard]] std::vector<double> gatherVectorToRoot(
+      std::span<const double> xLocal, int root = 0) const;
+
+  /// Scatter a global vector on `root` into conformal local pieces.
+  /// Collective.
+  [[nodiscard]] std::vector<double> scatterVectorFromRoot(
+      std::span<const double> xGlobal, int root = 0) const;
+
+  /// The diagonal part of this rank's rows (global diagonal restricted to
+  /// the owned range).
+  [[nodiscard]] std::vector<double> localDiagonal() const;
+
+  /// Number of ghost entries this rank pulls per spmv (plan statistics).
+  [[nodiscard]] int numGhosts() const { return static_cast<int>(ghostCols_.size()); }
+
+ private:
+  void buildHaloPlan();
+
+  comm::Comm comm_;
+  int globalRows_ = 0;
+  int globalCols_ = 0;
+  CsrMatrix local_;             ///< global column indices
+  std::vector<int> rowStarts_;  ///< row ownership boundaries, size P+1
+  std::vector<int> colStarts_;  ///< input-vector ownership boundaries
+
+  // Halo plan (built once):
+  std::vector<int> ghostCols_;              ///< sorted global cols we need
+  CsrMatrix mapped_;                        ///< local_ with remapped columns:
+                                            ///< owned -> [0,nlocal), ghost ->
+                                            ///< nlocal + slot
+  std::vector<int> recvFromRanks_;          ///< ranks we receive ghosts from
+  std::vector<int> recvCounts_;             ///< ghosts per recv rank
+  std::vector<int> recvOffsets_;            ///< slot offset per recv rank
+  std::vector<int> sendToRanks_;            ///< ranks we send x entries to
+  std::vector<std::vector<int>> sendLocal_; ///< local x indices per send rank
+};
+
+// ---- Distributed vector helpers (conformal block-row pieces) -----------
+
+/// Global dot product of two partitioned vectors.  Collective.
+[[nodiscard]] double distDot(const comm::Comm& comm, std::span<const double> x,
+                             std::span<const double> y);
+
+/// Global Euclidean norm of a partitioned vector.  Collective.
+[[nodiscard]] double distNorm2(const comm::Comm& comm,
+                               std::span<const double> x);
+
+/// Global infinity norm of a partitioned vector.  Collective.
+[[nodiscard]] double distNormInf(const comm::Comm& comm,
+                                 std::span<const double> x);
+
+}  // namespace lisi::sparse

@@ -1,0 +1,134 @@
+#include "sparse/generate.hpp"
+
+#include <cmath>
+
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
+
+namespace lisi::sparse {
+
+CsrMatrix randomCsr(int rows, int cols, int nnzPerRow, Rng& rng) {
+  LISI_CHECK(rows >= 0 && cols > 0, "randomCsr: bad dimensions");
+  LISI_CHECK(nnzPerRow >= 0, "randomCsr: negative nnzPerRow");
+  CooMatrix coo;
+  coo.rows = rows;
+  coo.cols = cols;
+  for (int i = 0; i < rows; ++i) {
+    for (int k = 0; k < nnzPerRow; ++k) {
+      coo.rowIdx.push_back(i);
+      coo.colIdx.push_back(static_cast<int>(rng.below(static_cast<std::uint64_t>(cols))));
+      coo.values.push_back(rng.uniform(-1.0, 1.0));
+    }
+  }
+  return cooToCsr(coo);
+}
+
+CsrMatrix randomDiagDominant(int n, int nnzPerRow, double dominance, Rng& rng) {
+  CsrMatrix a = randomCsr(n, n, nnzPerRow, rng);
+  // Remove any random diagonal contributions, then set the diagonal to
+  // strictly dominate the row.
+  CooMatrix coo = csrToCoo(a);
+  CooMatrix clean;
+  clean.rows = n;
+  clean.cols = n;
+  std::vector<double> rowAbs(static_cast<std::size_t>(n), 0.0);
+  for (std::size_t k = 0; k < coo.values.size(); ++k) {
+    if (coo.rowIdx[k] == coo.colIdx[k]) continue;
+    clean.rowIdx.push_back(coo.rowIdx[k]);
+    clean.colIdx.push_back(coo.colIdx[k]);
+    clean.values.push_back(coo.values[k]);
+    rowAbs[static_cast<std::size_t>(coo.rowIdx[k])] += std::abs(coo.values[k]);
+  }
+  for (int i = 0; i < n; ++i) {
+    clean.rowIdx.push_back(i);
+    clean.colIdx.push_back(i);
+    clean.values.push_back(rowAbs[static_cast<std::size_t>(i)] + dominance);
+  }
+  return cooToCsr(clean);
+}
+
+CsrMatrix randomSpd(int n, int nnzPerRow, Rng& rng) {
+  CsrMatrix r = randomCsr(n, n, nnzPerRow, rng);
+  CsrMatrix rt = transpose(r);
+  // S = R + R' (symmetric), then add a dominant diagonal.
+  CooMatrix coo = csrToCoo(r);
+  CooMatrix coot = csrToCoo(rt);
+  CooMatrix sum;
+  sum.rows = n;
+  sum.cols = n;
+  auto append = [&sum](const CooMatrix& m) {
+    sum.rowIdx.insert(sum.rowIdx.end(), m.rowIdx.begin(), m.rowIdx.end());
+    sum.colIdx.insert(sum.colIdx.end(), m.colIdx.begin(), m.colIdx.end());
+    sum.values.insert(sum.values.end(), m.values.begin(), m.values.end());
+  };
+  append(coo);
+  append(coot);
+  CsrMatrix s = cooToCsr(sum);
+  std::vector<double> rowAbs(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int k = s.rowPtr[static_cast<std::size_t>(i)];
+         k < s.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+      if (s.colIdx[static_cast<std::size_t>(k)] != i) {
+        rowAbs[static_cast<std::size_t>(i)] +=
+            std::abs(s.values[static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+  CooMatrix withDiag = csrToCoo(s);
+  for (int i = 0; i < n; ++i) {
+    withDiag.rowIdx.push_back(i);
+    withDiag.colIdx.push_back(i);
+    withDiag.values.push_back(rowAbs[static_cast<std::size_t>(i)] + 1.0);
+  }
+  return cooToCsr(withDiag);
+}
+
+CsrMatrix laplacian1d(int n) {
+  LISI_CHECK(n >= 1, "laplacian1d: n must be >= 1");
+  CooMatrix coo;
+  coo.rows = n;
+  coo.cols = n;
+  for (int i = 0; i < n; ++i) {
+    coo.rowIdx.push_back(i);
+    coo.colIdx.push_back(i);
+    coo.values.push_back(2.0);
+    if (i > 0) {
+      coo.rowIdx.push_back(i);
+      coo.colIdx.push_back(i - 1);
+      coo.values.push_back(-1.0);
+    }
+    if (i + 1 < n) {
+      coo.rowIdx.push_back(i);
+      coo.colIdx.push_back(i + 1);
+      coo.values.push_back(-1.0);
+    }
+  }
+  return cooToCsr(coo);
+}
+
+CsrMatrix laplacian2d(int nx, int ny) {
+  LISI_CHECK(nx >= 1 && ny >= 1, "laplacian2d: grid must be >= 1x1");
+  const int n = nx * ny;
+  CooMatrix coo;
+  coo.rows = n;
+  coo.cols = n;
+  auto id = [nx](int ix, int iy) { return iy * nx + ix; };
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      const int row = id(ix, iy);
+      coo.rowIdx.push_back(row);
+      coo.colIdx.push_back(row);
+      coo.values.push_back(4.0);
+      const int nbr[4][2] = {{ix - 1, iy}, {ix + 1, iy}, {ix, iy - 1}, {ix, iy + 1}};
+      for (const auto& nb : nbr) {
+        if (nb[0] < 0 || nb[0] >= nx || nb[1] < 0 || nb[1] >= ny) continue;
+        coo.rowIdx.push_back(row);
+        coo.colIdx.push_back(id(nb[0], nb[1]));
+        coo.values.push_back(-1.0);
+      }
+    }
+  }
+  return cooToCsr(coo);
+}
+
+}  // namespace lisi::sparse

@@ -1,0 +1,29 @@
+// Synthetic sparse-matrix generators for tests, benches, and examples.
+#pragma once
+
+#include "sparse/formats.hpp"
+#include "support/rng.hpp"
+
+namespace lisi::sparse {
+
+/// Random sparse matrix: each row gets `nnzPerRow` entries at uniformly
+/// random columns (duplicates merged), values uniform in [-1, 1).
+[[nodiscard]] CsrMatrix randomCsr(int rows, int cols, int nnzPerRow, Rng& rng);
+
+/// Random strictly diagonally dominant square matrix (every iterative method
+/// and ILU factorization in the repo converges on these), values in [-1,1)
+/// off-diagonal, diagonal = (row abs sum) + `dominance`.
+[[nodiscard]] CsrMatrix randomDiagDominant(int n, int nnzPerRow, double dominance,
+                                           Rng& rng);
+
+/// Symmetric positive definite matrix built as D + R + R' with dominant
+/// diagonal (used by CG tests).
+[[nodiscard]] CsrMatrix randomSpd(int n, int nnzPerRow, Rng& rng);
+
+/// Standard 1-D Laplacian tridiag(-1, 2, -1) of order n (SPD, well studied).
+[[nodiscard]] CsrMatrix laplacian1d(int n);
+
+/// Standard 2-D 5-point Laplacian on an nx-by-ny grid (SPD).
+[[nodiscard]] CsrMatrix laplacian2d(int nx, int ny);
+
+}  // namespace lisi::sparse

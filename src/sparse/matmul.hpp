@@ -1,0 +1,33 @@
+// Sparse matrix-matrix multiplication (SpGEMM), serial and distributed.
+//
+// The distributed product is what a real multilevel package needs to form
+// Galerkin coarse operators A_c = R * A * P (hymg's Galerkin option uses
+// exactly that); it also completes the sparse toolkit in its own right.
+//
+// Distribution semantics: operands are block-row distributed.  The result
+// C = A*B inherits A's row distribution and B's input-vector (column)
+// partition.  Each rank fetches the remote rows of B that its local rows
+// of A touch — the row-wise analogue of the halo exchange in spmv.
+#pragma once
+
+#include "sparse/dist_csr.hpp"
+
+namespace lisi::sparse {
+
+/// Serial C = A * B (canonical output).  Requires a.cols == b.rows.
+[[nodiscard]] CsrMatrix matMul(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Distributed C = A * B.  Requires a.globalCols() == b.globalRows() and
+/// that A's input-vector partition equals B's row partition (i.e. the
+/// operands are conformal the way R*A and A*P are in multigrid).
+/// Collective over the shared communicator.
+[[nodiscard]] DistCsrMatrix distMatMul(const DistCsrMatrix& a,
+                                       const DistCsrMatrix& b);
+
+/// Distributed triple product R * A * P (Galerkin coarse operator).
+/// Collective.
+[[nodiscard]] DistCsrMatrix galerkinProduct(const DistCsrMatrix& r,
+                                            const DistCsrMatrix& a,
+                                            const DistCsrMatrix& p);
+
+}  // namespace lisi::sparse

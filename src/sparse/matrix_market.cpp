@@ -1,0 +1,124 @@
+#include "sparse/matrix_market.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "sparse/convert.hpp"
+#include "support/string_util.hpp"
+
+namespace lisi::sparse {
+
+void writeMatrixMarket(std::ostream& os, const CsrMatrix& a) {
+  os << "%%MatrixMarket matrix coordinate real general\n";
+  os << a.rows << ' ' << a.cols << ' ' << a.nnz() << '\n';
+  os << std::setprecision(17);
+  for (int i = 0; i < a.rows; ++i) {
+    for (int k = a.rowPtr[static_cast<std::size_t>(i)];
+         k < a.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+      os << (i + 1) << ' ' << (a.colIdx[static_cast<std::size_t>(k)] + 1) << ' '
+         << a.values[static_cast<std::size_t>(k)] << '\n';
+    }
+  }
+}
+
+void writeMatrixMarket(const std::string& path, const CsrMatrix& a) {
+  std::ofstream os(path);
+  LISI_CHECK(os.good(), "cannot open for write: " + path);
+  writeMatrixMarket(os, a);
+  LISI_CHECK(os.good(), "write failed: " + path);
+}
+
+CsrMatrix readMatrixMarket(std::istream& is) {
+  std::string line;
+  LISI_CHECK(static_cast<bool>(std::getline(is, line)), "empty MatrixMarket stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  LISI_CHECK(banner == "%%MatrixMarket", "missing MatrixMarket banner");
+  LISI_CHECK(toLower(object) == "matrix", "not a matrix file");
+  LISI_CHECK(toLower(format) == "coordinate", "only coordinate format supported");
+  const std::string f = toLower(field);
+  LISI_CHECK(f == "real" || f == "integer",
+             "only real/integer MatrixMarket fields supported");
+  const std::string sym = toLower(symmetry);
+  LISI_CHECK(sym == "general" || sym == "symmetric",
+             "only general/symmetric symmetry supported");
+
+  // Skip comments.
+  while (std::getline(is, line)) {
+    const std::string t = trim(line);
+    if (!t.empty() && t[0] != '%') break;
+  }
+  std::istringstream sizes(line);
+  int rows = 0;
+  int cols = 0;
+  long long nnz = 0;
+  sizes >> rows >> cols >> nnz;
+  LISI_CHECK(rows > 0 && cols > 0 && nnz >= 0, "bad MatrixMarket size line");
+
+  CooMatrix coo;
+  coo.rows = rows;
+  coo.cols = cols;
+  coo.rowIdx.reserve(static_cast<std::size_t>(nnz));
+  coo.colIdx.reserve(static_cast<std::size_t>(nnz));
+  coo.values.reserve(static_cast<std::size_t>(nnz));
+  for (long long k = 0; k < nnz; ++k) {
+    int i = 0;
+    int j = 0;
+    double v = 0.0;
+    is >> i >> j >> v;
+    LISI_CHECK(static_cast<bool>(is), "truncated MatrixMarket entries");
+    coo.rowIdx.push_back(i - 1);
+    coo.colIdx.push_back(j - 1);
+    coo.values.push_back(v);
+    if (sym == "symmetric" && i != j) {
+      coo.rowIdx.push_back(j - 1);
+      coo.colIdx.push_back(i - 1);
+      coo.values.push_back(v);
+    }
+  }
+  return cooToCsr(coo);
+}
+
+CsrMatrix readMatrixMarket(const std::string& path) {
+  std::ifstream is(path);
+  LISI_CHECK(is.good(), "cannot open for read: " + path);
+  return readMatrixMarket(is);
+}
+
+void writeMatrixMarketVector(const std::string& path,
+                             std::span<const double> v) {
+  std::ofstream os(path);
+  LISI_CHECK(os.good(), "cannot open for write: " + path);
+  os << "%%MatrixMarket matrix array real general\n";
+  os << v.size() << " 1\n";
+  os << std::setprecision(17);
+  for (double x : v) os << x << '\n';
+  LISI_CHECK(os.good(), "write failed: " + path);
+}
+
+std::vector<double> readMatrixMarketVector(const std::string& path) {
+  std::ifstream is(path);
+  LISI_CHECK(is.good(), "cannot open for read: " + path);
+  std::string line;
+  LISI_CHECK(static_cast<bool>(std::getline(is, line)), "empty vector file");
+  LISI_CHECK(line.rfind("%%MatrixMarket", 0) == 0, "missing banner");
+  while (std::getline(is, line)) {
+    const std::string t = trim(line);
+    if (!t.empty() && t[0] != '%') break;
+  }
+  std::istringstream sizes(line);
+  long long n = 0;
+  int one = 0;
+  sizes >> n >> one;
+  LISI_CHECK(n >= 0 && one == 1, "bad vector size line");
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) {
+    is >> x;
+    LISI_CHECK(static_cast<bool>(is), "truncated vector entries");
+  }
+  return v;
+}
+
+}  // namespace lisi::sparse

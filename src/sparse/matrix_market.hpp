@@ -1,0 +1,32 @@
+// Minimal MatrixMarket (coordinate, real) reader/writer.  Used by the mesh
+// generator's per-node data files (§8: "Mesh data files are written out on
+// each compute node locally for faster data input") and by examples that
+// load external systems.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "sparse/formats.hpp"
+
+namespace lisi::sparse {
+
+/// Write `a` in MatrixMarket coordinate/real/general format.
+void writeMatrixMarket(std::ostream& os, const CsrMatrix& a);
+void writeMatrixMarket(const std::string& path, const CsrMatrix& a);
+
+/// Read a MatrixMarket coordinate file (real or integer values; `general`
+/// or `symmetric` symmetry — symmetric input is expanded).  Pattern and
+/// complex files are rejected with lisi::Error.
+[[nodiscard]] CsrMatrix readMatrixMarket(std::istream& is);
+[[nodiscard]] CsrMatrix readMatrixMarket(const std::string& path);
+
+/// Write a dense vector as a MatrixMarket array file.
+void writeMatrixMarketVector(const std::string& path,
+                             std::span<const double> v);
+
+/// Read a dense vector from a MatrixMarket array file.
+[[nodiscard]] std::vector<double> readMatrixMarketVector(const std::string& path);
+
+}  // namespace lisi::sparse

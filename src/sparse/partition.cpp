@@ -1,0 +1,39 @@
+#include "sparse/partition.hpp"
+
+#include <algorithm>
+
+namespace lisi::sparse {
+
+BlockRowPartition::BlockRowPartition(int globalRows, int nranks)
+    : globalRows_(globalRows) {
+  LISI_CHECK(globalRows >= 0, "BlockRowPartition: negative row count");
+  LISI_CHECK(nranks >= 1, "BlockRowPartition: need at least one rank");
+  starts_.resize(static_cast<std::size_t>(nranks) + 1);
+  const int base = globalRows / nranks;
+  const int extra = globalRows % nranks;
+  int pos = 0;
+  for (int r = 0; r < nranks; ++r) {
+    starts_[static_cast<std::size_t>(r)] = pos;
+    pos += base + (r < extra ? 1 : 0);
+  }
+  starts_[static_cast<std::size_t>(nranks)] = globalRows;
+}
+
+int BlockRowPartition::startRow(int rank) const {
+  LISI_CHECK(rank >= 0 && rank < numRanks(), "startRow: rank out of range");
+  return starts_[static_cast<std::size_t>(rank)];
+}
+
+int BlockRowPartition::localRows(int rank) const {
+  LISI_CHECK(rank >= 0 && rank < numRanks(), "localRows: rank out of range");
+  return starts_[static_cast<std::size_t>(rank) + 1] -
+         starts_[static_cast<std::size_t>(rank)];
+}
+
+int BlockRowPartition::ownerOf(int row) const {
+  LISI_CHECK(row >= 0 && row < globalRows_, "ownerOf: row out of range");
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), row);
+  return static_cast<int>(it - starts_.begin()) - 1;
+}
+
+}  // namespace lisi::sparse

@@ -1,0 +1,41 @@
+// Block-row partitioning of a global index range across ranks.
+//
+// §5.4: until a sparse Distributed Array Descriptor exists, LISI assumes
+// block row partitioning — each rank owns a contiguous range of global rows.
+// This helper computes the standard near-even split and answers ownership
+// queries; it is shared by the mesh generator, the distributed matrix, and
+// every solver package.
+#pragma once
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lisi::sparse {
+
+/// Contiguous block-row ownership map for `globalRows` rows over `nranks`
+/// ranks: the first (globalRows % nranks) ranks get one extra row.
+class BlockRowPartition {
+ public:
+  BlockRowPartition() = default;
+  BlockRowPartition(int globalRows, int nranks);
+
+  [[nodiscard]] int globalRows() const { return globalRows_; }
+  [[nodiscard]] int numRanks() const {
+    return static_cast<int>(starts_.size()) - 1;
+  }
+  /// First global row owned by `rank`.
+  [[nodiscard]] int startRow(int rank) const;
+  /// Number of rows owned by `rank`.
+  [[nodiscard]] int localRows(int rank) const;
+  /// Rank owning global row `row`.
+  [[nodiscard]] int ownerOf(int row) const;
+  /// Boundary array [0, s1, s2, ..., globalRows] (size numRanks+1).
+  [[nodiscard]] const std::vector<int>& boundaries() const { return starts_; }
+
+ private:
+  int globalRows_ = 0;
+  std::vector<int> starts_;
+};
+
+}  // namespace lisi::sparse

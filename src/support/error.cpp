@@ -1,0 +1,30 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace lisi {
+
+const char* errorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kBadState: return "bad-state";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kNumericFailure: return "numeric-failure";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+void failCheck(const char* expr, const char* file, int line,
+               const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " [check `" << expr << "` failed at " << file << ':' << line
+     << ']';
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace lisi

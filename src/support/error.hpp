@@ -1,0 +1,53 @@
+// Error handling primitives shared by every CCA-LISI module.
+//
+// Inside a package (pksp, aztec, slu, hymg, sparse, ...) failures throw
+// lisi::Error.  The LISI port boundary itself never lets exceptions escape:
+// adapter components translate Error into the SIDL-style nonzero int return
+// codes mandated by the interface (see src/lisi/sparse_solver.hpp).
+#pragma once
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace lisi {
+
+/// Exception type used throughout the CCA-LISI libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// SIDL-style status codes returned across the LISI port boundary.
+/// 0 means success, everything else is a failure category.
+enum class ErrorCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kBadState = 2,          // e.g. solve() before setupMatrix()
+  kUnsupported = 3,       // format/feature a backend cannot handle
+  kNumericFailure = 4,    // divergence, singular pivot, breakdown
+  kInternal = 5,
+};
+
+/// Human-readable name for a status code (used in examples and logs).
+const char* errorCodeName(ErrorCode code);
+
+namespace detail {
+[[noreturn]] void failCheck(const char* expr, const char* file, int line,
+                            const std::string& msg);
+}  // namespace detail
+
+}  // namespace lisi
+
+/// Precondition / invariant check that throws lisi::Error on failure.
+/// Active in all build types: these guard user-facing API contracts.
+#define LISI_CHECK(expr, msg)                                       \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::lisi::detail::failCheck(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                               \
+  } while (false)
+
+/// Internal consistency check; identical behaviour, distinct intent.
+#define LISI_ASSERT(expr) LISI_CHECK(expr, "internal invariant violated")

@@ -1,0 +1,46 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace lisi {
+
+void RunStats::add(double sample) { samples_.push_back(sample); }
+
+double RunStats::mean() const {
+  LISI_CHECK(!samples_.empty(), "mean() of empty RunStats");
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double RunStats::min() const {
+  LISI_CHECK(!samples_.empty(), "min() of empty RunStats");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double RunStats::max() const {
+  LISI_CHECK(!samples_.empty(), "max() of empty RunStats");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double RunStats::median() const {
+  LISI_CHECK(!samples_.empty(), "median() of empty RunStats");
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  return (n % 2 == 1) ? sorted[n / 2]
+                      : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+double RunStats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+}  // namespace lisi

@@ -1,0 +1,30 @@
+// Small-sample run statistics.  The paper's experiments (§8) repeat every
+// timing ten times and report the mean; RunStats supports that protocol and
+// adds the usual dispersion measures for EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lisi {
+
+/// Collects scalar samples (typically per-run wall-clock seconds).
+class RunStats {
+ public:
+  void add(double sample);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double median() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace lisi

@@ -1,0 +1,66 @@
+#include "support/string_util.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace lisi {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string toLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<bool> parseBool(std::string_view s) {
+  const std::string t = toLower(trim(s));
+  if (t == "true" || t == "1" || t == "yes" || t == "on") return true;
+  if (t == "false" || t == "0" || t == "no" || t == "off") return false;
+  return std::nullopt;
+}
+
+std::optional<long long> parseInt(std::string_view s) {
+  const std::string t = trim(s);
+  long long value = 0;
+  const char* first = t.data();
+  const char* last = t.data() + t.size();
+  auto [ptr, ec] = std::from_chars(first, last, value, 10);
+  if (ec != std::errc{} || ptr != last || t.empty()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parseDouble(std::string_view s) {
+  const std::string t = trim(s);
+  if (t.empty()) return std::nullopt;
+  // std::from_chars<double> is available in libstdc++ 11+; use strtod for
+  // maximal portability with an explicit end-pointer check.
+  char* end = nullptr;
+  const double value = std::strtod(t.c_str(), &end);
+  if (end != t.c_str() + t.size()) return std::nullopt;
+  return value;
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(trim(s.substr(start)));
+      break;
+    }
+    out.push_back(trim(s.substr(start, pos - start)));
+    start = pos + 1;
+  }
+  return out;
+}
+
+}  // namespace lisi

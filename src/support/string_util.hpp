@@ -1,0 +1,30 @@
+// String helpers used by the generic parameter-setting machinery
+// (LISI §6.5: `set(key, value)` string pairs must be parsed by adapters).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lisi {
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string trim(std::string_view s);
+
+/// ASCII lower-casing (parameter keys are case-insensitive in LISI).
+[[nodiscard]] std::string toLower(std::string_view s);
+
+/// Parse "true"/"false"/"1"/"0"/"yes"/"no" (case-insensitive).
+[[nodiscard]] std::optional<bool> parseBool(std::string_view s);
+
+/// Parse a base-10 integer; rejects trailing garbage.
+[[nodiscard]] std::optional<long long> parseInt(std::string_view s);
+
+/// Parse a floating-point value; rejects trailing garbage.
+[[nodiscard]] std::optional<double> parseDouble(std::string_view s);
+
+/// Split on a delimiter, trimming each piece; empty pieces preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+}  // namespace lisi

@@ -1,0 +1,41 @@
+// Wall-clock timing utilities used by the benchmark harnesses (§8 of the
+// paper times complete component solves, ten runs each, reporting the mean).
+#pragma once
+
+#include <chrono>
+
+namespace lisi {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a double on destruction; used to attribute
+/// time to phases (setup / solve) inside adapter components.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& sink) : sink_(sink) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { sink_ += timer_.seconds(); }
+
+ private:
+  double& sink_;
+  WallTimer timer_;
+};
+
+}  // namespace lisi

@@ -1,0 +1,214 @@
+// CCA framework tests: class registry, instantiation, provides/uses wiring,
+// type checking, late binding (dynamic switching), and teardown.
+#include <gtest/gtest.h>
+
+#include "cca/cca.hpp"
+
+namespace cca {
+namespace {
+
+/// A toy port interface.
+class GreeterPort : public Port {
+ public:
+  virtual std::string greet() = 0;
+};
+
+/// Two interchangeable providers of the same port type.
+class EnglishGreeter final : public Component {
+ public:
+  class Impl final : public GreeterPort {
+   public:
+    std::string greet() override { return "hello"; }
+  };
+  void setServices(Services& s) override {
+    s.addProvidesPort(std::make_shared<Impl>(), "greet", "test.Greeter");
+  }
+};
+
+class FrenchGreeter final : public Component {
+ public:
+  class Impl final : public GreeterPort {
+   public:
+    std::string greet() override { return "bonjour"; }
+  };
+  void setServices(Services& s) override {
+    s.addProvidesPort(std::make_shared<Impl>(), "greet", "test.Greeter");
+  }
+};
+
+/// A consumer with a uses port (resolves it late, per call).
+class Caller final : public Component {
+ public:
+  void setServices(Services& s) override {
+    services_ = &s;
+    s.registerUsesPort("greeter", "test.Greeter");
+  }
+  std::string callGreeter() {
+    return services_->getPortAs<GreeterPort>("greeter")->greet();
+  }
+
+ private:
+  Services* services_ = nullptr;
+};
+
+/// A component providing a *different* port type (for mismatch tests).
+class NumberPort : public Port {
+ public:
+  virtual int number() = 0;
+};
+
+class NumberProvider final : public Component {
+ public:
+  class Impl final : public NumberPort {
+   public:
+    int number() override { return 42; }
+  };
+  void setServices(Services& s) override {
+    s.addProvidesPort(std::make_shared<Impl>(), "num", "test.Number");
+  }
+};
+
+struct RegisterClasses {
+  RegisterClasses() {
+    Framework::registerClass("test.EnglishGreeter",
+                             [] { return std::make_shared<EnglishGreeter>(); });
+    Framework::registerClass("test.FrenchGreeter",
+                             [] { return std::make_shared<FrenchGreeter>(); });
+    Framework::registerClass("test.Caller",
+                             [] { return std::make_shared<Caller>(); });
+    Framework::registerClass("test.NumberProvider",
+                             [] { return std::make_shared<NumberProvider>(); });
+  }
+};
+const RegisterClasses registerClasses;
+
+TEST(CcaRegistry, ClassesVisible) {
+  EXPECT_TRUE(Framework::isClassRegistered("test.EnglishGreeter"));
+  EXPECT_FALSE(Framework::isClassRegistered("test.DoesNotExist"));
+  const auto names = Framework::registeredClasses();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.Caller"), names.end());
+}
+
+TEST(CcaLifecycle, InstantiateAndDestroy) {
+  Framework fw;
+  fw.instantiate("g", "test.EnglishGreeter");
+  EXPECT_EQ(fw.instances(), std::vector<std::string>{"g"});
+  fw.destroy("g");
+  EXPECT_TRUE(fw.instances().empty());
+}
+
+TEST(CcaLifecycle, DuplicateInstanceRejected) {
+  Framework fw;
+  fw.instantiate("g", "test.EnglishGreeter");
+  EXPECT_THROW(fw.instantiate("g", "test.FrenchGreeter"), lisi::Error);
+}
+
+TEST(CcaLifecycle, UnknownClassRejected) {
+  Framework fw;
+  EXPECT_THROW(fw.instantiate("x", "test.NoSuchClass"), lisi::Error);
+}
+
+TEST(CcaWiring, ConnectAndCall) {
+  Framework fw;
+  fw.instantiate("caller", "test.Caller");
+  fw.instantiate("greeter", "test.EnglishGreeter");
+  fw.connect("caller", "greeter", "greeter", "greet");
+  auto port = fw.getProvidesPortAs<GreeterPort>("greeter", "greet");
+  EXPECT_EQ(port->greet(), "hello");
+  const auto conns = fw.connections();
+  ASSERT_EQ(conns.size(), 1u);
+  EXPECT_EQ(conns[0], "caller.greeter -> greeter.greet");
+}
+
+TEST(CcaWiring, UsesPortUnconnectedThrows) {
+  Framework fw;
+  fw.instantiate("caller", "test.Caller");
+  EXPECT_FALSE(fw.servicesOf("caller").isConnected("greeter"));
+  EXPECT_THROW((void)fw.servicesOf("caller").getPort("greeter"), lisi::Error);
+}
+
+TEST(CcaWiring, TypeMismatchRejected) {
+  Framework fw;
+  fw.instantiate("caller", "test.Caller");
+  fw.instantiate("num", "test.NumberProvider");
+  EXPECT_THROW(fw.connect("caller", "greeter", "num", "num"), lisi::Error);
+}
+
+TEST(CcaWiring, MissingPortsRejected) {
+  Framework fw;
+  fw.instantiate("caller", "test.Caller");
+  fw.instantiate("greeter", "test.EnglishGreeter");
+  EXPECT_THROW(fw.connect("caller", "nope", "greeter", "greet"), lisi::Error);
+  EXPECT_THROW(fw.connect("caller", "greeter", "greeter", "nope"), lisi::Error);
+  EXPECT_THROW(fw.connect("ghost", "greeter", "greeter", "greet"), lisi::Error);
+}
+
+TEST(CcaWiring, DoubleConnectRejected) {
+  Framework fw;
+  fw.instantiate("caller", "test.Caller");
+  fw.instantiate("g1", "test.EnglishGreeter");
+  fw.instantiate("g2", "test.FrenchGreeter");
+  fw.connect("caller", "greeter", "g1", "greet");
+  EXPECT_THROW(fw.connect("caller", "greeter", "g2", "greet"), lisi::Error);
+}
+
+TEST(CcaDynamicSwitch, ReconnectSwitchesImplementation) {
+  // The paper's headline capability: same driver, swapped solver component.
+  Framework fw;
+  fw.instantiate("caller", "test.Caller");
+  fw.instantiate("english", "test.EnglishGreeter");
+  fw.instantiate("french", "test.FrenchGreeter");
+
+  // Drive through the uses port resolved late each call.
+  fw.connect("caller", "greeter", "english", "greet");
+  const Services& s = fw.servicesOf("caller");
+  EXPECT_EQ(s.getPortAs<GreeterPort>("greeter")->greet(), "hello");
+
+  fw.disconnect("caller", "greeter");
+  fw.connect("caller", "greeter", "french", "greet");
+  EXPECT_EQ(s.getPortAs<GreeterPort>("greeter")->greet(), "bonjour");
+}
+
+TEST(CcaDynamicSwitch, DisconnectIsIdempotentOnConnections) {
+  Framework fw;
+  fw.instantiate("caller", "test.Caller");
+  fw.instantiate("g", "test.EnglishGreeter");
+  fw.connect("caller", "greeter", "g", "greet");
+  fw.disconnect("caller", "greeter");
+  EXPECT_TRUE(fw.connections().empty());
+  fw.disconnect("caller", "greeter");  // no-op
+  EXPECT_TRUE(fw.connections().empty());
+}
+
+TEST(CcaTeardown, DestroyProviderDisconnectsUsers) {
+  Framework fw;
+  fw.instantiate("caller", "test.Caller");
+  fw.instantiate("g", "test.EnglishGreeter");
+  fw.connect("caller", "greeter", "g", "greet");
+  fw.destroy("g");
+  EXPECT_TRUE(fw.connections().empty());
+  EXPECT_FALSE(fw.servicesOf("caller").isConnected("greeter"));
+}
+
+TEST(CcaIntrospection, PortListings) {
+  Framework fw;
+  fw.instantiate("caller", "test.Caller");
+  fw.instantiate("g", "test.EnglishGreeter");
+  const auto used = fw.servicesOf("caller").usedPorts();
+  ASSERT_EQ(used.size(), 1u);
+  EXPECT_EQ(used[0].name, "greeter");
+  EXPECT_EQ(used[0].type, "test.Greeter");
+  const auto prov = fw.servicesOf("g").providedPorts();
+  ASSERT_EQ(prov.size(), 1u);
+  EXPECT_EQ(prov[0].name, "greet");
+}
+
+TEST(CcaIntrospection, WrongCppTypeCaught) {
+  Framework fw;
+  fw.instantiate("g", "test.EnglishGreeter");
+  EXPECT_THROW((void)fw.getProvidesPortAs<NumberPort>("g", "greet"),
+               lisi::Error);
+}
+
+}  // namespace
+}  // namespace cca

@@ -1,0 +1,366 @@
+// Tests for the MiniMPI substrate: point-to-point semantics, collectives,
+// sub-communicators, failure propagation, and the long-handle registry.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <numeric>
+
+#include "comm/comm.hpp"
+#include "comm/comm_handle.hpp"
+
+namespace lisi::comm {
+namespace {
+
+TEST(World, SingleRankRuns) {
+  int observedSize = 0;
+  World::run(1, [&](Comm& c) {
+    EXPECT_EQ(c.rank(), 0);
+    observedSize = c.size();
+  });
+  EXPECT_EQ(observedSize, 1);
+}
+
+TEST(World, RanksAreDistinct) {
+  std::atomic<int> mask{0};
+  World::run(4, [&](Comm& c) { mask.fetch_or(1 << c.rank()); });
+  EXPECT_EQ(mask.load(), 0b1111);
+}
+
+TEST(World, ExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      World::run(3,
+                 [](Comm& c) {
+                   if (c.rank() == 1) throw Error("rank 1 failed");
+                   // Other ranks block; the abort must wake them.
+                   (void)c.recvBytes(kAnySource, 5);
+                 }),
+      Error);
+}
+
+TEST(World, OriginalExceptionPreferredOverAbortEchoes) {
+  try {
+    World::run(4, [](Comm& c) {
+      if (c.rank() == 2) throw Error("genuine failure on rank 2");
+      c.barrier();  // never completes
+    });
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("genuine failure on rank 2"),
+              std::string::npos);
+  }
+}
+
+TEST(PointToPoint, SendRecvRoundTrip) {
+  World::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      const std::vector<double> data{1.5, -2.5, 3.25};
+      c.send(std::span<const double>(data), 1, 7);
+    } else {
+      std::vector<double> got(3);
+      Status st;
+      c.recv(std::span<double>(got), 0, 7, &st);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+      EXPECT_EQ(st.bytes, 3 * sizeof(double));
+      EXPECT_DOUBLE_EQ(got[0], 1.5);
+      EXPECT_DOUBLE_EQ(got[2], 3.25);
+    }
+  });
+}
+
+TEST(PointToPoint, FifoOrderPerPair) {
+  World::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 50; ++i) c.sendValue(i, 1, 3);
+    } else {
+      for (int i = 0; i < 50; ++i) EXPECT_EQ(c.recvValue<int>(0, 3), i);
+    }
+  });
+}
+
+TEST(PointToPoint, TagSelectivity) {
+  World::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.sendValue(111, 1, 1);
+      c.sendValue(222, 1, 2);
+    } else {
+      // Receive tag 2 first even though tag 1 arrived first.
+      EXPECT_EQ(c.recvValue<int>(0, 2), 222);
+      EXPECT_EQ(c.recvValue<int>(0, 1), 111);
+    }
+  });
+}
+
+TEST(PointToPoint, AnySourceAndAnyTag) {
+  World::run(3, [](Comm& c) {
+    if (c.rank() != 0) {
+      c.sendValue(c.rank() * 10, 0, c.rank());
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 2; ++i) {
+        Status st;
+        sum += c.recvValue<int>(kAnySource, kAnyTag, &st);
+        EXPECT_EQ(st.tag, st.source);  // we tagged with the sender rank
+      }
+      EXPECT_EQ(sum, 30);
+    }
+  });
+}
+
+TEST(PointToPoint, ZeroLengthMessage) {
+  World::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.sendBytes(nullptr, 0, 1, 9);
+    } else {
+      Status st;
+      auto bytes = c.recvBytes(0, 9, &st);
+      EXPECT_TRUE(bytes.empty());
+      EXPECT_EQ(st.bytes, 0u);
+    }
+  });
+}
+
+TEST(PointToPoint, RecvVectorUnknownSize) {
+  World::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> data(17);
+      std::iota(data.begin(), data.end(), 0);
+      c.send(std::span<const int>(data), 1, 4);
+    } else {
+      auto got = c.recvVector<int>(0, 4);
+      ASSERT_EQ(got.size(), 17u);
+      EXPECT_EQ(got[16], 16);
+    }
+  });
+}
+
+TEST(PointToPoint, SizeMismatchThrows) {
+  EXPECT_THROW(World::run(2,
+                          [](Comm& c) {
+                            if (c.rank() == 0) {
+                              c.sendValue(1.0, 1, 2);
+                            } else {
+                              std::vector<double> buf(5);
+                              c.recv(std::span<double>(buf), 0, 2);
+                            }
+                          }),
+               Error);
+}
+
+TEST(PointToPoint, SelfSendWorks) {
+  World::run(1, [](Comm& c) {
+    c.sendValue(42, 0, 0);
+    EXPECT_EQ(c.recvValue<int>(0, 0), 42);
+  });
+}
+
+class CollectiveP : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveP, Barrier) {
+  const int p = GetParam();
+  std::atomic<int> entered{0};
+  World::run(p, [&](Comm& c) {
+    entered.fetch_add(1);
+    c.barrier();
+    // After the barrier every rank must have entered.
+    EXPECT_EQ(entered.load(), p);
+    c.barrier();
+  });
+}
+
+TEST_P(CollectiveP, BcastFromEveryRoot) {
+  const int p = GetParam();
+  World::run(p, [&](Comm& c) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<int> data(4, c.rank() == root ? root + 100 : -1);
+      c.bcast(std::span<int>(data), root);
+      for (int v : data) EXPECT_EQ(v, root + 100);
+    }
+  });
+}
+
+TEST_P(CollectiveP, AllreduceSumMatchesFormula) {
+  const int p = GetParam();
+  World::run(p, [&](Comm& c) {
+    const double mine = c.rank() + 1.0;
+    const double sum = c.allreduceValue(mine, ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(sum, p * (p + 1) / 2.0);
+    EXPECT_DOUBLE_EQ(c.allreduceValue(mine, ReduceOp::kMax), p);
+    EXPECT_DOUBLE_EQ(c.allreduceValue(mine, ReduceOp::kMin), 1.0);
+  });
+}
+
+TEST_P(CollectiveP, ReduceVectorOnRoot) {
+  const int p = GetParam();
+  World::run(p, [&](Comm& c) {
+    std::vector<long long> in{c.rank(), 2LL * c.rank()};
+    std::vector<long long> out(2, -1);
+    c.reduce(std::span<const long long>(in), std::span<long long>(out),
+             ReduceOp::kSum, 0);
+    if (c.rank() == 0) {
+      const long long s = 1LL * p * (p - 1) / 2;
+      EXPECT_EQ(out[0], s);
+      EXPECT_EQ(out[1], 2 * s);
+    }
+  });
+}
+
+TEST_P(CollectiveP, GathervConcatenatesByRank) {
+  const int p = GetParam();
+  World::run(p, [&](Comm& c) {
+    // Rank r contributes r+1 copies of the value r.
+    std::vector<int> mine(static_cast<std::size_t>(c.rank()) + 1, c.rank());
+    std::vector<int> counts;
+    auto all = c.gatherv(std::span<const int>(mine), 0, &counts);
+    if (c.rank() == 0) {
+      ASSERT_EQ(counts.size(), static_cast<std::size_t>(p));
+      std::size_t pos = 0;
+      for (int r = 0; r < p; ++r) {
+        EXPECT_EQ(counts[static_cast<std::size_t>(r)], r + 1);
+        for (int k = 0; k <= r; ++k) EXPECT_EQ(all[pos++], r);
+      }
+      EXPECT_EQ(pos, all.size());
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CollectiveP, AllgathervGivesEveryoneEverything) {
+  const int p = GetParam();
+  World::run(p, [&](Comm& c) {
+    const int mine = 7 * c.rank();
+    auto all = c.allgatherv(std::span<const int>(&mine, 1), nullptr);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], 7 * r);
+  });
+}
+
+TEST_P(CollectiveP, ScattervDistributesChunks) {
+  const int p = GetParam();
+  World::run(p, [&](Comm& c) {
+    std::vector<double> all;
+    std::vector<int> counts(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      counts[static_cast<std::size_t>(r)] = r + 1;
+      for (int k = 0; k <= r; ++k) all.push_back(r + 0.5);
+    }
+    auto mine = c.scatterv(
+        std::span<const double>(c.rank() == 0 ? all : std::vector<double>{}),
+        std::span<const int>(counts), 0);
+    ASSERT_EQ(mine.size(), static_cast<std::size_t>(c.rank()) + 1);
+    for (double v : mine) EXPECT_DOUBLE_EQ(v, c.rank() + 0.5);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveP, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Split, EvenOddGroups) {
+  World::run(4, [](Comm& c) {
+    Comm sub = c.split(c.rank() % 2, c.rank());
+    ASSERT_TRUE(sub.valid());
+    EXPECT_EQ(sub.size(), 2);
+    EXPECT_EQ(sub.rank(), c.rank() / 2);
+    // Communication inside the sub-communicator is isolated.
+    const int sum = sub.allreduceValue(c.rank(), ReduceOp::kSum);
+    EXPECT_EQ(sum, c.rank() % 2 == 0 ? 0 + 2 : 1 + 3);
+  });
+}
+
+TEST(Split, KeyControlsOrdering) {
+  World::run(3, [](Comm& c) {
+    // Reverse the ranks via the key.
+    Comm sub = c.split(0, -c.rank());
+    EXPECT_EQ(sub.rank(), c.size() - 1 - c.rank());
+  });
+}
+
+TEST(Split, NegativeColorOptsOut) {
+  World::run(3, [](Comm& c) {
+    Comm sub = c.split(c.rank() == 0 ? -1 : 5, c.rank());
+    if (c.rank() == 0) {
+      EXPECT_FALSE(sub.valid());
+    } else {
+      ASSERT_TRUE(sub.valid());
+      EXPECT_EQ(sub.size(), 2);
+    }
+  });
+}
+
+TEST(Split, DupIsolatesTraffic) {
+  World::run(2, [](Comm& c) {
+    Comm d = c.dup();
+    if (c.rank() == 0) {
+      c.sendValue(1, 1, 5);
+      d.sendValue(2, 1, 5);
+    } else {
+      // Same tag, same peer — the dup'd context must keep them apart.
+      EXPECT_EQ(d.recvValue<int>(0, 5), 2);
+      EXPECT_EQ(c.recvValue<int>(0, 5), 1);
+    }
+  });
+}
+
+TEST(Split, NestedSplitOfSplit) {
+  World::run(8, [](Comm& c) {
+    Comm half = c.split(c.rank() / 4, c.rank());  // two groups of 4
+    ASSERT_EQ(half.size(), 4);
+    Comm quarter = half.split(half.rank() / 2, half.rank());  // groups of 2
+    ASSERT_EQ(quarter.size(), 2);
+    const int sum = quarter.allreduceValue(1, ReduceOp::kSum);
+    EXPECT_EQ(sum, 2);
+  });
+}
+
+TEST(Handles, RegistryRoundTrip) {
+  World::run(2, [](Comm& c) {
+    const long h = registerHandle(c);
+    Comm back = commFromHandle(h);
+    EXPECT_EQ(back.rank(), c.rank());
+    EXPECT_EQ(back.size(), 2);
+    // The returned handle still names the same communicator: message test.
+    if (c.rank() == 0) {
+      back.sendValue(99, 1, 8);
+    } else {
+      EXPECT_EQ(c.recvValue<int>(0, 8), 99);
+    }
+    releaseHandle(h);
+  });
+}
+
+TEST(Handles, UnknownHandleThrows) {
+  EXPECT_THROW((void)commFromHandle(987654321L), Error);
+}
+
+TEST(Handles, ReleaseRemoves) {
+  World::run(1, [](Comm& c) {
+    const std::size_t before = liveHandleCount();
+    const long h = registerHandle(c);
+    EXPECT_EQ(liveHandleCount(), before + 1);
+    releaseHandle(h);
+    EXPECT_EQ(liveHandleCount(), before);
+    EXPECT_THROW((void)commFromHandle(h), Error);
+  });
+}
+
+TEST(Stress, ManyConcurrentPairsExchange) {
+  World::run(8, [](Comm& c) {
+    // Every rank sends to every other rank and receives from everyone.
+    for (int dst = 0; dst < c.size(); ++dst) {
+      if (dst == c.rank()) continue;
+      c.sendValue(c.rank() * 100 + dst, dst, 12);
+    }
+    int total = 0;
+    for (int src = 0; src < c.size(); ++src) {
+      if (src == c.rank()) continue;
+      const int v = c.recvValue<int>(src, 12);
+      EXPECT_EQ(v, src * 100 + c.rank());
+      ++total;
+    }
+    EXPECT_EQ(total, c.size() - 1);
+  });
+}
+
+}  // namespace
+}  // namespace lisi::comm

@@ -1,0 +1,290 @@
+// Cross-backend LISI property sweeps: every backend must accept every
+// input format, honor the generic parameter vocabulary it advertises, and
+// report errors (not crash or mis-solve) for what it does not support.
+#include <gtest/gtest.h>
+
+#include "comm/comm.hpp"
+#include "comm/comm_handle.hpp"
+#include "lisi/pde_driver.hpp"
+#include "lisi/sparse_solver.hpp"
+#include "mesh/pde5pt.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/dist_csr.hpp"
+#include "sparse/ops.hpp"
+
+namespace lisi {
+namespace {
+
+using comm::Comm;
+using comm::World;
+
+constexpr const char* kBackendClasses[] = {
+    kPkspComponentClass, kAztecComponentClass, kSluComponentClass,
+    kHymgComponentClass};
+
+/// Apply backend-appropriate parameters for the paper PDE at gridN.
+void configure(SparseSolver& s, const std::string& cls, int gridN) {
+  if (cls == kHymgComponentClass) {
+    ASSERT_EQ(s.setInt("mg_grid_n", gridN), 0);
+    ASSERT_EQ(s.setDouble("mg_bx", 3.0), 0);
+    ASSERT_EQ(s.setDouble("tol", 1e-10), 0);
+    ASSERT_EQ(s.setInt("maxits", 200), 0);
+  } else if (cls == kSluComponentClass) {
+    ASSERT_EQ(s.set("ordering", "rcm"), 0);
+  } else {
+    ASSERT_EQ(s.set("solver", "gmres"), 0);
+    ASSERT_EQ(s.set("preconditioner", "ilu"), 0);
+    ASSERT_EQ(s.setDouble("tol", 1e-10), 0);
+    ASSERT_EQ(s.setInt("maxits", 10000), 0);
+  }
+}
+
+using BackendFormat = std::tuple<int, SparseStruct>;
+
+class BackendFormatMatrix : public ::testing::TestWithParam<BackendFormat> {};
+
+TEST_P(BackendFormatMatrix, EveryBackendAcceptsEveryFormat) {
+  const auto [backendIdx, format] = GetParam();
+  const std::string cls = kBackendClasses[backendIdx];
+  const int gridN = 15;  // odd: hymg-compatible
+  registerSolverComponents();
+
+  World::run(2, [&](Comm& c) {
+    mesh::Pde5ptSpec spec;
+    spec.gridN = gridN;
+    const auto sys = mesh::assembleLocal(spec, c.rank(), c.size());
+    const int m = sys.localA.rows;
+
+    cca::Framework fw;
+    fw.instantiate("s", cls);
+    auto s = fw.getProvidesPortAs<SparseSolver>("s", kSparseSolverPortName);
+    const long h = comm::registerHandle(c);
+    ASSERT_EQ(s->initialize(h), 0);
+    ASSERT_EQ(s->setStartRow(sys.startRow), 0);
+    ASSERT_EQ(s->setLocalRows(m), 0);
+    ASSERT_EQ(s->setGlobalCols(sys.globalN), 0);
+    configure(*s, cls, gridN);
+
+    int rc = -1;
+    switch (format) {
+      case SparseStruct::kCsr:
+        rc = s->setupMatrix(
+            RArray<const double>(sys.localA.values.data(), sys.localA.nnz()),
+            RArray<const int>(sys.localA.rowPtr.data(), m + 1),
+            RArray<const int>(sys.localA.colIdx.data(), sys.localA.nnz()),
+            SparseStruct::kCsr, m + 1, sys.localA.nnz());
+        break;
+      case SparseStruct::kCoo:
+      case SparseStruct::kFem: {
+        const auto coo = sparse::csrToCoo(sys.localA);
+        std::vector<int> grow(coo.rowIdx.size());
+        for (std::size_t k = 0; k < grow.size(); ++k) {
+          grow[k] = coo.rowIdx[k] + sys.startRow;
+        }
+        rc = s->setupMatrix(
+            RArray<const double>(coo.values.data(), coo.nnz()),
+            RArray<const int>(grow.data(), coo.nnz()),
+            RArray<const int>(coo.colIdx.data(), coo.nnz()), format,
+            coo.nnz(), coo.nnz());
+        break;
+      }
+      case SparseStruct::kMsr: {
+        // Build a *local-block* MSR (diag implicit at startRow+i, so the
+        // off-diagonal section must carry the global columns).
+        sparse::CooMatrix offdiag;
+        offdiag.rows = m;
+        offdiag.cols = sys.globalN;
+        std::vector<double> diag(static_cast<std::size_t>(m), 0.0);
+        for (int i = 0; i < m; ++i) {
+          for (int k = sys.localA.rowPtr[static_cast<std::size_t>(i)];
+               k < sys.localA.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+            const int col = sys.localA.colIdx[static_cast<std::size_t>(k)];
+            if (col == sys.startRow + i) {
+              diag[static_cast<std::size_t>(i)] +=
+                  sys.localA.values[static_cast<std::size_t>(k)];
+            } else {
+              offdiag.rowIdx.push_back(i);
+              offdiag.colIdx.push_back(col);
+              offdiag.values.push_back(
+                  sys.localA.values[static_cast<std::size_t>(k)]);
+            }
+          }
+        }
+        const auto offCsr = sparse::cooToCsr(offdiag);
+        std::vector<int> bindxPtr(static_cast<std::size_t>(m) + 1);
+        std::vector<double> values(static_cast<std::size_t>(m) + 1, 0.0);
+        for (int i = 0; i < m; ++i) values[static_cast<std::size_t>(i)] = diag[static_cast<std::size_t>(i)];
+        values.insert(values.end(), offCsr.values.begin(), offCsr.values.end());
+        for (int i = 0; i <= m; ++i) {
+          bindxPtr[static_cast<std::size_t>(i)] =
+              m + 1 + offCsr.rowPtr[static_cast<std::size_t>(i)];
+        }
+        rc = s->setupMatrix(
+            RArray<const double>(values.data(), static_cast<int>(values.size())),
+            RArray<const int>(bindxPtr.data(), m + 1),
+            RArray<const int>(offCsr.colIdx.data(),
+                              static_cast<int>(offCsr.colIdx.size())),
+            SparseStruct::kMsr, m + 1, static_cast<int>(values.size()));
+        break;
+      }
+      default:
+        GTEST_SKIP();
+    }
+    ASSERT_EQ(rc, 0) << cls << " rejected " << sparse::sparseStructName(format);
+
+    ASSERT_EQ(s->setupRHS(RArray<const double>(sys.localB.data(), m), m, 1), 0);
+    std::vector<double> x(static_cast<std::size_t>(m), 0.0);
+    std::vector<double> st(kStatusLength, 0.0);
+    ASSERT_EQ(s->solve(RArray<double>(x.data(), m),
+                       RArray<double>(st.data(), kStatusLength), m,
+                       kStatusLength),
+              0)
+        << cls << " failed to solve from " << sparse::sparseStructName(format);
+    const double bnorm = sparse::distNorm2(c, std::span<const double>(sys.localB));
+    EXPECT_LT(st[kStatusResidualNorm] / bnorm, 1e-8);
+    comm::releaseHandle(h);
+  });
+}
+
+std::string backendFormatName(
+    const ::testing::TestParamInfo<BackendFormat>& info) {
+  static constexpr const char* kNames[] = {"pksp", "aztec", "slu", "hymg"};
+  return std::string(kNames[std::get<0>(info.param)]) + "_" +
+         lisi::sparse::sparseStructName(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsAllFormats, BackendFormatMatrix,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(SparseStruct::kCsr,
+                                         SparseStruct::kCoo,
+                                         SparseStruct::kFem,
+                                         SparseStruct::kMsr)),
+    backendFormatName);
+
+TEST(BackendParams, GetAllNamesEveryBackend) {
+  registerSolverComponents();
+  World::run(1, [](Comm& c) {
+    const char* expected[] = {"backend=pksp", "backend=aztec", "backend=slu",
+                              "backend=hymg"};
+    for (int i = 0; i < 4; ++i) {
+      cca::Framework fw;
+      fw.instantiate("s", kBackendClasses[i]);
+      auto s = fw.getProvidesPortAs<SparseSolver>("s", kSparseSolverPortName);
+      EXPECT_NE(s->get_all().find(expected[i]), std::string::npos);
+    }
+  });
+}
+
+TEST(BackendParams, BackendSpecificKeysScoped) {
+  // Each backend accepts its own keys and rejects the others' exotic ones.
+  registerSolverComponents();
+  World::run(1, [](Comm& c) {
+    cca::Framework fw;
+    fw.instantiate("pksp", kPkspComponentClass);
+    fw.instantiate("slu", kSluComponentClass);
+    fw.instantiate("hymg", kHymgComponentClass);
+    auto pksp = fw.getProvidesPortAs<SparseSolver>("pksp", kSparseSolverPortName);
+    auto slu = fw.getProvidesPortAs<SparseSolver>("slu", kSparseSolverPortName);
+    auto hymg = fw.getProvidesPortAs<SparseSolver>("hymg", kSparseSolverPortName);
+    EXPECT_EQ(pksp->set("restart", "50"), 0);
+    EXPECT_EQ(pksp->set("ordering", "rcm"),
+              static_cast<int>(ErrorCode::kUnsupported));
+    EXPECT_EQ(slu->set("ordering", "mindeg"), 0);
+    EXPECT_EQ(slu->set("restart", "50"),
+              static_cast<int>(ErrorCode::kUnsupported));
+    EXPECT_EQ(hymg->set("mg_gamma", "2"), 0);
+    EXPECT_EQ(hymg->set("pivot_threshold", "0.5"),
+              static_cast<int>(ErrorCode::kUnsupported));
+    // The common vocabulary is accepted everywhere (§6.5).
+    for (auto& s : {pksp, slu, hymg}) {
+      EXPECT_EQ(s->set("tol", "1e-9"), 0);
+      EXPECT_EQ(s->set("maxits", "100"), 0);
+    }
+  });
+}
+
+TEST(BackendErrors, HymgRejectsMismatchedOperator) {
+  // Passing a matrix that is not the advertised PDE operator must fail
+  // loudly (kInvalidArgument), not silently mis-solve.
+  registerSolverComponents();
+  World::run(1, [](Comm& c) {
+    cca::Framework fw;
+    fw.instantiate("s", kHymgComponentClass);
+    auto s = fw.getProvidesPortAs<SparseSolver>("s", kSparseSolverPortName);
+    const long h = comm::registerHandle(c);
+    const int gridN = 9;
+    const int n = gridN * gridN;
+    ASSERT_EQ(s->initialize(h), 0);
+    s->setStartRow(0);
+    s->setLocalRows(n);
+    s->setGlobalCols(n);
+    s->setInt("mg_grid_n", gridN);
+    s->setDouble("mg_bx", 3.0);
+    // Feed the *Laplacian* while declaring bx=3: mismatch.
+    mesh::Pde5ptSpec spec;
+    spec.gridN = gridN;
+    auto sys = mesh::assembleGlobal(spec);
+    for (auto& v : sys.localA.values) v *= 2.0;  // definitely not the stencil
+    ASSERT_EQ(s->setupMatrix(
+                  RArray<const double>(sys.localA.values.data(),
+                                       sys.localA.nnz()),
+                  RArray<const int>(sys.localA.rowPtr.data(), n + 1),
+                  RArray<const int>(sys.localA.colIdx.data(), sys.localA.nnz()),
+                  SparseStruct::kCsr, n + 1, sys.localA.nnz()),
+              0);
+    ASSERT_EQ(s->setupRHS(RArray<const double>(sys.localB.data(), n), n, 1), 0);
+    std::vector<double> x(static_cast<std::size_t>(n));
+    std::vector<double> st(kStatusLength);
+    EXPECT_EQ(s->solve(RArray<double>(x.data(), n),
+                       RArray<double>(st.data(), kStatusLength), n,
+                       kStatusLength),
+              static_cast<int>(ErrorCode::kInvalidArgument));
+    comm::releaseHandle(h);
+  });
+}
+
+TEST(DriverComponent, ReportsFailureWhenUnwired) {
+  registerSolverComponents();
+  registerDriverComponent();
+  World::run(1, [](Comm& c) {
+    cca::Framework fw;
+    fw.instantiate("driver", kDriverComponentClass);
+    auto go = fw.getProvidesPortAs<GoPort>("driver", kGoPortName);
+    PdeDriverConfig config;
+    config.gridN = 5;
+    // Solver uses-port not connected: the driver must throw through the
+    // CCA error path, not crash.
+    EXPECT_THROW((void)go->go(c, config), Error);
+  });
+}
+
+TEST(DriverComponent, ConsecutiveRunsIndependent) {
+  registerSolverComponents();
+  registerDriverComponent();
+  World::run(2, [](Comm& c) {
+    cca::Framework fw;
+    fw.instantiate("driver", kDriverComponentClass);
+    fw.instantiate("solver", kSluComponentClass);
+    fw.connect("driver", kSparseSolverPortName, "solver",
+               kSparseSolverPortName);
+    auto go = fw.getProvidesPortAs<GoPort>("driver", kGoPortName);
+    PdeDriverConfig small;
+    small.gridN = 8;
+    PdeDriverConfig larger;
+    larger.gridN = 12;
+    const auto r1 = go->go(c, small);
+    const auto r2 = go->go(c, larger);  // different size: no stale state
+    const auto r3 = go->go(c, small);
+    ASSERT_TRUE(r1.solved);
+    ASSERT_TRUE(r2.solved);
+    ASSERT_TRUE(r3.solved);
+    ASSERT_EQ(r1.localSolution.size(), r3.localSolution.size());
+    for (std::size_t i = 0; i < r1.localSolution.size(); ++i) {
+      EXPECT_DOUBLE_EQ(r1.localSolution[i], r3.localSolution[i]);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace lisi

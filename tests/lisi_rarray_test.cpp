@@ -1,0 +1,75 @@
+// Tests for the r-array / SIDL-array argument types (§6.2 design decision).
+#include <gtest/gtest.h>
+
+#include "lisi/rarray.hpp"
+
+namespace lisi {
+namespace {
+
+TEST(RArray, WrapsWithoutCopying) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  RArray<double> a(v);
+  EXPECT_EQ(a.data(), v.data());  // zero-copy: same storage
+  EXPECT_EQ(a.length(), 3);
+  a[1] = 20.0;  // inout semantics reach the original
+  EXPECT_DOUBLE_EQ(v[1], 20.0);
+}
+
+TEST(RArray, ConstElementForInMode) {
+  const std::vector<int> v{4, 5};
+  RArray<const int> a(v);
+  EXPECT_EQ(a.length(), 2);
+  EXPECT_EQ(a[0], 4);
+}
+
+TEST(RArray, EmptyIsAllowed) {
+  RArray<double> a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.length(), 0);
+  RArray<double> b(nullptr, 0);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(RArray, NullWithLengthRejected) {
+  EXPECT_THROW((RArray<double>(nullptr, 3)), Error);
+  double x = 0;
+  EXPECT_THROW((RArray<double>(&x, -1)), Error);
+}
+
+TEST(RArray, RangeForIteration) {
+  std::vector<int> v{1, 2, 3};
+  RArray<int> a(v);
+  int sum = 0;
+  for (int x : a) sum += x;
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(SidlArray, CopiesOnConstruction) {
+  std::vector<double> v{1.0, 2.0};
+  SidlArray<double> a(v.data(), 2);
+  v[0] = 99.0;  // the boxed copy must be unaffected
+  EXPECT_DOUBLE_EQ(a.get(0), 1.0);
+}
+
+TEST(SidlArray, LowerBoundDescriptor) {
+  const int data[3] = {7, 8, 9};
+  SidlArray<int> a(data, 3, 1);  // Fortran-style 1-based
+  EXPECT_EQ(a.lower(), 1);
+  EXPECT_EQ(a.upper(), 3);
+  EXPECT_EQ(a.get(1), 7);
+  EXPECT_EQ(a.get(3), 9);
+  EXPECT_THROW((void)a.get(0), Error);
+  EXPECT_THROW((void)a.get(4), Error);
+}
+
+TEST(SidlArray, SetRespectsBounds) {
+  SidlArray<double> a(nullptr, 0);
+  EXPECT_THROW(a.set(0, 1.0), Error);
+  const double d[2] = {1, 2};
+  SidlArray<double> b(d, 2);
+  b.set(1, 5.0);
+  EXPECT_DOUBLE_EQ(b.get(1), 5.0);
+}
+
+}  // namespace
+}  // namespace lisi

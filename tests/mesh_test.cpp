@@ -1,0 +1,169 @@
+// Mesh generator tests: stencil correctness, nnz counts matching the
+// paper's table, parallel/serial assembly agreement, manufactured-solution
+// consistency, and the per-rank mesh file round trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "mesh/mesh_io.hpp"
+#include "mesh/pde5pt.hpp"
+#include "sparse/ops.hpp"
+
+namespace lisi::mesh {
+namespace {
+
+TEST(Pde5pt, NnzFormulaMatchesPaperTable) {
+  // Table 1 of the paper: grids 50..400 give these nnz counts.
+  EXPECT_EQ(pde5ptNnz(50), 12300);
+  EXPECT_EQ(pde5ptNnz(100), 49600);
+  EXPECT_EQ(pde5ptNnz(200), 199200);
+  EXPECT_EQ(pde5ptNnz(300), 448800);
+  EXPECT_EQ(pde5ptNnz(400), 798400);
+}
+
+TEST(Pde5pt, AssembledNnzMatchesFormula) {
+  for (int n : {1, 2, 3, 10, 25}) {
+    Pde5ptSpec spec;
+    spec.gridN = n;
+    const auto sys = assembleGlobal(spec);
+    EXPECT_EQ(sys.localA.nnz(), pde5ptNnz(n)) << "grid " << n;
+    EXPECT_EQ(sys.localA.rows, n * n);
+  }
+}
+
+TEST(Pde5pt, StencilCoefficients) {
+  // Interior row of a 3x3 grid: h = 1/4.
+  Pde5ptSpec spec;
+  spec.gridN = 3;
+  const auto sys = assembleGlobal(spec);
+  const double h = 0.25;
+  const double invH2 = 16.0;
+  const int center = 4;  // middle of the 3x3 grid
+  const auto dense = sparse::toDense(sys.localA);
+  auto at = [&](int r, int c) { return dense[static_cast<std::size_t>(r * 9 + c)]; };
+  EXPECT_NEAR(at(center, center), 4.0 * invH2, 1e-12);
+  EXPECT_NEAR(at(center, center - 1), -(invH2 + 1.5 / h), 1e-12);  // west
+  EXPECT_NEAR(at(center, center + 1), -(invH2 - 1.5 / h), 1e-12);  // east
+  EXPECT_NEAR(at(center, center - 3), -invH2, 1e-12);              // south
+  EXPECT_NEAR(at(center, center + 3), -invH2, 1e-12);              // north
+}
+
+TEST(Pde5pt, RowSumsVanishInInterior) {
+  // A = -L of a convection-diffusion operator: interior row sums are zero
+  // (constant functions are in the kernel of the continuous operator).
+  Pde5ptSpec spec;
+  spec.gridN = 5;
+  const auto sys = assembleGlobal(spec);
+  const int center = 2 * 5 + 2;
+  double sum = 0.0;
+  for (int k = sys.localA.rowPtr[static_cast<std::size_t>(center)];
+       k < sys.localA.rowPtr[static_cast<std::size_t>(center) + 1]; ++k) {
+    sum += sys.localA.values[static_cast<std::size_t>(k)];
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-10);
+}
+
+TEST(Pde5pt, ParallelAssemblyTilesSerial) {
+  Pde5ptSpec spec;
+  spec.gridN = 7;
+  const auto serial = assembleGlobal(spec);
+  for (int p : {1, 2, 3, 4, 8}) {
+    int rowsSeen = 0;
+    for (int r = 0; r < p; ++r) {
+      const auto local = assembleLocal(spec, r, p);
+      EXPECT_EQ(local.startRow, rowsSeen);
+      for (int i = 0; i < local.localA.rows; ++i) {
+        const int g = local.startRow + i;
+        // Row i of the local block equals row g of the serial matrix.
+        const int lb = local.localA.rowPtr[static_cast<std::size_t>(i)];
+        const int le = local.localA.rowPtr[static_cast<std::size_t>(i) + 1];
+        const int gb = serial.localA.rowPtr[static_cast<std::size_t>(g)];
+        const int ge = serial.localA.rowPtr[static_cast<std::size_t>(g) + 1];
+        ASSERT_EQ(le - lb, ge - gb);
+        for (int k = 0; k < le - lb; ++k) {
+          EXPECT_EQ(local.localA.colIdx[static_cast<std::size_t>(lb + k)],
+                    serial.localA.colIdx[static_cast<std::size_t>(gb + k)]);
+          EXPECT_DOUBLE_EQ(local.localA.values[static_cast<std::size_t>(lb + k)],
+                           serial.localA.values[static_cast<std::size_t>(gb + k)]);
+        }
+        EXPECT_DOUBLE_EQ(local.localB[static_cast<std::size_t>(i)],
+                         serial.localB[static_cast<std::size_t>(g)]);
+      }
+      rowsSeen += local.localA.rows;
+    }
+    EXPECT_EQ(rowsSeen, serial.globalN);
+  }
+}
+
+TEST(Pde5pt, ManufacturedSolutionResidualIsTruncationOrder) {
+  // For u* = sin(pi x) sin(pi y), the discrete residual A u* - b must shrink
+  // like O(h^2) * ||A||-ish scale; we check it halves by ~4x per refinement.
+  double prev = -1.0;
+  for (int n : {8, 16, 32}) {
+    Pde5ptSpec spec;
+    spec.gridN = n;
+    spec.forcing = manufacturedForcing;
+    spec.boundary = zeroBoundary;  // u* vanishes on the boundary
+    const auto sys = assembleGlobal(spec);
+    const auto uStar = sampleField(n, manufacturedSolution);
+    std::vector<double> r(static_cast<std::size_t>(sys.globalN));
+    sparse::spmv(sys.localA, std::span<const double>(uStar),
+                 std::span<double>(r));
+    double maxErr = 0.0;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      maxErr = std::max(maxErr, std::abs(r[i] - sys.localB[i]));
+    }
+    if (prev > 0) {
+      EXPECT_LT(maxErr, prev * 0.5) << "no O(h^2)-ish decay at n=" << n;
+    }
+    prev = maxErr;
+  }
+}
+
+TEST(Pde5pt, BoundaryLiftEntersRhs) {
+  // With u = 1 on the boundary and f = 0, b must be nonzero only on
+  // boundary-adjacent rows, and x = ones solves the system exactly.
+  Pde5ptSpec spec;
+  spec.gridN = 6;
+  spec.forcing = [](double, double) { return 0.0; };
+  spec.boundary = [](double, double) { return 1.0; };
+  const auto sys = assembleGlobal(spec);
+  std::vector<double> ones(static_cast<std::size_t>(sys.globalN), 1.0);
+  EXPECT_NEAR(sparse::residualNorm(sys.localA, std::span<const double>(ones),
+                                   std::span<const double>(sys.localB)),
+              0.0, 1e-9);
+}
+
+TEST(Pde5pt, PaperForcingFormula) {
+  const double x = 0.3;
+  EXPECT_DOUBLE_EQ(paperForcing(x, 0.9),
+                   (2.0 - 6.0 * x - x * x) * std::sin(x));
+}
+
+TEST(MeshIo, LocalSystemRoundTrip) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "lisi_mesh_io_test").string();
+  Pde5ptSpec spec;
+  spec.gridN = 9;
+  for (int r = 0; r < 3; ++r) {
+    const auto sys = assembleLocal(spec, r, 3);
+    writeLocalSystem(dir, r, sys);
+    const auto back = readLocalSystem(dir, r);
+    EXPECT_EQ(back.globalN, sys.globalN);
+    EXPECT_EQ(back.startRow, sys.startRow);
+    EXPECT_LT(sparse::maxAbsDiff(back.localA, sys.localA), 1e-15);
+    ASSERT_EQ(back.localB.size(), sys.localB.size());
+    for (std::size_t i = 0; i < sys.localB.size(); ++i) {
+      EXPECT_DOUBLE_EQ(back.localB[i], sys.localB[i]);
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MeshIo, MissingFileThrows) {
+  EXPECT_THROW((void)readLocalSystem("/nonexistent_dir_xyz", 0), Error);
+}
+
+}  // namespace
+}  // namespace lisi::mesh

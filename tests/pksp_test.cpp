@@ -1,0 +1,505 @@
+// PKSP package tests: API contract (handles, error codes, call order),
+// convergence of every method/preconditioner combination, parallel/serial
+// agreement, matrix-free shell operators, and options-string parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/comm.hpp"
+#include "mesh/pde5pt.hpp"
+#include "pksp/pksp.hpp"
+#include "sparse/dist_csr.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/ops.hpp"
+#include "support/rng.hpp"
+
+namespace pksp {
+namespace {
+
+using lisi::Rng;
+using lisi::comm::Comm;
+using lisi::comm::World;
+using lisi::sparse::CsrMatrix;
+using lisi::sparse::DistCsrMatrix;
+
+/// Run a serial (1-rank) solve of `global` with the given config; returns
+/// the relative true-residual and solution.
+struct SerialResult {
+  double relResidual;
+  int iterations;
+  PkspConvergedReason reason;
+  std::vector<double> x;
+};
+
+SerialResult solveSerial(const CsrMatrix& global, const std::vector<double>& b,
+                         PkspType type, PkspPcType pc, double rtol = 1e-10,
+                         int maxits = 2000) {
+  SerialResult result{};
+  World::run(1, [&](Comm& c) {
+    DistCsrMatrix a = DistCsrMatrix::scatterFromRoot(c, global);
+    KSP ksp = nullptr;
+    ASSERT_EQ(KSPCreate(c, &ksp), PKSP_SUCCESS);
+    ASSERT_EQ(KSPSetOperator(ksp, &a), PKSP_SUCCESS);
+    ASSERT_EQ(KSPSetType(ksp, type), PKSP_SUCCESS);
+    ASSERT_EQ(KSPSetPCType(ksp, pc), PKSP_SUCCESS);
+    ASSERT_EQ(KSPSetTolerances(ksp, rtol, 1e-14, maxits), PKSP_SUCCESS);
+    std::vector<double> x(b.size());
+    (void)KSPSolve(ksp, std::span<const double>(b), std::span<double>(x));
+    double rnorm = 0;
+    KSPGetResidualNorm(ksp, &rnorm);
+    KSPGetIterationNumber(ksp, &result.iterations);
+    KSPGetConvergedReason(ksp, &result.reason);
+    result.relResidual =
+        rnorm / lisi::sparse::norm2(std::span<const double>(b));
+    result.x = x;
+    KSPDestroy(&ksp);
+    EXPECT_EQ(ksp, nullptr);
+  });
+  return result;
+}
+
+TEST(PkspApi, NullHandleRejected) {
+  EXPECT_EQ(KSPSetType(nullptr, PKSP_CG), PKSP_ERR_ARG);
+  EXPECT_EQ(KSPSetPCType(nullptr, PKSP_PC_NONE), PKSP_ERR_ARG);
+  EXPECT_EQ(KSPSetTolerances(nullptr, 1e-6, 1e-12, 10), PKSP_ERR_ARG);
+  int it = 0;
+  EXPECT_EQ(KSPGetIterationNumber(nullptr, &it), PKSP_ERR_ARG);
+}
+
+TEST(PkspApi, SolveBeforeOperatorIsOrderError) {
+  World::run(1, [](Comm& c) {
+    KSP ksp = nullptr;
+    ASSERT_EQ(KSPCreate(c, &ksp), PKSP_SUCCESS);
+    std::vector<double> b(4, 1.0), x(4);
+    EXPECT_EQ(KSPSolve(ksp, std::span<const double>(b), std::span<double>(x)),
+              PKSP_ERR_ORDER);
+    KSPDestroy(&ksp);
+  });
+}
+
+TEST(PkspApi, SizeMismatchRejected) {
+  World::run(1, [](Comm& c) {
+    const CsrMatrix g = lisi::sparse::laplacian1d(6);
+    DistCsrMatrix a = DistCsrMatrix::scatterFromRoot(c, g);
+    KSP ksp = nullptr;
+    KSPCreate(c, &ksp);
+    KSPSetOperator(ksp, &a);
+    std::vector<double> b(5, 1.0), x(6);
+    EXPECT_EQ(KSPSolve(ksp, std::span<const double>(b), std::span<double>(x)),
+              PKSP_ERR_ARG);
+    KSPDestroy(&ksp);
+  });
+}
+
+TEST(PkspApi, RectangularOperatorRejected) {
+  World::run(1, [](Comm& c) {
+    Rng rng(1);
+    const CsrMatrix g = lisi::sparse::randomCsr(4, 6, 2, rng);
+    CsrMatrix local = g;
+    DistCsrMatrix a(c, 4, 6, 0, local);
+    KSP ksp = nullptr;
+    KSPCreate(c, &ksp);
+    EXPECT_EQ(KSPSetOperator(ksp, &a), PKSP_ERR_ARG);
+    KSPDestroy(&ksp);
+  });
+}
+
+TEST(PkspApi, DestroyNullsAndToleratesNull) {
+  KSP ksp = nullptr;
+  EXPECT_EQ(KSPDestroy(&ksp), PKSP_SUCCESS);
+  EXPECT_EQ(KSPDestroy(nullptr), PKSP_ERR_ARG);
+}
+
+TEST(PkspApi, InvalidSettingsRejected) {
+  World::run(1, [](Comm& c) {
+    KSP ksp = nullptr;
+    KSPCreate(c, &ksp);
+    EXPECT_EQ(KSPSetRestart(ksp, 0), PKSP_ERR_ARG);
+    EXPECT_EQ(KSPSetSorOptions(ksp, 2.5, 1), PKSP_ERR_ARG);
+    EXPECT_EQ(KSPSetSorOptions(ksp, 1.0, 0), PKSP_ERR_ARG);
+    KSPDestroy(&ksp);
+  });
+}
+
+TEST(PkspOptions, StringParsingConfigures) {
+  World::run(1, [](Comm& c) {
+    KSP ksp = nullptr;
+    KSPCreate(c, &ksp);
+    EXPECT_EQ(KSPSetFromString(ksp,
+                               "-ksp_type bicgstab -pc_type jacobi "
+                               "-ksp_rtol 1e-9 -ksp_max_it 123"),
+              PKSP_SUCCESS);
+    std::string desc;
+    KSPGetDescription(ksp, &desc);
+    EXPECT_NE(desc.find("bicgstab"), std::string::npos);
+    EXPECT_NE(desc.find("jacobi"), std::string::npos);
+    EXPECT_NE(desc.find("1e-09"), std::string::npos);
+    EXPECT_NE(desc.find("123"), std::string::npos);
+    KSPDestroy(&ksp);
+  });
+}
+
+TEST(PkspOptions, UnknownKeyReported) {
+  World::run(1, [](Comm& c) {
+    KSP ksp = nullptr;
+    KSPCreate(c, &ksp);
+    EXPECT_EQ(KSPSetFromString(ksp, "-ksp_bogus_flag on"),
+              PKSP_ERR_UNSUPPORTED);
+    EXPECT_EQ(KSPSetFromString(ksp, "-ksp_rtol notanumber"), PKSP_ERR_ARG);
+    KSPDestroy(&ksp);
+  });
+}
+
+// ---- convergence matrix: method x preconditioner ----------------------
+
+struct Combo {
+  PkspType type;
+  PkspPcType pc;
+};
+
+class PkspConvergence : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(PkspConvergence, SpdSystemSolves) {
+  const Combo combo = GetParam();
+  const CsrMatrix g = lisi::sparse::laplacian2d(12, 12);
+  std::vector<double> xTrue(static_cast<std::size_t>(g.rows));
+  Rng rng(42);
+  for (auto& v : xTrue) v = rng.uniform(-1, 1);
+  std::vector<double> b(xTrue.size());
+  lisi::sparse::spmv(g, std::span<const double>(xTrue), std::span<double>(b));
+  const auto res = solveSerial(g, b, combo.type, combo.pc, 1e-10, 5000);
+  EXPECT_GT(res.reason, 0) << "reason=" << res.reason;
+  EXPECT_LT(res.relResidual, 1e-8);
+  // Solution itself must be accurate (Laplacian is well conditioned here).
+  for (std::size_t i = 0; i < xTrue.size(); ++i) {
+    EXPECT_NEAR(res.x[i], xTrue[i], 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndPcs, PkspConvergence,
+    ::testing::Values(Combo{PKSP_CG, PKSP_PC_NONE},
+                      Combo{PKSP_CG, PKSP_PC_JACOBI},
+                      Combo{PKSP_CG, PKSP_PC_ILU0},
+                      Combo{PKSP_GMRES, PKSP_PC_NONE},
+                      Combo{PKSP_GMRES, PKSP_PC_JACOBI},
+                      Combo{PKSP_GMRES, PKSP_PC_SOR},
+                      Combo{PKSP_GMRES, PKSP_PC_ILU0},
+                      Combo{PKSP_GMRES, PKSP_PC_BJACOBI},
+                      Combo{PKSP_BICGSTAB, PKSP_PC_NONE},
+                      Combo{PKSP_BICGSTAB, PKSP_PC_JACOBI},
+                      Combo{PKSP_BICGSTAB, PKSP_PC_ILU0},
+                      Combo{PKSP_RICHARDSON, PKSP_PC_ILU0},
+                      Combo{PKSP_RICHARDSON, PKSP_PC_SOR}));
+
+TEST(PkspNonsymmetric, GmresSolvesConvectionDiffusion) {
+  lisi::mesh::Pde5ptSpec spec;
+  spec.gridN = 16;
+  const auto sys = lisi::mesh::assembleGlobal(spec);
+  const auto res =
+      solveSerial(sys.localA, sys.localB, PKSP_GMRES, PKSP_PC_ILU0, 1e-10);
+  EXPECT_GT(res.reason, 0);
+  EXPECT_LT(res.relResidual, 1e-8);
+}
+
+TEST(PkspNonsymmetric, BicgstabSolvesConvectionDiffusion) {
+  lisi::mesh::Pde5ptSpec spec;
+  spec.gridN = 16;
+  const auto sys = lisi::mesh::assembleGlobal(spec);
+  const auto res =
+      solveSerial(sys.localA, sys.localB, PKSP_BICGSTAB, PKSP_PC_ILU0, 1e-10);
+  EXPECT_GT(res.reason, 0);
+  EXPECT_LT(res.relResidual, 1e-8);
+}
+
+TEST(PkspDiagnostics, MaxItsReportedAsDivergence) {
+  const CsrMatrix g = lisi::sparse::laplacian2d(20, 20);
+  std::vector<double> b(static_cast<std::size_t>(g.rows), 1.0);
+  const auto res = solveSerial(g, b, PKSP_CG, PKSP_PC_NONE, 1e-14, 3);
+  EXPECT_EQ(res.reason, PKSP_DIVERGED_ITS);
+  EXPECT_EQ(res.iterations, 3);
+}
+
+TEST(PkspDiagnostics, ZeroRhsConvergesImmediately) {
+  const CsrMatrix g = lisi::sparse::laplacian1d(30);
+  std::vector<double> b(30, 0.0);
+  const auto res = solveSerial(g, b, PKSP_GMRES, PKSP_PC_NONE);
+  EXPECT_GT(res.reason, 0);
+  EXPECT_EQ(res.iterations, 0);
+  for (double v : res.x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(PkspDiagnostics, InitialGuessNonzeroIsUsed) {
+  World::run(1, [](Comm& c) {
+    const CsrMatrix g = lisi::sparse::laplacian1d(40);
+    DistCsrMatrix a = DistCsrMatrix::scatterFromRoot(c, g);
+    std::vector<double> xTrue(40, 1.0);
+    std::vector<double> b(40);
+    lisi::sparse::spmv(g, std::span<const double>(xTrue), std::span<double>(b));
+    KSP ksp = nullptr;
+    KSPCreate(c, &ksp);
+    KSPSetOperator(ksp, &a);
+    KSPSetType(ksp, PKSP_CG);
+    KSPSetInitialGuessNonzero(ksp, true);
+    // Exact solution as initial guess: must converge in zero iterations.
+    std::vector<double> x = xTrue;
+    EXPECT_EQ(KSPSolve(ksp, std::span<const double>(b), std::span<double>(x)),
+              PKSP_SUCCESS);
+    int its = -1;
+    KSPGetIterationNumber(ksp, &its);
+    EXPECT_EQ(its, 0);
+    KSPDestroy(&ksp);
+  });
+}
+
+TEST(PkspPc, ShellOperatorWithMatrixPcUnsupported) {
+  World::run(1, [](Comm& c) {
+    KSP ksp = nullptr;
+    KSPCreate(c, &ksp);
+    auto matvec = [](void*, const double* x, double* y, int n) {
+      for (int i = 0; i < n; ++i) y[i] = 2.0 * x[i];
+    };
+    KSPSetOperatorShell(ksp, matvec, nullptr, 8);
+    KSPSetPCType(ksp, PKSP_PC_ILU0);
+    std::vector<double> b(8, 2.0), x(8);
+    EXPECT_EQ(KSPSolve(ksp, std::span<const double>(b), std::span<double>(x)),
+              PKSP_ERR_UNSUPPORTED);
+    KSPDestroy(&ksp);
+  });
+}
+
+TEST(PkspShell, MatrixFreeDiagonalSolve) {
+  World::run(1, [](Comm& c) {
+    KSP ksp = nullptr;
+    KSPCreate(c, &ksp);
+    auto matvec = [](void*, const double* x, double* y, int n) {
+      for (int i = 0; i < n; ++i) y[i] = (4.0 + i % 3) * x[i];
+    };
+    KSPSetOperatorShell(ksp, matvec, nullptr, 10);
+    KSPSetType(ksp, PKSP_CG);
+    std::vector<double> b(10, 1.0), x(10);
+    EXPECT_EQ(KSPSolve(ksp, std::span<const double>(b), std::span<double>(x)),
+              PKSP_SUCCESS);
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_NEAR(x[static_cast<std::size_t>(i)], 1.0 / (4.0 + i % 3), 1e-8);
+    }
+    KSPDestroy(&ksp);
+  });
+}
+
+TEST(PkspShell, MatrixFreeMatchesAssembledOperator) {
+  // Shell wrapping a DistCsrMatrix must reproduce the assembled solve.
+  for (int p : {1, 2, 4}) {
+    lisi::mesh::Pde5ptSpec spec;
+    spec.gridN = 10;
+    const auto serial = lisi::mesh::assembleGlobal(spec);
+    const auto ref = solveSerial(serial.localA, serial.localB, PKSP_GMRES,
+                                 PKSP_PC_NONE, 1e-10);
+    ASSERT_GT(ref.reason, 0);
+    World::run(p, [&](Comm& c) {
+      const auto local = lisi::mesh::assembleLocal(spec, c.rank(), c.size());
+      DistCsrMatrix a(c, local.globalN, local.globalN, local.startRow,
+                      local.localA);
+      auto matvec = [](void* ctx, const double* x, double* y, int n) {
+        const auto* mat = static_cast<const DistCsrMatrix*>(ctx);
+        mat->spmv(std::span<const double>(x, static_cast<std::size_t>(n)),
+                  std::span<double>(y, static_cast<std::size_t>(n)));
+      };
+      KSP ksp = nullptr;
+      KSPCreate(c, &ksp);
+      KSPSetOperatorShell(ksp, matvec, &a, a.localRows());
+      KSPSetType(ksp, PKSP_GMRES);
+      KSPSetTolerances(ksp, 1e-10, 1e-14, 2000);
+      std::vector<double> x(static_cast<std::size_t>(a.localRows()));
+      std::span<const double> bLoc(local.localB);
+      EXPECT_EQ(KSPSolve(ksp, bLoc, std::span<double>(x)), PKSP_SUCCESS);
+      for (int i = 0; i < a.localRows(); ++i) {
+        EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                    ref.x[static_cast<std::size_t>(a.startRow() + i)], 1e-6);
+      }
+      KSPDestroy(&ksp);
+    });
+  }
+}
+
+class PkspParallel : public ::testing::TestWithParam<int> {};
+
+TEST_P(PkspParallel, ParallelSolutionMatchesSerial) {
+  const int p = GetParam();
+  lisi::mesh::Pde5ptSpec spec;
+  spec.gridN = 14;
+  const auto serial = lisi::mesh::assembleGlobal(spec);
+  const auto ref = solveSerial(serial.localA, serial.localB, PKSP_BICGSTAB,
+                               PKSP_PC_JACOBI, 1e-12);
+  ASSERT_GT(ref.reason, 0);
+
+  World::run(p, [&](Comm& c) {
+    const auto local = lisi::mesh::assembleLocal(spec, c.rank(), c.size());
+    DistCsrMatrix a(c, local.globalN, local.globalN, local.startRow,
+                    local.localA);
+    KSP ksp = nullptr;
+    KSPCreate(c, &ksp);
+    KSPSetOperator(ksp, &a);
+    KSPSetType(ksp, PKSP_BICGSTAB);
+    KSPSetPCType(ksp, PKSP_PC_JACOBI);
+    KSPSetTolerances(ksp, 1e-12, 1e-14, 5000);
+    std::vector<double> x(static_cast<std::size_t>(a.localRows()));
+    EXPECT_EQ(KSPSolve(ksp, std::span<const double>(local.localB),
+                       std::span<double>(x)),
+              PKSP_SUCCESS);
+    for (int i = 0; i < a.localRows(); ++i) {
+      EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                  ref.x[static_cast<std::size_t>(a.startRow() + i)], 1e-6);
+    }
+    KSPDestroy(&ksp);
+  });
+}
+
+TEST_P(PkspParallel, IluBlockJacobiConvergesInParallel) {
+  const int p = GetParam();
+  lisi::mesh::Pde5ptSpec spec;
+  spec.gridN = 14;
+  World::run(p, [&](Comm& c) {
+    const auto local = lisi::mesh::assembleLocal(spec, c.rank(), c.size());
+    DistCsrMatrix a(c, local.globalN, local.globalN, local.startRow,
+                    local.localA);
+    KSP ksp = nullptr;
+    KSPCreate(c, &ksp);
+    KSPSetOperator(ksp, &a);
+    KSPSetType(ksp, PKSP_GMRES);
+    KSPSetPCType(ksp, PKSP_PC_ILU0);
+    KSPSetTolerances(ksp, 1e-10, 1e-14, 2000);
+    std::vector<double> x(static_cast<std::size_t>(a.localRows()));
+    EXPECT_EQ(KSPSolve(ksp, std::span<const double>(local.localB),
+                       std::span<double>(x)),
+              PKSP_SUCCESS);
+    double rnorm = 0;
+    KSPGetResidualNorm(ksp, &rnorm);
+    const double bnorm =
+        lisi::sparse::distNorm2(c, std::span<const double>(local.localB));
+    EXPECT_LT(rnorm / bnorm, 1e-8);
+    KSPDestroy(&ksp);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, PkspParallel, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(PkspReuse, MultipleSolvesReuseFactorization) {
+  // Use case (c) of §5.2: same A, several right-hand sides.
+  World::run(2, [](Comm& c) {
+    lisi::mesh::Pde5ptSpec spec;
+    spec.gridN = 10;
+    const auto local = lisi::mesh::assembleLocal(spec, c.rank(), c.size());
+    DistCsrMatrix a(c, local.globalN, local.globalN, local.startRow,
+                    local.localA);
+    KSP ksp = nullptr;
+    KSPCreate(c, &ksp);
+    KSPSetOperator(ksp, &a);
+    KSPSetType(ksp, PKSP_GMRES);
+    KSPSetPCType(ksp, PKSP_PC_ILU0);
+    KSPSetTolerances(ksp, 1e-10, 1e-14, 1000);
+    for (int rhs = 0; rhs < 3; ++rhs) {
+      std::vector<double> b(local.localB);
+      for (auto& v : b) v *= (rhs + 1);
+      std::vector<double> x(b.size());
+      EXPECT_EQ(KSPSolve(ksp, std::span<const double>(b), std::span<double>(x)),
+                PKSP_SUCCESS);
+      double rnorm = 0;
+      KSPGetResidualNorm(ksp, &rnorm);
+      const double bnorm = lisi::sparse::distNorm2(c, std::span<const double>(b));
+      EXPECT_LT(rnorm / bnorm, 1e-8) << "rhs " << rhs;
+    }
+    KSPDestroy(&ksp);
+  });
+}
+
+TEST(PkspMonitor, CallbackSeesMonotoneCgResiduals) {
+  World::run(1, [](Comm& c) {
+    const CsrMatrix g = lisi::sparse::laplacian2d(10, 10);
+    DistCsrMatrix a = DistCsrMatrix::scatterFromRoot(c, g);
+    KSP ksp = nullptr;
+    KSPCreate(c, &ksp);
+    KSPSetOperator(ksp, &a);
+    KSPSetType(ksp, PKSP_CG);
+    KSPSetTolerances(ksp, 1e-10, 1e-14, 1000);
+    std::vector<double> seen;
+    auto monitor = [](void* ctx, int it, double rnorm) {
+      auto* v = static_cast<std::vector<double>*>(ctx);
+      EXPECT_EQ(static_cast<int>(v->size()), it);
+      v->push_back(rnorm);
+    };
+    KSPSetMonitor(ksp, monitor, &seen);
+    std::vector<double> b(static_cast<std::size_t>(g.rows), 1.0), x(b.size());
+    ASSERT_EQ(KSPSolve(ksp, std::span<const double>(b), std::span<double>(x)),
+              PKSP_SUCCESS);
+    int its = 0;
+    KSPGetIterationNumber(ksp, &its);
+    ASSERT_EQ(static_cast<int>(seen.size()), its + 1);  // includes iter 0
+    EXPECT_LT(seen.back(), 1e-10 * seen.front() + 1e-14);
+    KSPDestroy(&ksp);
+  });
+}
+
+TEST(PkspMonitor, HistoryRecordedWithoutExplicitMonitor) {
+  World::run(2, [](Comm& c) {
+    lisi::mesh::Pde5ptSpec spec;
+    spec.gridN = 8;
+    const auto local = lisi::mesh::assembleLocal(spec, c.rank(), c.size());
+    DistCsrMatrix a(c, local.globalN, local.globalN, local.startRow,
+                    local.localA);
+    KSP ksp = nullptr;
+    KSPCreate(c, &ksp);
+    KSPSetOperator(ksp, &a);
+    KSPSetType(ksp, PKSP_GMRES);
+    KSPSetTolerances(ksp, 1e-8, 1e-14, 1000);
+    std::vector<double> x(static_cast<std::size_t>(a.localRows()));
+    ASSERT_EQ(KSPSolve(ksp, std::span<const double>(local.localB),
+                       std::span<double>(x)),
+              PKSP_SUCCESS);
+    const double* history = nullptr;
+    int count = 0;
+    ASSERT_EQ(KSPGetResidualHistory(ksp, &history, &count), PKSP_SUCCESS);
+    int its = 0;
+    KSPGetIterationNumber(ksp, &its);
+    ASSERT_EQ(count, its + 1);
+    // GMRES's tracked residual is non-increasing.
+    for (int i = 1; i < count; ++i) {
+      EXPECT_LE(history[i], history[i - 1] * (1.0 + 1e-12));
+    }
+    // History resets on the next solve.
+    ASSERT_EQ(KSPSolve(ksp, std::span<const double>(local.localB),
+                       std::span<double>(x)),
+              PKSP_SUCCESS);
+    int count2 = 0;
+    KSPGetResidualHistory(ksp, &history, &count2);
+    EXPECT_EQ(count2, count);
+    KSPDestroy(&ksp);
+  });
+}
+
+TEST(PkspGmres, RestartAffectsButStillConverges) {
+  const CsrMatrix g = lisi::sparse::laplacian2d(15, 15);
+  std::vector<double> b(static_cast<std::size_t>(g.rows), 1.0);
+  World::run(1, [&](Comm& c) {
+    DistCsrMatrix a = DistCsrMatrix::scatterFromRoot(c, g);
+    for (int restart : {5, 20, 100}) {
+      KSP ksp = nullptr;
+      KSPCreate(c, &ksp);
+      KSPSetOperator(ksp, &a);
+      KSPSetType(ksp, PKSP_GMRES);
+      KSPSetRestart(ksp, restart);
+      KSPSetTolerances(ksp, 1e-10, 1e-14, 5000);
+      std::vector<double> x(b.size());
+      EXPECT_EQ(KSPSolve(ksp, std::span<const double>(b), std::span<double>(x)),
+                PKSP_SUCCESS)
+          << "restart " << restart;
+      double rnorm = 0;
+      KSPGetResidualNorm(ksp, &rnorm);
+      EXPECT_LT(rnorm, 1e-7);
+      KSPDestroy(&ksp);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace pksp

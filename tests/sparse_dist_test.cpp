@@ -1,0 +1,232 @@
+// Distributed-matrix tests: the parallel spmv and gathers must agree with
+// their serial counterparts for every rank count.
+#include <gtest/gtest.h>
+
+#include "comm/comm.hpp"
+#include "mesh/pde5pt.hpp"
+#include "sparse/dist_csr.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/partition.hpp"
+#include "support/rng.hpp"
+
+namespace lisi::sparse {
+namespace {
+
+TEST(BlockRowPartition, EvenSplit) {
+  const BlockRowPartition p(12, 4);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(p.localRows(r), 3);
+    EXPECT_EQ(p.startRow(r), 3 * r);
+  }
+}
+
+TEST(BlockRowPartition, RemainderGoesToLowRanks) {
+  const BlockRowPartition p(10, 3);
+  EXPECT_EQ(p.localRows(0), 4);
+  EXPECT_EQ(p.localRows(1), 3);
+  EXPECT_EQ(p.localRows(2), 3);
+  EXPECT_EQ(p.startRow(0), 0);
+  EXPECT_EQ(p.startRow(1), 4);
+  EXPECT_EQ(p.startRow(2), 7);
+}
+
+TEST(BlockRowPartition, OwnerLookup) {
+  const BlockRowPartition p(10, 3);
+  EXPECT_EQ(p.ownerOf(0), 0);
+  EXPECT_EQ(p.ownerOf(3), 0);
+  EXPECT_EQ(p.ownerOf(4), 1);
+  EXPECT_EQ(p.ownerOf(9), 2);
+  EXPECT_THROW((void)p.ownerOf(10), Error);
+}
+
+TEST(BlockRowPartition, MoreRanksThanRows) {
+  const BlockRowPartition p(2, 5);
+  int total = 0;
+  for (int r = 0; r < 5; ++r) total += p.localRows(r);
+  EXPECT_EQ(total, 2);
+  EXPECT_EQ(p.localRows(0), 1);
+  EXPECT_EQ(p.localRows(1), 1);
+  EXPECT_EQ(p.localRows(4), 0);
+}
+
+class DistP : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistP, SpmvMatchesSerialOnRandomMatrix) {
+  const int p = GetParam();
+  const int n = 83;
+  Rng rngA(100);
+  const CsrMatrix global = randomDiagDominant(n, 6, 1.0, rngA);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  Rng rngX(200);
+  for (auto& v : x) v = rngX.uniform(-1, 1);
+  std::vector<double> yRef(static_cast<std::size_t>(n));
+  spmv(global, std::span<const double>(x), std::span<double>(yRef));
+
+  comm::World::run(p, [&](comm::Comm& c) {
+    DistCsrMatrix dist = DistCsrMatrix::scatterFromRoot(c, global);
+    EXPECT_EQ(dist.globalRows(), n);
+    EXPECT_EQ(dist.globalNnz(), global.nnz());
+    const int s = dist.startRow();
+    const int m = dist.localRows();
+    std::vector<double> xLoc(x.begin() + s, x.begin() + s + m);
+    std::vector<double> yLoc(static_cast<std::size_t>(m));
+    dist.spmv(std::span<const double>(xLoc), std::span<double>(yLoc));
+    for (int i = 0; i < m; ++i) {
+      EXPECT_NEAR(yLoc[static_cast<std::size_t>(i)],
+                  yRef[static_cast<std::size_t>(s + i)], 1e-12)
+          << "rank " << c.rank() << " row " << s + i;
+    }
+  });
+}
+
+TEST_P(DistP, SpmvMatchesSerialOnPdeMatrix) {
+  const int p = GetParam();
+  mesh::Pde5ptSpec spec;
+  spec.gridN = 12;
+  const auto serial = mesh::assembleGlobal(spec);
+  std::vector<double> x(static_cast<std::size_t>(serial.globalN));
+  Rng rng(300);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> yRef(x.size());
+  spmv(serial.localA, std::span<const double>(x), std::span<double>(yRef));
+
+  comm::World::run(p, [&](comm::Comm& c) {
+    const auto local = mesh::assembleLocal(spec, c.rank(), c.size());
+    DistCsrMatrix dist(c, local.globalN, local.globalN, local.startRow,
+                       local.localA);
+    std::vector<double> xLoc(x.begin() + dist.startRow(),
+                             x.begin() + dist.startRow() + dist.localRows());
+    std::vector<double> yLoc(static_cast<std::size_t>(dist.localRows()));
+    dist.spmv(std::span<const double>(xLoc), std::span<double>(yLoc));
+    for (int i = 0; i < dist.localRows(); ++i) {
+      EXPECT_NEAR(yLoc[static_cast<std::size_t>(i)],
+                  yRef[static_cast<std::size_t>(dist.startRow() + i)], 1e-12);
+    }
+  });
+}
+
+TEST_P(DistP, GatherToRootReassemblesMatrix) {
+  const int p = GetParam();
+  Rng rng(400);
+  const CsrMatrix global = randomCsr(37, 37, 5, rng);
+  CsrMatrix canonical = global;
+  canonical.canonicalize();
+  comm::World::run(p, [&](comm::Comm& c) {
+    DistCsrMatrix dist = DistCsrMatrix::scatterFromRoot(c, global);
+    const CsrMatrix gathered = dist.gatherToRoot(0);
+    if (c.rank() == 0) {
+      EXPECT_DOUBLE_EQ(maxAbsDiff(canonical, gathered), 0.0);
+    } else {
+      EXPECT_EQ(gathered.rows, 0);
+    }
+  });
+}
+
+TEST_P(DistP, VectorGatherScatterRoundTrip) {
+  const int p = GetParam();
+  const int n = 29;
+  std::vector<double> xGlobal(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) xGlobal[static_cast<std::size_t>(i)] = i * 1.5;
+  comm::World::run(p, [&](comm::Comm& c) {
+    const CsrMatrix eye = laplacian1d(n);  // any square matrix fixes the layout
+    DistCsrMatrix dist = DistCsrMatrix::scatterFromRoot(c, eye);
+    const auto xLoc = dist.scatterVectorFromRoot(
+        c.rank() == 0 ? std::span<const double>(xGlobal)
+                      : std::span<const double>(),
+        0);
+    ASSERT_EQ(static_cast<int>(xLoc.size()), dist.localRows());
+    for (int i = 0; i < dist.localRows(); ++i) {
+      EXPECT_DOUBLE_EQ(xLoc[static_cast<std::size_t>(i)],
+                       (dist.startRow() + i) * 1.5);
+    }
+    const auto back =
+        dist.gatherVectorToRoot(std::span<const double>(xLoc), 0);
+    if (c.rank() == 0) {
+      ASSERT_EQ(back.size(), xGlobal.size());
+      for (std::size_t i = 0; i < back.size(); ++i) {
+        EXPECT_DOUBLE_EQ(back[i], xGlobal[i]);
+      }
+    }
+  });
+}
+
+TEST_P(DistP, LocalDiagonalMatchesGlobal) {
+  const int p = GetParam();
+  Rng rng(500);
+  const CsrMatrix global = randomDiagDominant(41, 4, 0.5, rng);
+  const auto dRef = diagonal(global);
+  comm::World::run(p, [&](comm::Comm& c) {
+    DistCsrMatrix dist = DistCsrMatrix::scatterFromRoot(c, global);
+    const auto d = dist.localDiagonal();
+    for (int i = 0; i < dist.localRows(); ++i) {
+      EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(i)],
+                       dRef[static_cast<std::size_t>(dist.startRow() + i)]);
+    }
+  });
+}
+
+TEST_P(DistP, DistVectorReductionsMatchSerial) {
+  const int p = GetParam();
+  const int n = 57;
+  std::vector<double> x(static_cast<std::size_t>(n)), y(static_cast<std::size_t>(n));
+  Rng rng(600);
+  for (auto& v : x) v = rng.uniform(-2, 2);
+  for (auto& v : y) v = rng.uniform(-2, 2);
+  const double dotRef = dot(std::span<const double>(x), std::span<const double>(y));
+  const double n2Ref = norm2(std::span<const double>(x));
+  comm::World::run(p, [&](comm::Comm& c) {
+    const BlockRowPartition part(n, p);
+    const int s = part.startRow(c.rank());
+    const int m = part.localRows(c.rank());
+    std::span<const double> xLoc(x.data() + s, static_cast<std::size_t>(m));
+    std::span<const double> yLoc(y.data() + s, static_cast<std::size_t>(m));
+    EXPECT_NEAR(distDot(c, xLoc, yLoc), dotRef, 1e-12);
+    EXPECT_NEAR(distNorm2(c, xLoc), n2Ref, 1e-12);
+    double infRef = 0.0;
+    for (double v : x) infRef = std::max(infRef, std::abs(v));
+    EXPECT_DOUBLE_EQ(distNormInf(c, xLoc), infRef);
+  });
+}
+
+TEST(Dist, RejectsInconsistentTiling) {
+  EXPECT_THROW(
+      comm::World::run(2,
+                       [](comm::Comm& c) {
+                         CsrMatrix local;
+                         local.rows = 3;  // 3+3 != 5 => must throw
+                         local.cols = 5;
+                         local.rowPtr = {0, 0, 0, 0};
+                         DistCsrMatrix bad(c, 5, 5, c.rank() == 0 ? 0 : 3,
+                                           local);
+                       }),
+      Error);
+}
+
+TEST(Dist, GhostCountIsZeroForBlockDiagonal) {
+  comm::World::run(2, [](comm::Comm& c) {
+    // Each rank's rows touch only its own columns -> no halo traffic.
+    const int nloc = 4;
+    CsrMatrix local;
+    local.rows = nloc;
+    local.cols = 8;
+    local.rowPtr.resize(nloc + 1);
+    const int base = c.rank() * nloc;
+    for (int i = 0; i < nloc; ++i) {
+      local.rowPtr[static_cast<std::size_t>(i)] = i;
+      local.colIdx.push_back(base + i);
+      local.values.push_back(1.0);
+    }
+    local.rowPtr[nloc] = nloc;
+    DistCsrMatrix dist(c, 8, 8, base, local);
+    EXPECT_EQ(dist.numGhosts(), 0);
+    std::vector<double> x(nloc, 2.0), y(nloc);
+    dist.spmv(std::span<const double>(x), std::span<double>(y));
+    for (double v : y) EXPECT_DOUBLE_EQ(v, 2.0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DistP, ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace lisi::sparse

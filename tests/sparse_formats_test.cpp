@@ -1,0 +1,166 @@
+// Unit tests for sparse storage formats: validation, canonicalization, and
+// the SparseStruct enum helpers.
+#include <gtest/gtest.h>
+
+#include "sparse/formats.hpp"
+
+namespace lisi::sparse {
+namespace {
+
+CsrMatrix tinyCsr() {
+  // [ 1 0 2 ]
+  // [ 0 3 0 ]
+  CsrMatrix a;
+  a.rows = 2;
+  a.cols = 3;
+  a.rowPtr = {0, 2, 3};
+  a.colIdx = {0, 2, 1};
+  a.values = {1.0, 2.0, 3.0};
+  return a;
+}
+
+TEST(SparseStructEnum, NamesRoundTrip) {
+  for (SparseStruct s :
+       {SparseStruct::kCsr, SparseStruct::kCoo, SparseStruct::kMsr,
+        SparseStruct::kVbr, SparseStruct::kFem, SparseStruct::kCsc}) {
+    EXPECT_EQ(sparseStructFromName(sparseStructName(s)), s);
+  }
+}
+
+TEST(SparseStructEnum, ParseIsCaseInsensitive) {
+  EXPECT_EQ(sparseStructFromName(" csr "), SparseStruct::kCsr);
+  EXPECT_EQ(sparseStructFromName("Coo"), SparseStruct::kCoo);
+  EXPECT_THROW(sparseStructFromName("bogus"), Error);
+}
+
+TEST(Coo, CheckAcceptsValid) {
+  CooMatrix c;
+  c.rows = 2;
+  c.cols = 2;
+  c.rowIdx = {0, 1, 0};
+  c.colIdx = {0, 1, 1};
+  c.values = {1, 2, 3};
+  EXPECT_NO_THROW(c.check());
+  EXPECT_EQ(c.nnz(), 3);
+}
+
+TEST(Coo, CheckRejectsOutOfRange) {
+  CooMatrix c;
+  c.rows = 2;
+  c.cols = 2;
+  c.rowIdx = {0, 2};
+  c.colIdx = {0, 1};
+  c.values = {1, 2};
+  EXPECT_THROW(c.check(), Error);
+}
+
+TEST(Coo, CheckRejectsLengthMismatch) {
+  CooMatrix c;
+  c.rows = 1;
+  c.cols = 1;
+  c.rowIdx = {0};
+  c.colIdx = {0, 0};
+  c.values = {1.0};
+  EXPECT_THROW(c.check(), Error);
+}
+
+TEST(Csr, CheckAcceptsValid) {
+  EXPECT_NO_THROW(tinyCsr().check());
+}
+
+TEST(Csr, CheckRejectsBadRowPtr) {
+  CsrMatrix a = tinyCsr();
+  a.rowPtr = {0, 5, 3};  // non-monotone / wrong end
+  EXPECT_THROW(a.check(), Error);
+}
+
+TEST(Csr, CheckRejectsColOutOfRange) {
+  CsrMatrix a = tinyCsr();
+  a.colIdx[0] = 99;
+  EXPECT_THROW(a.check(), Error);
+}
+
+TEST(Csr, CanonicalizeSortsAndMerges) {
+  CsrMatrix a;
+  a.rows = 1;
+  a.cols = 4;
+  a.rowPtr = {0, 4};
+  a.colIdx = {3, 1, 3, 0};
+  a.values = {1.0, 2.0, 10.0, 4.0};
+  EXPECT_FALSE(a.isCanonical());
+  a.canonicalize();
+  EXPECT_TRUE(a.isCanonical());
+  ASSERT_EQ(a.nnz(), 3);
+  EXPECT_EQ(a.colIdx, (std::vector<int>{0, 1, 3}));
+  EXPECT_DOUBLE_EQ(a.values[2], 11.0);  // duplicates summed
+}
+
+TEST(Csr, CanonicalOnEmptyRows) {
+  CsrMatrix a;
+  a.rows = 3;
+  a.cols = 3;
+  a.rowPtr = {0, 0, 1, 1};
+  a.colIdx = {2};
+  a.values = {5.0};
+  a.canonicalize();
+  EXPECT_NO_THROW(a.check());
+  EXPECT_EQ(a.nnz(), 1);
+}
+
+TEST(Csc, CheckValidAndInvalid) {
+  CscMatrix c;
+  c.rows = 3;
+  c.cols = 2;
+  c.colPtr = {0, 1, 3};
+  c.rowIdx = {2, 0, 1};
+  c.values = {1, 2, 3};
+  EXPECT_NO_THROW(c.check());
+  c.rowIdx[0] = 3;
+  EXPECT_THROW(c.check(), Error);
+}
+
+TEST(Msr, CheckValid) {
+  // 2x2 matrix [4 1; 0 5] in MSR.
+  MsrMatrix m;
+  m.n = 2;
+  m.bindx = {3, 4, 4, 1};  // bindx[0]=n+1=3, row0 has one offdiag (col 1)
+  m.val = {4.0, 5.0, 0.0, 1.0};
+  EXPECT_NO_THROW(m.check());
+  EXPECT_EQ(m.nnz(), 3);
+}
+
+TEST(Msr, CheckRejectsBadHeader) {
+  MsrMatrix m;
+  m.n = 2;
+  m.bindx = {2, 4, 4, 1};  // bindx[0] must be n+1
+  m.val = {4.0, 5.0, 0.0, 1.0};
+  EXPECT_THROW(m.check(), Error);
+}
+
+TEST(Vbr, CheckValidSingleBlock) {
+  // One 2x2 dense block.
+  VbrMatrix v;
+  v.rpntr = {0, 2};
+  v.cpntr = {0, 2};
+  v.bpntr = {0, 1};
+  v.bindx = {0};
+  v.indx = {0, 4};
+  v.val = {1, 2, 3, 4};
+  EXPECT_NO_THROW(v.check());
+  EXPECT_EQ(v.rows(), 2);
+  EXPECT_EQ(v.cols(), 2);
+}
+
+TEST(Vbr, CheckRejectsExtentMismatch) {
+  VbrMatrix v;
+  v.rpntr = {0, 2};
+  v.cpntr = {0, 2};
+  v.bpntr = {0, 1};
+  v.bindx = {0};
+  v.indx = {0, 3};  // 2x2 block needs 4 values
+  v.val = {1, 2, 3};
+  EXPECT_THROW(v.check(), Error);
+}
+
+}  // namespace
+}  // namespace lisi::sparse

@@ -1,0 +1,106 @@
+// MatrixMarket I/O tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "sparse/generate.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/ops.hpp"
+#include "support/rng.hpp"
+
+namespace lisi::sparse {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lisi_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() { std::filesystem::remove_all(dir_); }
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+TEST(MatrixMarket, StreamRoundTrip) {
+  Rng rng(1);
+  const CsrMatrix a = randomCsr(15, 11, 4, rng);
+  std::stringstream ss;
+  writeMatrixMarket(ss, a);
+  const CsrMatrix back = readMatrixMarket(ss);
+  EXPECT_EQ(back.rows, a.rows);
+  EXPECT_EQ(back.cols, a.cols);
+  EXPECT_LT(maxAbsDiff(a, back), 1e-15);
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  TempDir tmp;
+  Rng rng(2);
+  const CsrMatrix a = randomCsr(8, 8, 3, rng);
+  writeMatrixMarket(tmp.path("a.mtx"), a);
+  const CsrMatrix back = readMatrixMarket(tmp.path("a.mtx"));
+  EXPECT_LT(maxAbsDiff(a, back), 1e-15);
+}
+
+TEST(MatrixMarket, SymmetricInputExpands) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real symmetric\n"
+        "% lower triangle of [2 1; 1 3]\n"
+        "2 2 3\n"
+        "1 1 2.0\n"
+        "2 1 1.0\n"
+        "2 2 3.0\n";
+  const CsrMatrix a = readMatrixMarket(ss);
+  EXPECT_EQ(a.nnz(), 4);
+  const auto dense = toDense(a);
+  EXPECT_DOUBLE_EQ(dense[1], 1.0);
+  EXPECT_DOUBLE_EQ(dense[2], 1.0);
+}
+
+TEST(MatrixMarket, RejectsPattern) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1\n";
+  EXPECT_THROW((void)readMatrixMarket(ss), Error);
+}
+
+TEST(MatrixMarket, RejectsTruncated) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1.0\n";
+  EXPECT_THROW((void)readMatrixMarket(ss), Error);
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW((void)readMatrixMarket("/nonexistent/path/x.mtx"), Error);
+}
+
+TEST(MatrixMarket, VectorRoundTrip) {
+  TempDir tmp;
+  std::vector<double> v{1.0, -2.5, 3.75, 0.0};
+  writeMatrixMarketVector(tmp.path("v.mtx"), std::span<const double>(v));
+  const auto back = readMatrixMarketVector(tmp.path("v.mtx"));
+  ASSERT_EQ(back.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_DOUBLE_EQ(back[i], v[i]);
+}
+
+TEST(MatrixMarket, PreservesFullPrecision) {
+  std::stringstream ss;
+  CsrMatrix a;
+  a.rows = 1;
+  a.cols = 1;
+  a.rowPtr = {0, 1};
+  a.colIdx = {0};
+  a.values = {1.0 / 3.0};
+  writeMatrixMarket(ss, a);
+  const CsrMatrix back = readMatrixMarket(ss);
+  EXPECT_DOUBLE_EQ(back.values[0], 1.0 / 3.0);  // bit-exact via %.17g
+}
+
+}  // namespace
+}  // namespace lisi::sparse

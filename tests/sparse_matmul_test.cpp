@@ -1,0 +1,266 @@
+// SpGEMM tests: serial product against dense reference, distributed product
+// against the serial one across rank counts and shapes, and the Galerkin
+// triple product.
+#include <gtest/gtest.h>
+
+#include "comm/comm.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/matmul.hpp"
+#include "sparse/ops.hpp"
+#include "support/rng.hpp"
+
+namespace lisi::sparse {
+namespace {
+
+using comm::Comm;
+using comm::World;
+
+/// Dense reference product.
+std::vector<double> denseMul(const CsrMatrix& a, const CsrMatrix& b) {
+  const auto da = toDense(a);
+  const auto db = toDense(b);
+  std::vector<double> dc(static_cast<std::size_t>(a.rows) *
+                             static_cast<std::size_t>(b.cols),
+                         0.0);
+  for (int i = 0; i < a.rows; ++i) {
+    for (int k = 0; k < a.cols; ++k) {
+      const double av = da[static_cast<std::size_t>(i * a.cols + k)];
+      if (av == 0.0) continue;
+      for (int j = 0; j < b.cols; ++j) {
+        dc[static_cast<std::size_t>(i * b.cols + j)] +=
+            av * db[static_cast<std::size_t>(k * b.cols + j)];
+      }
+    }
+  }
+  return dc;
+}
+
+TEST(MatMul, SmallKnownProduct) {
+  // [1 2; 0 3] * [4 0; 1 5] = [6 10; 3 15]
+  CsrMatrix a;
+  a.rows = 2; a.cols = 2;
+  a.rowPtr = {0, 2, 3};
+  a.colIdx = {0, 1, 1};
+  a.values = {1, 2, 3};
+  CsrMatrix b;
+  b.rows = 2; b.cols = 2;
+  b.rowPtr = {0, 1, 3};
+  b.colIdx = {0, 0, 1};
+  b.values = {4, 1, 5};
+  const CsrMatrix c = matMul(a, b);
+  const auto d = toDense(c);
+  EXPECT_DOUBLE_EQ(d[0], 6);
+  EXPECT_DOUBLE_EQ(d[1], 10);
+  EXPECT_DOUBLE_EQ(d[2], 3);
+  EXPECT_DOUBLE_EQ(d[3], 15);
+}
+
+TEST(MatMul, DimensionMismatchRejected) {
+  Rng rng(1);
+  const CsrMatrix a = randomCsr(3, 4, 2, rng);
+  const CsrMatrix b = randomCsr(5, 3, 2, rng);
+  EXPECT_THROW((void)matMul(a, b), Error);
+}
+
+TEST(MatMul, IdentityIsNeutral) {
+  Rng rng(2);
+  const CsrMatrix a = randomCsr(7, 7, 3, rng);
+  CsrMatrix eye;
+  eye.rows = 7; eye.cols = 7;
+  eye.rowPtr = {0, 1, 2, 3, 4, 5, 6, 7};
+  eye.colIdx = {0, 1, 2, 3, 4, 5, 6};
+  eye.values.assign(7, 1.0);
+  CsrMatrix canon = a;
+  canon.canonicalize();
+  EXPECT_LT(maxAbsDiff(matMul(a, eye), canon), 1e-14);
+  EXPECT_LT(maxAbsDiff(matMul(eye, a), canon), 1e-14);
+}
+
+struct MulShape {
+  int m, k, n, nnzPerRow;
+  std::uint64_t seed;
+};
+
+class MatMulProperty : public ::testing::TestWithParam<MulShape> {};
+
+TEST_P(MatMulProperty, MatchesDenseReference) {
+  const MulShape s = GetParam();
+  Rng rng(s.seed);
+  const CsrMatrix a = randomCsr(s.m, s.k, s.nnzPerRow, rng);
+  const CsrMatrix b = randomCsr(s.k, s.n, s.nnzPerRow, rng);
+  const CsrMatrix c = matMul(a, b);
+  const auto ref = denseMul(a, b);
+  const auto got = toDense(c);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(got[i], ref[i], 1e-12);
+  }
+  EXPECT_TRUE(c.isCanonical());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulProperty,
+    ::testing::Values(MulShape{1, 1, 1, 1, 1}, MulShape{4, 6, 5, 2, 2},
+                      MulShape{10, 10, 10, 3, 3}, MulShape{16, 8, 24, 4, 4},
+                      MulShape{25, 25, 25, 1, 5}, MulShape{12, 20, 6, 5, 6}));
+
+class DistMatMulP : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistMatMulP, SquareProductMatchesSerial) {
+  const int p = GetParam();
+  Rng rng(10);
+  const CsrMatrix ga = randomCsr(41, 41, 4, rng);
+  const CsrMatrix gb = randomCsr(41, 41, 4, rng);
+  const CsrMatrix ref = matMul(ga, gb);
+  World::run(p, [&](Comm& c) {
+    DistCsrMatrix a = DistCsrMatrix::scatterFromRoot(c, ga);
+    DistCsrMatrix b = DistCsrMatrix::scatterFromRoot(c, gb);
+    const DistCsrMatrix prod = distMatMul(a, b);
+    const CsrMatrix gathered = prod.gatherToRoot(0);
+    if (c.rank() == 0) {
+      EXPECT_LT(maxAbsDiff(gathered, ref), 1e-12);
+    }
+  });
+}
+
+TEST_P(DistMatMulP, RectangularProductMatchesSerial) {
+  const int p = GetParam();
+  Rng rng(11);
+  // R (12x30) * A (30x30): the multigrid R*A shape.
+  const CsrMatrix gr = randomCsr(12, 30, 3, rng);
+  const CsrMatrix ga = randomCsr(30, 30, 4, rng);
+  const CsrMatrix ref = matMul(gr, ga);
+  World::run(p, [&](Comm& c) {
+    const BlockRowPartition rPart(12, c.size());
+    const BlockRowPartition aPart(30, c.size());
+    auto slice = [&](const CsrMatrix& g, const BlockRowPartition& part) {
+      const int s = part.startRow(c.rank());
+      const int m = part.localRows(c.rank());
+      CsrMatrix local;
+      local.rows = m;
+      local.cols = g.cols;
+      local.rowPtr.assign(static_cast<std::size_t>(m) + 1, 0);
+      for (int i = 0; i < m; ++i) {
+        const int gb = g.rowPtr[static_cast<std::size_t>(s + i)];
+        const int ge = g.rowPtr[static_cast<std::size_t>(s + i) + 1];
+        local.colIdx.insert(local.colIdx.end(), g.colIdx.begin() + gb,
+                            g.colIdx.begin() + ge);
+        local.values.insert(local.values.end(), g.values.begin() + gb,
+                            g.values.begin() + ge);
+        local.rowPtr[static_cast<std::size_t>(i) + 1] =
+            static_cast<int>(local.values.size());
+      }
+      return local;
+    };
+    DistCsrMatrix r(c, 12, 30, rPart.startRow(c.rank()), slice(gr, rPart),
+                    aPart.boundaries());
+    DistCsrMatrix a(c, 30, 30, aPart.startRow(c.rank()), slice(ga, aPart));
+    const DistCsrMatrix prod = distMatMul(r, a);
+    EXPECT_EQ(prod.globalRows(), 12);
+    EXPECT_EQ(prod.globalCols(), 30);
+    const CsrMatrix gathered = prod.gatherToRoot(0);
+    if (c.rank() == 0) {
+      EXPECT_LT(maxAbsDiff(gathered, ref), 1e-12);
+    }
+  });
+}
+
+TEST_P(DistMatMulP, GalerkinTripleProductMatchesSerial) {
+  const int p = GetParam();
+  Rng rng(12);
+  const CsrMatrix gr = randomCsr(8, 20, 3, rng);
+  const CsrMatrix ga = randomCsr(20, 20, 4, rng);
+  const CsrMatrix gp = transpose(gr);  // P = R' (typical Galerkin pairing)
+  const CsrMatrix ref = matMul(matMul(gr, ga), gp);
+  World::run(p, [&](Comm& c) {
+    const BlockRowPartition cPart(8, c.size());
+    const BlockRowPartition fPart(20, c.size());
+    auto slice = [&](const CsrMatrix& g, const BlockRowPartition& part) {
+      const int s = part.startRow(c.rank());
+      const int m = part.localRows(c.rank());
+      CsrMatrix local;
+      local.rows = m;
+      local.cols = g.cols;
+      local.rowPtr.assign(static_cast<std::size_t>(m) + 1, 0);
+      for (int i = 0; i < m; ++i) {
+        const int gb = g.rowPtr[static_cast<std::size_t>(s + i)];
+        const int ge = g.rowPtr[static_cast<std::size_t>(s + i) + 1];
+        local.colIdx.insert(local.colIdx.end(), g.colIdx.begin() + gb,
+                            g.colIdx.begin() + ge);
+        local.values.insert(local.values.end(), g.values.begin() + gb,
+                            g.values.begin() + ge);
+        local.rowPtr[static_cast<std::size_t>(i) + 1] =
+            static_cast<int>(local.values.size());
+      }
+      return local;
+    };
+    DistCsrMatrix r(c, 8, 20, cPart.startRow(c.rank()), slice(gr, cPart),
+                    fPart.boundaries());
+    DistCsrMatrix a(c, 20, 20, fPart.startRow(c.rank()), slice(ga, fPart));
+    DistCsrMatrix pm(c, 20, 8, fPart.startRow(c.rank()), slice(gp, fPart),
+                     cPart.boundaries());
+    const DistCsrMatrix coarse = galerkinProduct(r, a, pm);
+    EXPECT_EQ(coarse.globalRows(), 8);
+    EXPECT_EQ(coarse.globalCols(), 8);
+    const CsrMatrix gathered = coarse.gatherToRoot(0);
+    if (c.rank() == 0) {
+      EXPECT_LT(maxAbsDiff(gathered, ref), 1e-12);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistMatMulP, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(DistMatMul, MismatchedPartitionsRejected) {
+  EXPECT_THROW(
+      World::run(2,
+                 [](Comm& c) {
+                   Rng rng(13);
+                   const CsrMatrix ga = randomCsr(10, 12, 2, rng);
+                   const CsrMatrix gb = randomCsr(12, 10, 2, rng);
+                   // a's colStarts defaults to empty (rectangular without
+                   // colStarts): constructor requires them for spmv but the
+                   // product requires matching partitions.
+                   const BlockRowPartition aPart(10, c.size());
+                   const BlockRowPartition bPart(12, c.size());
+                   auto slice = [&](const CsrMatrix& g,
+                                    const BlockRowPartition& part) {
+                     const int s = part.startRow(c.rank());
+                     const int m = part.localRows(c.rank());
+                     CsrMatrix local;
+                     local.rows = m;
+                     local.cols = g.cols;
+                     local.rowPtr.assign(static_cast<std::size_t>(m) + 1, 0);
+                     for (int i = 0; i < m; ++i) {
+                       const int gb2 = g.rowPtr[static_cast<std::size_t>(s + i)];
+                       const int ge = g.rowPtr[static_cast<std::size_t>(s + i) + 1];
+                       local.colIdx.insert(local.colIdx.end(),
+                                           g.colIdx.begin() + gb2,
+                                           g.colIdx.begin() + ge);
+                       local.values.insert(local.values.end(),
+                                           g.values.begin() + gb2,
+                                           g.values.begin() + ge);
+                       local.rowPtr[static_cast<std::size_t>(i) + 1] =
+                           static_cast<int>(local.values.size());
+                     }
+                     return local;
+                   };
+                   // Deliberately wrong: a's column partition set to a's own
+                   // row partition instead of b's.
+                   DistCsrMatrix a(c, 10, 12, aPart.startRow(c.rank()),
+                                   slice(ga, aPart), bPart.boundaries());
+                   // b distributed by a *different* partition than a expects.
+                   const BlockRowPartition bBad(12, 1);
+                   (void)bBad;
+                   DistCsrMatrix b(c, 12, 10, bPart.startRow(c.rank()),
+                                   slice(gb, bPart), aPart.boundaries());
+                   // a.colStarts == b.rowStarts here, so force the mismatch
+                   // by multiplying b*a instead (10 vs 12 inner dim).
+                   (void)distMatMul(b, b);
+                 }),
+      Error);
+}
+
+}  // namespace
+}  // namespace lisi::sparse

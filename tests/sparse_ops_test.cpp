@@ -1,0 +1,160 @@
+// Tests for serial sparse kernels (spmv variants, transpose, norms).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/convert.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/ops.hpp"
+#include "support/rng.hpp"
+
+namespace lisi::sparse {
+namespace {
+
+TEST(Spmv, KnownSmallMatrix) {
+  // A = [1 2; 3 4], x = [5, 6] -> y = [17, 39]
+  CsrMatrix a;
+  a.rows = 2;
+  a.cols = 2;
+  a.rowPtr = {0, 2, 4};
+  a.colIdx = {0, 1, 0, 1};
+  a.values = {1, 2, 3, 4};
+  std::vector<double> x{5, 6};
+  std::vector<double> y(2);
+  spmv(a, std::span<const double>(x), std::span<double>(y));
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+}
+
+TEST(Spmv, SizeMismatchThrows) {
+  Rng rng(1);
+  const CsrMatrix a = randomCsr(3, 4, 2, rng);
+  std::vector<double> xBad(3), y(3), x(4), yBad(4);
+  EXPECT_THROW(spmv(a, std::span<const double>(xBad), std::span<double>(y)),
+               Error);
+  EXPECT_THROW(spmv(a, std::span<const double>(x), std::span<double>(yBad)),
+               Error);
+}
+
+TEST(SpmvTranspose, MatchesExplicitTranspose) {
+  Rng rng(2);
+  const CsrMatrix a = randomCsr(9, 6, 3, rng);
+  std::vector<double> x(9);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> y1(6), y2(6);
+  spmvTranspose(a, std::span<const double>(x), std::span<double>(y1));
+  spmv(transpose(a), std::span<const double>(x), std::span<double>(y2));
+  for (int i = 0; i < 6; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-14);
+}
+
+TEST(Transpose, Involution) {
+  Rng rng(3);
+  const CsrMatrix a = randomCsr(8, 5, 3, rng);
+  EXPECT_DOUBLE_EQ(maxAbsDiff(a, transpose(transpose(a))), 0.0);
+}
+
+TEST(Diagonal, ExtractsAndDefaultsZero) {
+  CsrMatrix a;
+  a.rows = 3;
+  a.cols = 3;
+  a.rowPtr = {0, 1, 1, 2};
+  a.colIdx = {0, 2};
+  a.values = {7.0, 9.0};
+  const auto d = diagonal(a);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 7.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], 9.0);
+}
+
+TEST(Norms, KnownValues) {
+  CsrMatrix a;
+  a.rows = 2;
+  a.cols = 2;
+  a.rowPtr = {0, 2, 3};
+  a.colIdx = {0, 1, 1};
+  a.values = {3.0, -4.0, 12.0};
+  EXPECT_DOUBLE_EQ(frobeniusNorm(a), 13.0);
+  EXPECT_DOUBLE_EQ(infNorm(a), 12.0);
+}
+
+TEST(VectorOps, DotAxpyNorm) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(std::span<const double>(x), std::span<const double>(y)),
+                   32.0);
+  EXPECT_DOUBLE_EQ(norm2(std::span<const double>(x)), std::sqrt(14.0));
+  axpy(2.0, std::span<const double>(x), std::span<double>(y));
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+}
+
+TEST(ResidualNorm, ZeroForExactSolution) {
+  const CsrMatrix a = laplacian1d(50);
+  std::vector<double> x(50, 0.0);
+  std::vector<double> b(50, 0.0);
+  EXPECT_DOUBLE_EQ(
+      residualNorm(a, std::span<const double>(x), std::span<const double>(b)),
+      0.0);
+  // b = A * ones  ->  x = ones has zero residual.
+  std::vector<double> ones(50, 1.0);
+  spmv(a, std::span<const double>(ones), std::span<double>(b));
+  EXPECT_NEAR(residualNorm(a, std::span<const double>(ones),
+                           std::span<const double>(b)),
+              0.0, 1e-14);
+}
+
+TEST(MaxAbsDiff, DetectsPatternDifferences) {
+  CsrMatrix a;
+  a.rows = 1;
+  a.cols = 3;
+  a.rowPtr = {0, 1};
+  a.colIdx = {0};
+  a.values = {2.0};
+  CsrMatrix b;
+  b.rows = 1;
+  b.cols = 3;
+  b.rowPtr = {0, 1};
+  b.colIdx = {2};
+  b.values = {5.0};
+  EXPECT_DOUBLE_EQ(maxAbsDiff(a, b), 5.0);
+}
+
+TEST(Generators, Laplacian2dStructure) {
+  const CsrMatrix a = laplacian2d(4, 3);
+  EXPECT_EQ(a.rows, 12);
+  EXPECT_EQ(a.cols, 12);
+  const auto d = diagonal(a);
+  for (double v : d) EXPECT_DOUBLE_EQ(v, 4.0);
+  // Symmetry: A == A'.
+  EXPECT_DOUBLE_EQ(maxAbsDiff(a, transpose(a)), 0.0);
+}
+
+TEST(Generators, DiagDominantIsDominant) {
+  Rng rng(4);
+  const CsrMatrix a = randomDiagDominant(40, 5, 0.25, rng);
+  for (int i = 0; i < a.rows; ++i) {
+    double diag = 0.0;
+    double off = 0.0;
+    for (int k = a.rowPtr[static_cast<std::size_t>(i)];
+         k < a.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+      if (a.colIdx[static_cast<std::size_t>(k)] == i) {
+        diag = a.values[static_cast<std::size_t>(k)];
+      } else {
+        off += std::abs(a.values[static_cast<std::size_t>(k)]);
+      }
+    }
+    EXPECT_GE(diag, off + 0.25 - 1e-12) << "row " << i;
+  }
+}
+
+TEST(Generators, SpdIsSymmetric) {
+  Rng rng(5);
+  const CsrMatrix a = randomSpd(30, 4, rng);
+  EXPECT_LT(maxAbsDiff(a, transpose(a)), 1e-15);
+  // Positive diagonal is necessary for SPD.
+  for (double v : diagonal(a)) EXPECT_GT(v, 0.0);
+}
+
+}  // namespace
+}  // namespace lisi::sparse

@@ -1,0 +1,169 @@
+// Unit tests for src/support: error handling, statistics, RNG, strings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/string_util.hpp"
+#include "support/timer.hpp"
+
+namespace lisi {
+namespace {
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  try {
+    LISI_CHECK(1 == 2, "numbers disagree");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("numbers disagree"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckMacroPassesSilently) {
+  EXPECT_NO_THROW(LISI_CHECK(2 + 2 == 4, "arithmetic broke"));
+}
+
+TEST(Error, CodeNamesAreStable) {
+  EXPECT_STREQ(errorCodeName(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(errorCodeName(ErrorCode::kNumericFailure), "numeric-failure");
+  EXPECT_STREQ(errorCodeName(ErrorCode::kUnsupported), "unsupported");
+}
+
+TEST(Stats, MeanMinMaxMedian) {
+  RunStats s;
+  for (double v : {3.0, 1.0, 2.0, 5.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Stats, MedianEvenCount) {
+  RunStats s;
+  for (double v : {4.0, 1.0, 3.0, 2.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+}
+
+TEST(Stats, StddevMatchesHandComputation) {
+  RunStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  // Known dataset: sample stddev = sqrt(32/7).
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, EmptyThrows) {
+  RunStats s;
+  EXPECT_THROW((void)s.mean(), Error);
+  EXPECT_THROW((void)s.min(), Error);
+  EXPECT_THROW((void)s.median(), Error);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, IntInBoundsInclusive) {
+  Rng rng(11);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.intIn(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    sawLo |= (v == 2);
+    sawHi |= (v == 5);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Strings, TrimAndLower) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(toLower("GMRES"), "gmres");
+}
+
+TEST(Strings, ParseBool) {
+  EXPECT_EQ(parseBool("true"), true);
+  EXPECT_EQ(parseBool(" YES "), true);
+  EXPECT_EQ(parseBool("0"), false);
+  EXPECT_EQ(parseBool("off"), false);
+  EXPECT_FALSE(parseBool("maybe").has_value());
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parseInt("123"), 123);
+  EXPECT_EQ(parseInt(" -45 "), -45);
+  EXPECT_FALSE(parseInt("12.5").has_value());
+  EXPECT_FALSE(parseInt("12x").has_value());
+  EXPECT_FALSE(parseInt("").has_value());
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parseDouble("1e-8").value(), 1e-8);
+  EXPECT_DOUBLE_EQ(parseDouble(" -2.5 ").value(), -2.5);
+  EXPECT_FALSE(parseDouble("abc").has_value());
+  EXPECT_FALSE(parseDouble("1.0junk").has_value());
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a, b ,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_EQ(split("one", ',').size(), 1u);
+  EXPECT_EQ(split("a,,b", ',')[1], "");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  // Busy-wait a tiny amount; just assert monotonicity and nonnegativity.
+  const double t0 = t.seconds();
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  const double t1 = t.seconds();
+  EXPECT_GE(t0, 0.0);
+  EXPECT_GE(t1, t0);
+  t.reset();
+  EXPECT_LE(t.seconds(), t1 + 1.0);
+}
+
+TEST(Timer, ScopedTimerAccumulates) {
+  double sink = 0.0;
+  {
+    ScopedTimer s(sink);
+    volatile double x = 0;
+    for (int i = 0; i < 10000; ++i) x = x + 1.0;
+  }
+  EXPECT_GE(sink, 0.0);
+  const double first = sink;
+  {
+    ScopedTimer s(sink);
+  }
+  EXPECT_GE(sink, first);
+}
+
+}  // namespace
+}  // namespace lisi
