@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_matfree.dir/ablation_matfree.cpp.o"
+  "CMakeFiles/ablation_matfree.dir/ablation_matfree.cpp.o.d"
+  "ablation_matfree"
+  "ablation_matfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_matfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mg.dir/ablation_mg.cpp.o"
+  "CMakeFiles/ablation_mg.dir/ablation_mg.cpp.o.d"
+  "ablation_mg"
+  "ablation_mg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rarray.dir/ablation_rarray.cpp.o"
+  "CMakeFiles/ablation_rarray.dir/ablation_rarray.cpp.o.d"
+  "ablation_rarray"
+  "ablation_rarray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_switching.dir/fig4_switching.cpp.o"
+  "CMakeFiles/fig4_switching.dir/fig4_switching.cpp.o.d"
+  "fig4_switching"
+  "fig4_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

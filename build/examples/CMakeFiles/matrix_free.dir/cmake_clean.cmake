@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_free.dir/matrix_free.cpp.o"
+  "CMakeFiles/matrix_free.dir/matrix_free.cpp.o.d"
+  "matrix_free"
+  "matrix_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

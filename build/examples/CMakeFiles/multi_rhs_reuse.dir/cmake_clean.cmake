@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_rhs_reuse.dir/multi_rhs_reuse.cpp.o"
+  "CMakeFiles/multi_rhs_reuse.dir/multi_rhs_reuse.cpp.o.d"
+  "multi_rhs_reuse"
+  "multi_rhs_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_rhs_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

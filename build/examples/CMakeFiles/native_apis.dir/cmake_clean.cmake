@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_apis.dir/native_apis.cpp.o"
+  "CMakeFiles/native_apis.dir/native_apis.cpp.o.d"
+  "native_apis"
+  "native_apis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_apis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

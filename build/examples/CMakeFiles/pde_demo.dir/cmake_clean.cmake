@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pde_demo.dir/pde_demo.cpp.o"
+  "CMakeFiles/pde_demo.dir/pde_demo.cpp.o.d"
+  "pde_demo"
+  "pde_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pde_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lisi/CMakeFiles/lisi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cca/CMakeFiles/lisi_cca.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/lisi_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/pksp/CMakeFiles/lisi_pksp.dir/DependInfo.cmake"
+  "/root/repo/build/src/aztec/CMakeFiles/lisi_aztec.dir/DependInfo.cmake"
+  "/root/repo/build/src/slu/CMakeFiles/lisi_slu.dir/DependInfo.cmake"
+  "/root/repo/build/src/hymg/CMakeFiles/lisi_hymg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/lisi_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/lisi_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lisi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

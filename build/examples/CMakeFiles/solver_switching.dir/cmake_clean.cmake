@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_switching.dir/solver_switching.cpp.o"
+  "CMakeFiles/solver_switching.dir/solver_switching.cpp.o.d"
+  "solver_switching"
+  "solver_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

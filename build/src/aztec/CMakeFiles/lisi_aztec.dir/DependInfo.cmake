@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aztec/aztecoo.cpp" "src/aztec/CMakeFiles/lisi_aztec.dir/aztecoo.cpp.o" "gcc" "src/aztec/CMakeFiles/lisi_aztec.dir/aztecoo.cpp.o.d"
+  "/root/repo/src/aztec/map.cpp" "src/aztec/CMakeFiles/lisi_aztec.dir/map.cpp.o" "gcc" "src/aztec/CMakeFiles/lisi_aztec.dir/map.cpp.o.d"
+  "/root/repo/src/aztec/row_matrix.cpp" "src/aztec/CMakeFiles/lisi_aztec.dir/row_matrix.cpp.o" "gcc" "src/aztec/CMakeFiles/lisi_aztec.dir/row_matrix.cpp.o.d"
+  "/root/repo/src/aztec/vector.cpp" "src/aztec/CMakeFiles/lisi_aztec.dir/vector.cpp.o" "gcc" "src/aztec/CMakeFiles/lisi_aztec.dir/vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/lisi_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/lisi_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lisi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisi_aztec.dir/aztecoo.cpp.o"
+  "CMakeFiles/lisi_aztec.dir/aztecoo.cpp.o.d"
+  "CMakeFiles/lisi_aztec.dir/map.cpp.o"
+  "CMakeFiles/lisi_aztec.dir/map.cpp.o.d"
+  "CMakeFiles/lisi_aztec.dir/row_matrix.cpp.o"
+  "CMakeFiles/lisi_aztec.dir/row_matrix.cpp.o.d"
+  "CMakeFiles/lisi_aztec.dir/vector.cpp.o"
+  "CMakeFiles/lisi_aztec.dir/vector.cpp.o.d"
+  "liblisi_aztec.a"
+  "liblisi_aztec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisi_aztec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lisi_aztec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisi_cca.dir/cca.cpp.o"
+  "CMakeFiles/lisi_cca.dir/cca.cpp.o.d"
+  "liblisi_cca.a"
+  "liblisi_cca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisi_cca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisi_comm.dir/comm.cpp.o"
+  "CMakeFiles/lisi_comm.dir/comm.cpp.o.d"
+  "CMakeFiles/lisi_comm.dir/comm_handle.cpp.o"
+  "CMakeFiles/lisi_comm.dir/comm_handle.cpp.o.d"
+  "liblisi_comm.a"
+  "liblisi_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisi_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

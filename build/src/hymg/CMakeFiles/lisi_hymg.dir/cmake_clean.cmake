@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisi_hymg.dir/hymg.cpp.o"
+  "CMakeFiles/lisi_hymg.dir/hymg.cpp.o.d"
+  "liblisi_hymg.a"
+  "liblisi_hymg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisi_hymg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lisi_hymg.
+# This may be replaced when dependencies are built.

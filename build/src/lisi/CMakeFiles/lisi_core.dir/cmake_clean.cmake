@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisi_core.dir/aztec_component.cpp.o"
+  "CMakeFiles/lisi_core.dir/aztec_component.cpp.o.d"
+  "CMakeFiles/lisi_core.dir/hymg_component.cpp.o"
+  "CMakeFiles/lisi_core.dir/hymg_component.cpp.o.d"
+  "CMakeFiles/lisi_core.dir/pde_driver.cpp.o"
+  "CMakeFiles/lisi_core.dir/pde_driver.cpp.o.d"
+  "CMakeFiles/lisi_core.dir/pksp_component.cpp.o"
+  "CMakeFiles/lisi_core.dir/pksp_component.cpp.o.d"
+  "CMakeFiles/lisi_core.dir/register.cpp.o"
+  "CMakeFiles/lisi_core.dir/register.cpp.o.d"
+  "CMakeFiles/lisi_core.dir/slu_component.cpp.o"
+  "CMakeFiles/lisi_core.dir/slu_component.cpp.o.d"
+  "CMakeFiles/lisi_core.dir/solver_base.cpp.o"
+  "CMakeFiles/lisi_core.dir/solver_base.cpp.o.d"
+  "liblisi_core.a"
+  "liblisi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisi_mesh.dir/mesh_io.cpp.o"
+  "CMakeFiles/lisi_mesh.dir/mesh_io.cpp.o.d"
+  "CMakeFiles/lisi_mesh.dir/pde5pt.cpp.o"
+  "CMakeFiles/lisi_mesh.dir/pde5pt.cpp.o.d"
+  "liblisi_mesh.a"
+  "liblisi_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisi_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pksp/pksp.cpp" "src/pksp/CMakeFiles/lisi_pksp.dir/pksp.cpp.o" "gcc" "src/pksp/CMakeFiles/lisi_pksp.dir/pksp.cpp.o.d"
+  "/root/repo/src/pksp/pksp_krylov.cpp" "src/pksp/CMakeFiles/lisi_pksp.dir/pksp_krylov.cpp.o" "gcc" "src/pksp/CMakeFiles/lisi_pksp.dir/pksp_krylov.cpp.o.d"
+  "/root/repo/src/pksp/pksp_pc.cpp" "src/pksp/CMakeFiles/lisi_pksp.dir/pksp_pc.cpp.o" "gcc" "src/pksp/CMakeFiles/lisi_pksp.dir/pksp_pc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/lisi_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/lisi_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lisi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisi_pksp.dir/pksp.cpp.o"
+  "CMakeFiles/lisi_pksp.dir/pksp.cpp.o.d"
+  "CMakeFiles/lisi_pksp.dir/pksp_krylov.cpp.o"
+  "CMakeFiles/lisi_pksp.dir/pksp_krylov.cpp.o.d"
+  "CMakeFiles/lisi_pksp.dir/pksp_pc.cpp.o"
+  "CMakeFiles/lisi_pksp.dir/pksp_pc.cpp.o.d"
+  "liblisi_pksp.a"
+  "liblisi_pksp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisi_pksp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisi_slu.dir/slu.cpp.o"
+  "CMakeFiles/lisi_slu.dir/slu.cpp.o.d"
+  "CMakeFiles/lisi_slu.dir/slu_ordering.cpp.o"
+  "CMakeFiles/lisi_slu.dir/slu_ordering.cpp.o.d"
+  "liblisi_slu.a"
+  "liblisi_slu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisi_slu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

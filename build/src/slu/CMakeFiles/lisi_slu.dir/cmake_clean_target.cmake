@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblisi_slu.a"
+)

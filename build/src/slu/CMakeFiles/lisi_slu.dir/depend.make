@@ -1,0 +1,2 @@
+# Empty dependencies file for lisi_slu.
+# This may be replaced when dependencies are built.

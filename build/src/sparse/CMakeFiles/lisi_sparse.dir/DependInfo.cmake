@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/convert.cpp" "src/sparse/CMakeFiles/lisi_sparse.dir/convert.cpp.o" "gcc" "src/sparse/CMakeFiles/lisi_sparse.dir/convert.cpp.o.d"
+  "/root/repo/src/sparse/dist_csr.cpp" "src/sparse/CMakeFiles/lisi_sparse.dir/dist_csr.cpp.o" "gcc" "src/sparse/CMakeFiles/lisi_sparse.dir/dist_csr.cpp.o.d"
+  "/root/repo/src/sparse/formats.cpp" "src/sparse/CMakeFiles/lisi_sparse.dir/formats.cpp.o" "gcc" "src/sparse/CMakeFiles/lisi_sparse.dir/formats.cpp.o.d"
+  "/root/repo/src/sparse/generate.cpp" "src/sparse/CMakeFiles/lisi_sparse.dir/generate.cpp.o" "gcc" "src/sparse/CMakeFiles/lisi_sparse.dir/generate.cpp.o.d"
+  "/root/repo/src/sparse/matmul.cpp" "src/sparse/CMakeFiles/lisi_sparse.dir/matmul.cpp.o" "gcc" "src/sparse/CMakeFiles/lisi_sparse.dir/matmul.cpp.o.d"
+  "/root/repo/src/sparse/matrix_market.cpp" "src/sparse/CMakeFiles/lisi_sparse.dir/matrix_market.cpp.o" "gcc" "src/sparse/CMakeFiles/lisi_sparse.dir/matrix_market.cpp.o.d"
+  "/root/repo/src/sparse/ops.cpp" "src/sparse/CMakeFiles/lisi_sparse.dir/ops.cpp.o" "gcc" "src/sparse/CMakeFiles/lisi_sparse.dir/ops.cpp.o.d"
+  "/root/repo/src/sparse/partition.cpp" "src/sparse/CMakeFiles/lisi_sparse.dir/partition.cpp.o" "gcc" "src/sparse/CMakeFiles/lisi_sparse.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lisi_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/lisi_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

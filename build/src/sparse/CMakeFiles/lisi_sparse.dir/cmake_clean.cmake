@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisi_sparse.dir/convert.cpp.o"
+  "CMakeFiles/lisi_sparse.dir/convert.cpp.o.d"
+  "CMakeFiles/lisi_sparse.dir/dist_csr.cpp.o"
+  "CMakeFiles/lisi_sparse.dir/dist_csr.cpp.o.d"
+  "CMakeFiles/lisi_sparse.dir/formats.cpp.o"
+  "CMakeFiles/lisi_sparse.dir/formats.cpp.o.d"
+  "CMakeFiles/lisi_sparse.dir/generate.cpp.o"
+  "CMakeFiles/lisi_sparse.dir/generate.cpp.o.d"
+  "CMakeFiles/lisi_sparse.dir/matmul.cpp.o"
+  "CMakeFiles/lisi_sparse.dir/matmul.cpp.o.d"
+  "CMakeFiles/lisi_sparse.dir/matrix_market.cpp.o"
+  "CMakeFiles/lisi_sparse.dir/matrix_market.cpp.o.d"
+  "CMakeFiles/lisi_sparse.dir/ops.cpp.o"
+  "CMakeFiles/lisi_sparse.dir/ops.cpp.o.d"
+  "CMakeFiles/lisi_sparse.dir/partition.cpp.o"
+  "CMakeFiles/lisi_sparse.dir/partition.cpp.o.d"
+  "liblisi_sparse.a"
+  "liblisi_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisi_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisi_support.dir/error.cpp.o"
+  "CMakeFiles/lisi_support.dir/error.cpp.o.d"
+  "CMakeFiles/lisi_support.dir/stats.cpp.o"
+  "CMakeFiles/lisi_support.dir/stats.cpp.o.d"
+  "CMakeFiles/lisi_support.dir/string_util.cpp.o"
+  "CMakeFiles/lisi_support.dir/string_util.cpp.o.d"
+  "liblisi_support.a"
+  "liblisi_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisi_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

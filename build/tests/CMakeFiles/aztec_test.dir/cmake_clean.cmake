@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aztec_test.dir/aztec_test.cpp.o"
+  "CMakeFiles/aztec_test.dir/aztec_test.cpp.o.d"
+  "aztec_test"
+  "aztec_test.pdb"
+  "aztec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aztec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

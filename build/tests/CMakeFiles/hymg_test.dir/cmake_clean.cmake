@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hymg_test.dir/hymg_test.cpp.o"
+  "CMakeFiles/hymg_test.dir/hymg_test.cpp.o.d"
+  "hymg_test"
+  "hymg_test.pdb"
+  "hymg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hymg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

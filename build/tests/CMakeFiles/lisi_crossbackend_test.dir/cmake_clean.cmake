@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisi_crossbackend_test.dir/lisi_crossbackend_test.cpp.o"
+  "CMakeFiles/lisi_crossbackend_test.dir/lisi_crossbackend_test.cpp.o.d"
+  "lisi_crossbackend_test"
+  "lisi_crossbackend_test.pdb"
+  "lisi_crossbackend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisi_crossbackend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

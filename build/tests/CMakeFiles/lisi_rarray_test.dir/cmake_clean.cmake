@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisi_rarray_test.dir/lisi_rarray_test.cpp.o"
+  "CMakeFiles/lisi_rarray_test.dir/lisi_rarray_test.cpp.o.d"
+  "lisi_rarray_test"
+  "lisi_rarray_test.pdb"
+  "lisi_rarray_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisi_rarray_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisi_solver_test.dir/lisi_solver_test.cpp.o"
+  "CMakeFiles/lisi_solver_test.dir/lisi_solver_test.cpp.o.d"
+  "lisi_solver_test"
+  "lisi_solver_test.pdb"
+  "lisi_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisi_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

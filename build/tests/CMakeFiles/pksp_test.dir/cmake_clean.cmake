@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pksp_test.dir/pksp_test.cpp.o"
+  "CMakeFiles/pksp_test.dir/pksp_test.cpp.o.d"
+  "pksp_test"
+  "pksp_test.pdb"
+  "pksp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pksp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

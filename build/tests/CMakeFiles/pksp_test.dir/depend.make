@@ -1,0 +1,2 @@
+# Empty dependencies file for pksp_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slu_test.dir/slu_test.cpp.o"
+  "CMakeFiles/slu_test.dir/slu_test.cpp.o.d"
+  "slu_test"
+  "slu_test.pdb"
+  "slu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sparse_formats_test.cpp" "tests/CMakeFiles/sparse_formats_test.dir/sparse_formats_test.cpp.o" "gcc" "tests/CMakeFiles/sparse_formats_test.dir/sparse_formats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/lisi_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/lisi_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lisi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_io_test.dir/sparse_io_test.cpp.o"
+  "CMakeFiles/sparse_io_test.dir/sparse_io_test.cpp.o.d"
+  "sparse_io_test"
+  "sparse_io_test.pdb"
+  "sparse_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

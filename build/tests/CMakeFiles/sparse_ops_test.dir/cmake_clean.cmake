@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_ops_test.dir/sparse_ops_test.cpp.o"
+  "CMakeFiles/sparse_ops_test.dir/sparse_ops_test.cpp.o.d"
+  "sparse_ops_test"
+  "sparse_ops_test.pdb"
+  "sparse_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

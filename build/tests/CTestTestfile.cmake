@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_formats_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_convert_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_io_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_dist_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_test[1]_include.cmake")
+include("/root/repo/build/tests/pksp_test[1]_include.cmake")
+include("/root/repo/build/tests/aztec_test[1]_include.cmake")
+include("/root/repo/build/tests/slu_test[1]_include.cmake")
+include("/root/repo/build/tests/hymg_test[1]_include.cmake")
+include("/root/repo/build/tests/cca_test[1]_include.cmake")
+include("/root/repo/build/tests/lisi_rarray_test[1]_include.cmake")
+include("/root/repo/build/tests/lisi_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_matmul_test[1]_include.cmake")
+include("/root/repo/build/tests/lisi_crossbackend_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
