@@ -1,0 +1,115 @@
+// Collective-latency ablation: bcast / allreduce / allgatherv / barrier
+// cost as the rank count grows from 1 to 8, for both schedule families.
+//
+// Args are {p, schedule} with schedule 1 = tree (binomial trees, recursive
+// doubling, dissemination, ring — logarithmic critical path) and
+// 2 = star (root funnels everything — fewest scheduler handoffs).  On a
+// host with a core per rank the tree family's latency grows like log p
+// while the star family's grows like p; on an oversubscribed host the
+// rank-threads serialize and the ordering flips, which is exactly why the
+// library resolves kAuto by core count.  Thread spawn/join cost is
+// excluded by manual timing: each benchmark iteration launches one world,
+// warms the schedule up, then times a fixed batch of operations between
+// barriers on rank 0.
+#include <benchmark/benchmark.h>
+
+#include <span>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using lisi::comm::CollectiveSchedule;
+using lisi::comm::Comm;
+using lisi::comm::ReduceOp;
+using lisi::comm::World;
+
+constexpr int kPayloadDoubles = 256;  ///< 2 KiB: latency-dominated
+constexpr int kWarmupOps = 16;
+constexpr int kOpsPerIteration = 256;
+
+/// Run `op` kOpsPerIteration times on `p` ranks under the benchmark's
+/// pinned schedule family and return rank 0's wall-clock for the timed
+/// batch.
+template <class Op>
+double timedWorld(const benchmark::State& state, Op&& op) {
+  const int p = static_cast<int>(state.range(0));
+  lisi::comm::setCollectiveSchedule(
+      static_cast<CollectiveSchedule>(state.range(1)));
+  double elapsed = 0.0;
+  World::run(p, [&](Comm& comm) {
+    for (int i = 0; i < kWarmupOps; ++i) op(comm);
+    comm.barrier();
+    const lisi::WallTimer timer;
+    for (int i = 0; i < kOpsPerIteration; ++i) op(comm);
+    comm.barrier();
+    if (comm.rank() == 0) elapsed = timer.seconds();
+  });
+  lisi::comm::setCollectiveSchedule(CollectiveSchedule::kAuto);
+  return elapsed;
+}
+
+/// ranks 1..8 x {tree, star}.
+void scheduleGrid(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"p", "sched"});
+  for (const auto sched : {CollectiveSchedule::kTree, CollectiveSchedule::kStar}) {
+    for (int p = 1; p <= 8; ++p) b->Args({p, static_cast<long>(sched)});
+  }
+}
+
+void BM_Bcast(benchmark::State& state) {
+  for (auto _ : state) {
+    state.SetIterationTime(timedWorld(state, [](const Comm& comm) {
+      std::vector<double> buf(kPayloadDoubles,
+                              comm.rank() == 0 ? 1.0 : 0.0);
+      comm.bcast(std::span<double>(buf), 0);
+      benchmark::DoNotOptimize(buf.data());
+    }));
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIteration);
+}
+BENCHMARK(BM_Bcast)->Apply(scheduleGrid)->UseManualTime();
+
+void BM_Allreduce(benchmark::State& state) {
+  for (auto _ : state) {
+    state.SetIterationTime(timedWorld(state, [](const Comm& comm) {
+      std::vector<double> in(kPayloadDoubles, 1.0 + comm.rank());
+      std::vector<double> out(kPayloadDoubles);
+      comm.allreduce(std::span<const double>(in), std::span<double>(out),
+                     ReduceOp::kSum);
+      benchmark::DoNotOptimize(out.data());
+    }));
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIteration);
+}
+BENCHMARK(BM_Allreduce)->Apply(scheduleGrid)->UseManualTime();
+
+void BM_Allgatherv(benchmark::State& state) {
+  for (auto _ : state) {
+    state.SetIterationTime(timedWorld(state, [](const Comm& comm) {
+      // Uneven contributions exercise the counts exchange as well.
+      std::vector<double> mine(
+          static_cast<std::size_t>(16 + 8 * comm.rank()), 1.0);
+      const std::vector<double> all =
+          comm.allgatherv(std::span<const double>(mine), nullptr);
+      benchmark::DoNotOptimize(all.data());
+    }));
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIteration);
+}
+BENCHMARK(BM_Allgatherv)->Apply(scheduleGrid)->UseManualTime();
+
+void BM_Barrier(benchmark::State& state) {
+  for (auto _ : state) {
+    state.SetIterationTime(
+        timedWorld(state, [](const Comm& comm) { comm.barrier(); }));
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIteration);
+}
+BENCHMARK(BM_Barrier)->Apply(scheduleGrid)->UseManualTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

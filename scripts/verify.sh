@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo verify flow:
+#   1. tier-1: configure, build, run the full ctest suite;
+#   2. TSan:   rebuild with -DLISI_SANITIZE=thread and run the comm + dist
+#              binaries — MiniMPI is thread-backed, so this proves the
+#              overlapped halo exchange and collective schedules race-free.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+cmake -B build-tsan -S . -DLISI_SANITIZE=thread
+cmake --build build-tsan -j --target comm_test sparse_dist_test
+./build-tsan/tests/comm_test
+./build-tsan/tests/sparse_dist_test
+
+echo "verify: OK"

@@ -207,38 +207,123 @@ void Comm::recvBytesInto(void* data, std::size_t n, int src, int tag,
   if (n != 0) std::memcpy(data, payload.data(), n);
 }
 
+namespace {
+/// Tags above kMaxUserTag rotate through this window; all ranks advance
+/// their collective sequence in lockstep, so equal positions map to equal
+/// tags on every rank.
+constexpr std::uint64_t kCollectiveTagWindow = 1u << 20;
+
+int tagForSeq(std::uint64_t seq) {
+  return kMaxUserTag + 1 + static_cast<int>(seq % kCollectiveTagWindow);
+}
+}  // namespace
+
 int Comm::nextCollectiveTag() const {
   LISI_CHECK(valid(), "collective on an invalid communicator");
-  constexpr std::uint64_t kWindow = 1u << 20;
-  const std::uint64_t seq = state_->collSeq.fetch_add(1);
-  return kMaxUserTag + 1 + static_cast<int>(seq % kWindow);
+  return tagForSeq(state_->collSeq.fetch_add(1));
+}
+
+namespace {
+std::atomic<CollectiveSchedule> g_schedule{CollectiveSchedule::kAuto};
+}  // namespace
+
+void setCollectiveSchedule(CollectiveSchedule schedule) {
+  g_schedule.store(schedule, std::memory_order_relaxed);
+}
+
+CollectiveSchedule collectiveSchedule() {
+  return g_schedule.load(std::memory_order_relaxed);
+}
+
+bool detail::useTreeSchedule(int p) {
+  switch (collectiveSchedule()) {
+    case CollectiveSchedule::kTree: return true;
+    case CollectiveSchedule::kStar: return false;
+    case CollectiveSchedule::kAuto: break;
+  }
+  // Ranks are threads: with a core per rank the tree's O(log p) critical
+  // path sets the latency, but on an oversubscribed host every tree edge
+  // is a forced scheduler handoff (the child cannot progress until its
+  // parent ran), so the star's independent sends win.
+  // hardware_concurrency() is identical on every rank of a world (one
+  // process), so all ranks resolve the same family and the collective tag
+  // sequence stays in lockstep.  Cached: glibc re-reads sysfs on every
+  // call, which would cost more than a small collective itself.
+  static const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 || static_cast<int>(hw) >= p;
+}
+
+std::vector<int> Comm::reserveCollectiveTags(int count) const {
+  LISI_CHECK(valid(), "reserveCollectiveTags on an invalid communicator");
+  LISI_CHECK(count > 0, "reserveCollectiveTags: count must be positive");
+  const std::uint64_t seq =
+      state_->collSeq.fetch_add(static_cast<std::uint64_t>(count));
+  std::vector<int> tags(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    tags[static_cast<std::size_t>(i)] =
+        tagForSeq(seq + static_cast<std::uint64_t>(i));
+  }
+  return tags;
 }
 
 void Comm::barrier() const {
+  // Tree family: dissemination barrier, ceil(log2 p) rounds; in round k
+  // every rank signals (rank + 2^k) mod p and waits on (rank - 2^k) mod p.
+  // Each round's source is distinct, so one tag disambiguates all rounds.
+  // Star family: gather tokens at rank 0, then release everyone.
   const int tag = nextCollectiveTag();
   const int p = size();
   if (p == 1) return;
+  const int r = rank();
   const char token = 0;
-  if (rank() == 0) {
-    for (int r = 1; r < p; ++r) (void)recvValue<char>(r, tag);
-    for (int r = 1; r < p; ++r) sendValue(token, r, tag);
-  } else {
-    sendValue(token, 0, tag);
-    (void)recvValue<char>(0, tag);
+  if (!detail::useTreeSchedule(p)) {
+    if (r == 0) {
+      for (int q = 1; q < p; ++q) (void)recvValue<char>(q, tag);
+      for (int q = 1; q < p; ++q) sendValue(token, q, tag);
+    } else {
+      sendValue(token, 0, tag);
+      (void)recvValue<char>(0, tag);
+    }
+    return;
+  }
+  for (int m = 1; m < p; m <<= 1) {
+    sendValue(token, (r + m) % p, tag);
+    (void)recvValue<char>((r - m + p) % p, tag);
   }
 }
 
 void Comm::bcastBytes(void* data, std::size_t n, int root) const {
+  // Tree family: binomial tree rooted at `root` — each rank receives from
+  // its parent once and forwards to at most ceil(log2 p) children, so the
+  // critical path is O(log p).  Star family: the root sends p-1
+  // independent (buffered, non-blocking) messages.
   const int tag = nextCollectiveTag();
   const int p = size();
   LISI_CHECK(root >= 0 && root < p, "bcast: root out of range");
   if (p == 1) return;
-  if (rank() == root) {
-    for (int r = 0; r < p; ++r) {
-      if (r != root) sendBytes(data, n, r, tag);
+  if (!detail::useTreeSchedule(p)) {
+    if (rank() == root) {
+      for (int r = 0; r < p; ++r) {
+        if (r != root) sendBytes(data, n, r, tag);
+      }
+    } else {
+      recvBytesInto(data, n, root, tag);
     }
-  } else {
-    recvBytesInto(data, n, root, tag);
+    return;
+  }
+  const int vr = (rank() - root + p) % p;  // virtual rank: root -> 0
+  int mask = 1;
+  while (mask < p) {
+    if (vr & mask) {
+      recvBytesInto(data, n, (vr - mask + root) % p, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < p) sendBytes(data, n, (vr + mask + root) % p, tag);
+    mask >>= 1;
   }
 }
 
@@ -246,21 +331,113 @@ void Comm::reduceBytes(const void* in, void* out, std::size_t count,
                        std::size_t elemSize, ReduceOp op, int root,
                        void (*combine)(void*, const void*, std::size_t,
                                        ReduceOp)) const {
+  // Tree family: binomial tree mirror of bcast — leaves send first,
+  // interior ranks fold each child subtree into their accumulator in
+  // ascending-mask order, so the schedule is fixed and results are
+  // reproducible run-to-run.  Star family: the root folds every rank's
+  // contribution in ascending rank order (also fixed, also reproducible,
+  // but a different association than the tree — pick one family per run).
   const int tag = nextCollectiveTag();
   const int p = size();
   LISI_CHECK(root >= 0 && root < p, "reduce: root out of range");
   const std::size_t bytes = count * elemSize;
-  if (rank() == root) {
-    if (bytes != 0 && out != in) std::memcpy(out, in, bytes);
-    std::vector<std::byte> contrib(bytes);
-    // Rank-ordered combination => deterministic (bitwise reproducible).
-    for (int r = 0; r < p; ++r) {
-      if (r == root) continue;
-      recvBytesInto(contrib.data(), bytes, r, tag);
+  if (rank() == root && bytes != 0 && out != in) std::memcpy(out, in, bytes);
+  if (p == 1 || bytes == 0) return;
+  if (!detail::useTreeSchedule(p)) {
+    if (rank() == root) {
+      std::vector<std::byte> contrib(bytes);
+      for (int r = 0; r < p; ++r) {
+        if (r == root) continue;
+        recvBytesInto(contrib.data(), bytes, r, tag);
+        combine(out, contrib.data(), count, op);
+      }
+    } else {
+      sendBytes(in, bytes, root, tag);
+    }
+    return;
+  }
+  const int vr = (rank() - root + p) % p;
+  std::vector<std::byte> scratch;
+  void* acc = out;
+  if (rank() != root) {
+    scratch.resize(2 * bytes);
+    acc = scratch.data();
+    std::memcpy(acc, in, bytes);
+  } else {
+    scratch.resize(bytes);
+  }
+  std::byte* contrib =
+      rank() == root ? scratch.data() : scratch.data() + bytes;
+  int mask = 1;
+  while (mask < p) {
+    if (vr & mask) {
+      sendBytes(acc, bytes, (vr - mask + root) % p, tag);
+      return;
+    }
+    const int childV = vr + mask;
+    if (childV < p) {
+      recvBytesInto(contrib, bytes, (childV + root) % p, tag);
+      combine(acc, contrib, count, op);
+    }
+    mask <<= 1;
+  }
+}
+
+void Comm::allreduceBytes(const void* in, void* out, std::size_t count,
+                          std::size_t elemSize, ReduceOp op,
+                          void (*combine)(void*, const void*, std::size_t,
+                                          ReduceOp)) const {
+  // Tree family: recursive doubling over the largest power-of-two core;
+  // surplus ranks fold their contribution into a core partner up front and
+  // read the result back at the end.  log2(p) exchange rounds on the core.
+  // Every rank combines the identical operand tree (the ops are bitwise
+  // commutative), so all ranks finish with bitwise-identical results.
+  // Star family: star reduce into rank 0 + star bcast (all ranks receive
+  // rank 0's bytes, so results are identical across ranks here too).
+  const int p = size();
+  const std::size_t bytes = count * elemSize;
+  if (bytes != 0 && out != in) std::memcpy(out, in, bytes);
+  if (p == 1 || bytes == 0) return;
+  if (!detail::useTreeSchedule(p)) {
+    reduceBytes(out, out, count, elemSize, op, 0, combine);
+    bcastBytes(out, bytes, 0);
+    return;
+  }
+  const int tag = nextCollectiveTag();
+  const int r = rank();
+  int pof2 = 1;
+  while (pof2 * 2 <= p) pof2 *= 2;
+  const int rem = p - pof2;
+  std::vector<std::byte> contrib(bytes);
+  int coreRank;  // rank within the power-of-two core, or -1 if folded out
+  if (r < 2 * rem) {
+    if (r % 2 == 0) {
+      sendBytes(out, bytes, r + 1, tag);
+      coreRank = -1;
+    } else {
+      recvBytesInto(contrib.data(), bytes, r - 1, tag);
       combine(out, contrib.data(), count, op);
+      coreRank = r / 2;
     }
   } else {
-    sendBytes(in, bytes, root, tag);
+    coreRank = r - rem;
+  }
+  if (coreRank >= 0) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int partnerCore = coreRank ^ mask;
+      const int partner =
+          partnerCore < rem ? partnerCore * 2 + 1 : partnerCore + rem;
+      sendBytes(out, bytes, partner, tag);
+      recvBytesInto(contrib.data(), bytes, partner, tag);
+      combine(out, contrib.data(), count, op);
+    }
+  }
+  if (r < 2 * rem) {
+    if (r % 2 == 1) {
+      sendBytes(out, bytes, r - 1, tag);
+    } else {
+      recvBytesInto(out, bytes, r + 1, tag);
+    }
   }
 }
 

@@ -13,8 +13,18 @@
 //   * Tagged blocking send/recv with kAnySource / kAnyTag wildcards and
 //     per-pair FIFO ordering.
 //   * Collectives: barrier, bcast, reduce, allreduce, gather(v),
-//     allgather(v), scatter(v) — all with deterministic rank-ordered
-//     reduction so results are bitwise reproducible.
+//     allgather(v), scatter(v).  Two schedule families exist: *tree*
+//     (binomial trees, recursive doubling, dissemination, a ring for
+//     allgatherv — logarithmic critical path) and *star* (everything
+//     funnels through a root — fewest scheduler handoffs).  By default the
+//     tree schedules run when the host has a core per rank and the star
+//     schedules run when the rank-threads oversubscribe the cores, where
+//     the chained cv-wakeups of a deep schedule serialize and the star's
+//     independent sends batch better; setCollectiveSchedule() pins either
+//     family explicitly.  Every schedule is fixed at call time, so results
+//     are deterministic and bitwise reproducible run-to-run for a given
+//     rank count and schedule (reductions rely on the bitwise
+//     commutativity of IEEE +, *, min, max).
 //   * split(color, key) / dup() sub-communicators (multilevel solvers in
 //     src/hymg use these for level sub-solves).
 //   * A long-integer handle registry (comm_handle.hpp) so the LISI port can
@@ -47,6 +57,27 @@ inline constexpr int kMaxUserTag = (1 << 24) - 1;
 
 /// Reduction operators for reduce/allreduce.
 enum class ReduceOp { kSum, kProd, kMax, kMin };
+
+/// Collective schedule family.  kAuto resolves per call: tree schedules
+/// when the host has at least one core per rank (critical-path depth sets
+/// latency), star schedules when the rank-threads oversubscribe the cores
+/// (scheduler-handoff count sets latency).  kTree/kStar pin one family —
+/// used by tests and benchmarks to exercise both regardless of host shape.
+enum class CollectiveSchedule { kAuto, kTree, kStar };
+
+/// Set the global schedule family.  Affects every communicator; must not
+/// change while a world is running (all ranks of a collective must resolve
+/// the same family or their tag sequences diverge).
+void setCollectiveSchedule(CollectiveSchedule schedule);
+
+/// Current global schedule family (kAuto unless overridden).
+[[nodiscard]] CollectiveSchedule collectiveSchedule();
+
+namespace detail {
+/// True if collectives over `p` ranks should run the tree family under the
+/// current policy.
+[[nodiscard]] bool useTreeSchedule(int p);
+}  // namespace detail
 
 /// Completion information for a receive.
 struct Status {
@@ -151,14 +182,11 @@ class Comm {
   void reduce(std::span<const T> in, std::span<T> out, ReduceOp op,
               int root) const;
 
-  /// Reduction delivered to every rank.
-  /// `out` must have in.size() elements on every rank (it receives the
-  /// broadcast result everywhere).
+  /// Reduction delivered to every rank.  Tree family: recursive doubling,
+  /// O(log p) rounds.  Star family: star reduce to rank 0 + star bcast.
+  /// `out` must have in.size() elements on every rank.
   template <class T>
-  void allreduce(std::span<const T> in, std::span<T> out, ReduceOp op) const {
-    reduce(in, out, op, 0);
-    bcast(out, 0);
-  }
+  void allreduce(std::span<const T> in, std::span<T> out, ReduceOp op) const;
 
   /// Scalar allreduce convenience.
   template <class T>
@@ -170,6 +198,7 @@ class Comm {
 
   /// Fixed-size gather: every rank contributes `in` (same length everywhere);
   /// on root, `out` must have size()*in.size() elements, laid out by rank.
+  /// Fast path: receives land directly in `out` (no per-rank staging).
   template <class T>
   void gather(std::span<const T> in, std::span<T> out, int root) const;
 
@@ -181,11 +210,16 @@ class Comm {
                                        std::vector<int>* counts = nullptr) const;
 
   /// Variable-size allgather: every rank receives the concatenation.
+  /// Tree family: counts travel through a logarithmic allreduce, the
+  /// payload around a ring (p-1 steps, each forwarding one block to the
+  /// right neighbour) — nothing funnels through rank 0.  Star family:
+  /// gatherv to rank 0 + bcast.
   template <class T>
   [[nodiscard]] std::vector<T> allgatherv(std::span<const T> in,
                                           std::vector<int>* counts = nullptr) const;
 
   /// Fixed-size scatter from root: `in` on root holds size()*chunk elements.
+  /// Fast path: root sends slices of `in` directly (no per-rank staging).
   template <class T>
   void scatter(std::span<const T> in, std::span<T> out, int root) const;
 
@@ -209,6 +243,12 @@ class Comm {
   /// Used by failure-injection tests and fatal error paths.
   void abort(const std::string& reason) const;
 
+  /// Reserve `count` tags from the collective tag space for long-lived
+  /// point-to-point protocols (e.g. a matrix's halo-exchange rounds).
+  /// Collective in ordering: every rank must call this in the same position
+  /// of its collective sequence so all ranks receive identical tags.
+  [[nodiscard]] std::vector<int> reserveCollectiveTags(int count) const;
+
  private:
   friend class World;
   friend struct detail::CommState;
@@ -220,6 +260,10 @@ class Comm {
                    std::size_t elemSize, ReduceOp op, int root,
                    void (*combine)(void*, const void*, std::size_t,
                                    ReduceOp)) const;
+  void allreduceBytes(const void* in, void* out, std::size_t count,
+                      std::size_t elemSize, ReduceOp op,
+                      void (*combine)(void*, const void*, std::size_t,
+                                      ReduceOp)) const;
 
   /// Next reserved tag for a collective step (advances a shared counter).
   [[nodiscard]] int nextCollectiveTag() const;
@@ -266,12 +310,33 @@ void Comm::reduce(std::span<const T> in, std::span<T> out, ReduceOp op,
 }
 
 template <class T>
+void Comm::allreduce(std::span<const T> in, std::span<T> out,
+                     ReduceOp op) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  LISI_CHECK(out.size() == in.size(), "allreduce: out size mismatch");
+  allreduceBytes(in.data(), out.data(), in.size(), sizeof(T), op,
+                 &detail::combineElems<T>);
+}
+
+template <class T>
 void Comm::gather(std::span<const T> in, std::span<T> out, int root) const {
-  std::vector<int> counts;
-  std::vector<T> all = gatherv(in, root, &counts);
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int tag = nextCollectiveTag();
+  const int p = size();
+  LISI_CHECK(root >= 0 && root < p, "gather: root out of range");
+  const std::size_t chunk = in.size();
   if (rank() == root) {
-    LISI_CHECK(out.size() == all.size(), "gather: out size mismatch on root");
-    std::copy(all.begin(), all.end(), out.begin());
+    LISI_CHECK(out.size() == chunk * static_cast<std::size_t>(p),
+               "gather: out size mismatch on root");
+    std::copy(in.begin(), in.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(
+                                chunk * static_cast<std::size_t>(root)));
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      recv(out.subspan(chunk * static_cast<std::size_t>(r), chunk), r, tag);
+    }
+  } else {
+    send(in, root, tag);
   }
 }
 
@@ -304,28 +369,82 @@ std::vector<T> Comm::gatherv(std::span<const T> in, int root,
 template <class T>
 std::vector<T> Comm::allgatherv(std::span<const T> in,
                                 std::vector<int>* counts) const {
-  std::vector<int> localCounts;
-  std::vector<T> all = gatherv(in, 0, &localCounts);
-  // Broadcast counts then the concatenation.
-  int p = size();
-  if (rank() != 0) localCounts.assign(static_cast<std::size_t>(p), 0);
-  bcast(std::span<int>(localCounts), 0);
-  std::size_t total = 0;
-  for (int c : localCounts) total += static_cast<std::size_t>(c);
-  if (rank() != 0) all.resize(total);
-  bcast(std::span<T>(all), 0);
-  if (counts) *counts = std::move(localCounts);
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  const int r = rank();
+  if (!detail::useTreeSchedule(p)) {
+    // Star: gatherv to rank 0, then broadcast counts and concatenation.
+    std::vector<int> localCounts;
+    std::vector<T> all = gatherv(in, 0, &localCounts);
+    if (r != 0) localCounts.assign(static_cast<std::size_t>(p), 0);
+    bcast(std::span<int>(localCounts), 0);
+    std::size_t total = 0;
+    for (int c : localCounts) total += static_cast<std::size_t>(c);
+    if (r != 0) all.resize(total);
+    bcast(std::span<T>(all), 0);
+    if (counts) *counts = std::move(localCounts);
+    return all;
+  }
+  // Everyone learns every rank's count through a logarithmic allreduce.
+  std::vector<int> cnt(static_cast<std::size_t>(p), 0);
+  cnt[static_cast<std::size_t>(r)] = static_cast<int>(in.size());
+  allreduce(std::span<const int>(cnt), std::span<int>(cnt), ReduceOp::kSum);
+  std::vector<std::size_t> offset(static_cast<std::size_t>(p) + 1, 0);
+  for (int q = 0; q < p; ++q) {
+    offset[static_cast<std::size_t>(q) + 1] =
+        offset[static_cast<std::size_t>(q)] +
+        static_cast<std::size_t>(cnt[static_cast<std::size_t>(q)]);
+  }
+  std::vector<T> all(offset[static_cast<std::size_t>(p)]);
+  std::copy(in.begin(), in.end(),
+            all.begin() + static_cast<std::ptrdiff_t>(
+                              offset[static_cast<std::size_t>(r)]));
+  if (p > 1) {
+    // Ring exchange: in step s every rank forwards the block that
+    // originated s hops to its left, so after p-1 steps everyone holds the
+    // full concatenation and no rank serializes more than its neighbours.
+    const int tag = nextCollectiveTag();
+    const int right = (r + 1) % p;
+    const int left = (r - 1 + p) % p;
+    for (int s = 0; s < p - 1; ++s) {
+      const int sendBlock = (r - s + p) % p;
+      const int recvBlock = (r - s - 1 + p) % p;
+      send(std::span<const T>(
+               all.data() + offset[static_cast<std::size_t>(sendBlock)],
+               static_cast<std::size_t>(cnt[static_cast<std::size_t>(sendBlock)])),
+           right, tag);
+      recv(std::span<T>(
+               all.data() + offset[static_cast<std::size_t>(recvBlock)],
+               static_cast<std::size_t>(cnt[static_cast<std::size_t>(recvBlock)])),
+           left, tag);
+    }
+  }
+  if (counts) *counts = std::move(cnt);
   return all;
 }
 
 template <class T>
 void Comm::scatter(std::span<const T> in, std::span<T> out, int root) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int tag = nextCollectiveTag();
   const int p = size();
-  std::vector<int> counts(static_cast<std::size_t>(p),
-                          static_cast<int>(out.size()));
-  std::vector<T> chunk = scatterv(in, std::span<const int>(counts), root);
-  LISI_CHECK(chunk.size() == out.size(), "scatter: chunk size mismatch");
-  std::copy(chunk.begin(), chunk.end(), out.begin());
+  LISI_CHECK(root >= 0 && root < p, "scatter: root out of range");
+  const std::size_t chunk = out.size();
+  if (rank() == root) {
+    LISI_CHECK(in.size() == chunk * static_cast<std::size_t>(p),
+               "scatter: chunk size mismatch");
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      send(in.subspan(chunk * static_cast<std::size_t>(r), chunk), r, tag);
+    }
+    std::copy(in.begin() + static_cast<std::ptrdiff_t>(
+                               chunk * static_cast<std::size_t>(root)),
+              in.begin() + static_cast<std::ptrdiff_t>(
+                               chunk * static_cast<std::size_t>(root) + chunk),
+              out.begin());
+  } else {
+    recv(out, root, tag);
+  }
 }
 
 template <class T>

@@ -207,6 +207,14 @@ struct Level {
   // Hybrid GS data: local diagonal block in local indices.
   CsrMatrix gsBlock;
   std::vector<int> gsDiagPos;
+  // Per-level solve scratch, sized once in build() so smooth()/cycle()
+  // never allocate (same discipline as the DistCsrMatrix halo plan).
+  // Mutable: the solve path is const, and each rank owns its Solver.
+  mutable std::vector<double> smoothR;  ///< smoother residual, fine size
+  mutable std::vector<double> cycR;     ///< cycle residual, fine size
+  mutable std::vector<double> cycPe;    ///< prolongated correction, fine size
+  mutable std::vector<double> cycRc;    ///< restricted residual, coarse size
+  mutable std::vector<double> cycEc;    ///< coarse correction, coarse size
 };
 
 }  // namespace
@@ -313,6 +321,21 @@ void Solver::Impl::build(int gridN) {
     n = nc;
   }
 
+  // Size every level's solve scratch now that the hierarchy is final.
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    Level& lvl = levels[l];
+    const auto m = static_cast<std::size_t>(lvl.a->localRows());
+    lvl.smoothR.assign(m, 0.0);
+    if (l + 1 < levels.size()) {
+      const auto mc =
+          static_cast<std::size_t>(levels[l + 1].a->localRows());
+      lvl.cycR.assign(m, 0.0);
+      lvl.cycPe.assign(m, 0.0);
+      lvl.cycRc.assign(mc, 0.0);
+      lvl.cycEc.assign(mc, 0.0);
+    }
+  }
+
   // Coarsest-level exact solve: gather the operator to rank 0 and factor.
   const Level& coarse = levels.back();
   const CsrMatrix gathered = coarse.a->gatherToRoot(0);
@@ -337,7 +360,7 @@ void Solver::Impl::build(int gridN) {
 void Solver::Impl::smooth(const Level& lvl, std::span<const double> b,
                           std::span<double> x, int sweeps) const {
   const auto m = static_cast<std::size_t>(lvl.a->localRows());
-  std::vector<double> r(m);
+  std::vector<double>& r = lvl.smoothR;
   for (int sweep = 0; sweep < sweeps; ++sweep) {
     lvl.a->spmv(x, std::span<double>(r));
     for (std::size_t i = 0; i < m; ++i) r[i] = b[i] - r[i];
@@ -390,8 +413,10 @@ void Solver::Impl::cycle(std::size_t l, std::span<const double> b,
   smooth(lvl, b, x, options.preSmooth);
   // Coarse-grid correction (gamma-fold for W-cycles).
   const auto m = static_cast<std::size_t>(lvl.a->localRows());
-  const auto mc = static_cast<std::size_t>(levels[l + 1].a->localRows());
-  std::vector<double> r(m), rc(mc), ec(mc, 0.0), pe(m);
+  std::vector<double>& r = lvl.cycR;
+  std::vector<double>& rc = lvl.cycRc;
+  std::vector<double>& ec = lvl.cycEc;
+  std::vector<double>& pe = lvl.cycPe;
   for (int g = 0; g < options.gamma; ++g) {
     lvl.a->spmv(x, std::span<double>(r));
     for (std::size_t i = 0; i < m; ++i) r[i] = b[i] - r[i];

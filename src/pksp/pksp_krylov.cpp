@@ -2,6 +2,7 @@
 // preconditioning and track the preconditioned residual norm; convergence
 // is declared when  ||z_k|| <= max(rtol * ||z_0||, atol)  where
 // z_k = M^{-1}(b - A x_k).
+#include <array>
 #include <cmath>
 #include <limits>
 
@@ -13,6 +14,7 @@ namespace {
 
 using lisi::comm::Comm;
 using lisi::sparse::distDot;
+using lisi::sparse::distDot2;
 using lisi::sparse::distNorm2;
 
 using Vec = std::vector<double>;
@@ -52,7 +54,12 @@ SolveReport runCg(const Comm& comm, const LinearOperator& a,
   Vec r(n), z(n), p(n), ap(n);
   applyResidual(a, b, x, r);
   m.apply(std::span<const double>(r), std::span<double>(z));
-  double znorm = distNorm2(comm, std::span<const double>(z));
+  // <z,z> and <r,z> share one two-element allreduce; each lane is bitwise
+  // identical to the standalone dot, so the iterates are unchanged.
+  std::array<double, 2> zzrz =
+      distDot2(comm, std::span<const double>(z), std::span<const double>(z),
+               std::span<const double>(r), std::span<const double>(z));
+  double znorm = std::sqrt(zzrz[0]);
   Monitor mon;
   mon.start(znorm, tol);
   if (tol.monitor) tol.monitor(0, znorm);
@@ -67,7 +74,7 @@ SolveReport runCg(const Comm& comm, const LinearOperator& a,
   }
 
   std::copy(z.begin(), z.end(), p.begin());
-  double rz = distDot(comm, std::span<const double>(r), std::span<const double>(z));
+  double rz = zzrz[1];
   for (int it = 1; it <= tol.maxits; ++it) {
     a.apply(std::span<const double>(p), std::span<double>(ap));
     const double pap =
@@ -83,14 +90,16 @@ SolveReport runCg(const Comm& comm, const LinearOperator& a,
       r[i] -= alpha * ap[i];
     }
     m.apply(std::span<const double>(r), std::span<double>(z));
-    znorm = distNorm2(comm, std::span<const double>(z));
+    zzrz = distDot2(comm, std::span<const double>(z),
+                    std::span<const double>(z), std::span<const double>(r),
+                    std::span<const double>(z));
+    znorm = std::sqrt(zzrz[0]);
     if (tol.monitor) tol.monitor(it, znorm);
     rep.iterations = it;
     rep.residualNorm = znorm;
     rep.reason = mon.test(znorm);
     if (rep.reason != PKSP_ITERATING) return rep;
-    const double rzNew =
-        distDot(comm, std::span<const double>(r), std::span<const double>(z));
+    const double rzNew = zzrz[1];
     if (rz == 0.0) {
       rep.reason = PKSP_DIVERGED_BREAKDOWN;
       return rep;

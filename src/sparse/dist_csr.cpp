@@ -7,7 +7,13 @@
 namespace lisi::sparse {
 
 namespace {
-constexpr int kHaloTag = 701;  ///< user-tag for per-spmv ghost traffic
+// Distinct user-tags per protocol phase so concurrent exchanges can't
+// cross-match (702 belongs to matmul.cpp's SpGEMM row traffic).
+constexpr int kScatterTag = 701;  ///< scatterFromRoot block shipping
+constexpr int kPlanTag = 703;     ///< one-time halo-plan index exchange
+/// Per-spmv ghost traffic rotates through this many reserved tags, so
+/// back-to-back spmv rounds on one matrix carry different tags.
+constexpr int kSpmvTagRounds = 16;
 }
 
 DistCsrMatrix::DistCsrMatrix(comm::Comm comm, int globalRows, int globalCols,
@@ -114,15 +120,15 @@ DistCsrMatrix DistCsrMatrix::scatterFromRoot(comm::Comm comm,
         cols = std::move(blockCols);
         vals = std::move(blockVals);
       } else {
-        comm.send(std::span<const int>(lens), r, kHaloTag);
-        comm.send(std::span<const int>(blockCols), r, kHaloTag);
-        comm.send(std::span<const double>(blockVals), r, kHaloTag);
+        comm.send(std::span<const int>(lens), r, kScatterTag);
+        comm.send(std::span<const int>(blockCols), r, kScatterTag);
+        comm.send(std::span<const double>(blockVals), r, kScatterTag);
       }
     }
   } else {
-    rowLens = comm.recvVector<int>(root, kHaloTag);
-    cols = comm.recvVector<int>(root, kHaloTag);
-    vals = comm.recvVector<double>(root, kHaloTag);
+    rowLens = comm.recvVector<int>(root, kScatterTag);
+    cols = comm.recvVector<int>(root, kScatterTag);
+    vals = comm.recvVector<double>(root, kScatterTag);
   }
 
   CsrMatrix local;
@@ -210,10 +216,11 @@ void DistCsrMatrix::buildHaloPlan() {
       comm_.allgatherv(std::span<const int>(requestCounts), nullptr);
   // allCounts[q*p + r] = how many entries rank q needs from rank r.
   sendToRanks_.clear();
-  sendLocal_.clear();
+  sendIdx_.clear();
+  sendOffsets_.assign(1, 0);
   for (const int r : recvFromRanks_) {
     comm_.send(std::span<const int>(needFrom[static_cast<std::size_t>(r)]), r,
-               kHaloTag);
+               kPlanTag);
   }
   for (int q = 0; q < p; ++q) {
     if (q == rank) continue;
@@ -221,16 +228,38 @@ void DistCsrMatrix::buildHaloPlan() {
         allCounts[static_cast<std::size_t>(q) * static_cast<std::size_t>(p) +
                   static_cast<std::size_t>(rank)];
     if (needed == 0) continue;
-    std::vector<int> globalIdx = comm_.recvVector<int>(q, kHaloTag);
+    std::vector<int> globalIdx = comm_.recvVector<int>(q, kPlanTag);
     LISI_ASSERT(static_cast<int>(globalIdx.size()) == needed);
-    std::vector<int> localIdx(globalIdx.size());
-    for (std::size_t k = 0; k < globalIdx.size(); ++k) {
-      LISI_ASSERT(globalIdx[k] >= myStart && globalIdx[k] < myEnd);
-      localIdx[k] = globalIdx[k] - myStart;
+    for (const int g : globalIdx) {
+      LISI_ASSERT(g >= myStart && g < myEnd);
+      sendIdx_.push_back(g - myStart);
     }
     sendToRanks_.push_back(q);
-    sendLocal_.push_back(std::move(localIdx));
+    sendOffsets_.push_back(static_cast<int>(sendIdx_.size()));
   }
+
+  // One-time interior/boundary row split: interior rows read only owned x
+  // entries, so they can run while ghost values are still in flight.
+  interiorRows_.clear();
+  boundaryRows_.clear();
+  for (int i = 0; i < mapped_.rows; ++i) {
+    bool interior = true;
+    for (int k = mapped_.rowPtr[static_cast<std::size_t>(i)];
+         k < mapped_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+      if (mapped_.colIdx[static_cast<std::size_t>(k)] >= nlocal) {
+        interior = false;
+        break;
+      }
+    }
+    (interior ? interiorRows_ : boundaryRows_).push_back(i);
+  }
+
+  // Persistent per-spmv scratch + reserved tag block: sized here so spmv()
+  // itself never touches the heap.
+  sendBuf_.assign(sendIdx_.size(), 0.0);
+  xGhost_.assign(ghostCols_.size(), 0.0);
+  spmvTags_ = comm_.reserveCollectiveTags(kSpmvTagRounds);
+  spmvRound_ = 0;
 }
 
 void DistCsrMatrix::spmv(std::span<const double> xLocal,
@@ -243,37 +272,43 @@ void DistCsrMatrix::spmv(std::span<const double> xLocal,
   LISI_CHECK(static_cast<int>(yLocal.size()) == localRows(),
              "DistCsrMatrix::spmv: y size mismatch");
 
-  // Ship requested x entries to their consumers (buffered sends complete
-  // immediately in MiniMPI), then collect our ghosts.
-  std::vector<double> buffer;
+  // Overlapped exchange on plan-owned scratch, one tag per round:
+  //   1. pack + post all sends (buffered: they complete immediately),
+  //   2. compute interior rows while ghost values are in flight,
+  //   3. receive ghosts, then finish the boundary rows.
+  const int tag = spmvTags_[spmvRound_ % spmvTags_.size()];
+  ++spmvRound_;
   for (std::size_t s = 0; s < sendToRanks_.size(); ++s) {
-    const std::vector<int>& idx = sendLocal_[s];
-    buffer.resize(idx.size());
-    for (std::size_t k = 0; k < idx.size(); ++k) {
-      buffer[k] = xLocal[static_cast<std::size_t>(idx[k])];
+    const auto b = static_cast<std::size_t>(sendOffsets_[s]);
+    const auto e = static_cast<std::size_t>(sendOffsets_[s + 1]);
+    for (std::size_t k = b; k < e; ++k) {
+      sendBuf_[k] = xLocal[static_cast<std::size_t>(sendIdx_[k])];
     }
-    comm_.send(std::span<const double>(buffer), sendToRanks_[s], kHaloTag);
+    comm_.send(std::span<const double>(sendBuf_.data() + b, e - b),
+               sendToRanks_[s], tag);
   }
-  std::vector<double> xExt(xLocal.size() + ghostCols_.size());
-  std::copy(xLocal.begin(), xLocal.end(), xExt.begin());
-  for (std::size_t r = 0; r < recvFromRanks_.size(); ++r) {
-    comm_.recv(std::span<double>(xExt.data() + xLocal.size() +
-                                     static_cast<std::size_t>(recvOffsets_[r]),
-                                 static_cast<std::size_t>(recvCounts_[r])),
-               recvFromRanks_[r], kHaloTag);
-  }
-
-  // Local product on the remapped block.
-  for (int i = 0; i < mapped_.rows; ++i) {
+  // Owned columns read straight from the caller's x (no copy); ghost
+  // columns read from the plan's receive buffer via their remapped index.
+  const int nloc = static_cast<int>(xLocal.size());
+  const auto rowProduct = [&](int i) {
     double acc = 0.0;
     for (int k = mapped_.rowPtr[static_cast<std::size_t>(i)];
          k < mapped_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int c = mapped_.colIdx[static_cast<std::size_t>(k)];
       acc += mapped_.values[static_cast<std::size_t>(k)] *
-             xExt[static_cast<std::size_t>(
-                 mapped_.colIdx[static_cast<std::size_t>(k)])];
+             (c < nloc ? xLocal[static_cast<std::size_t>(c)]
+                       : xGhost_[static_cast<std::size_t>(c - nloc)]);
     }
     yLocal[static_cast<std::size_t>(i)] = acc;
+  };
+  for (const int i : interiorRows_) rowProduct(i);
+  for (std::size_t r = 0; r < recvFromRanks_.size(); ++r) {
+    comm_.recv(std::span<double>(xGhost_.data() +
+                                     static_cast<std::size_t>(recvOffsets_[r]),
+                                 static_cast<std::size_t>(recvCounts_[r])),
+               recvFromRanks_[r], tag);
   }
+  for (const int i : boundaryRows_) rowProduct(i);
 }
 
 CsrMatrix DistCsrMatrix::gatherToRoot(int root) const {
@@ -349,6 +384,22 @@ double distDot(const comm::Comm& comm, std::span<const double> x,
   double local = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) local += x[i] * y[i];
   return comm.allreduceValue(local, comm::ReduceOp::kSum);
+}
+
+std::array<double, 2> distDot2(const comm::Comm& comm,
+                               std::span<const double> x1,
+                               std::span<const double> y1,
+                               std::span<const double> x2,
+                               std::span<const double> y2) {
+  LISI_CHECK(x1.size() == y1.size() && x2.size() == y2.size(),
+             "distDot2: local size mismatch");
+  std::array<double, 2> local{0.0, 0.0};
+  for (std::size_t i = 0; i < x1.size(); ++i) local[0] += x1[i] * y1[i];
+  for (std::size_t i = 0; i < x2.size(); ++i) local[1] += x2[i] * y2[i];
+  std::array<double, 2> global{0.0, 0.0};
+  comm.allreduce(std::span<const double>(local),
+                 std::span<double>(global), comm::ReduceOp::kSum);
+  return global;
 }
 
 double distNorm2(const comm::Comm& comm, std::span<const double> x) {

@@ -6,8 +6,14 @@
 // For y = A*x with x partitioned conformally, the off-process x entries a
 // rank's columns touch (its "ghosts") are fetched from their owners through
 // a communication plan built once at construction.
+//
+// The plan owns all per-spmv scratch (pack buffer, extended x) and a
+// one-time split of the local rows into *interior* rows (touch no ghost
+// column) and *boundary* rows, so spmv() performs no heap allocation and
+// overlaps the ghost exchange with the interior computation.
 #pragma once
 
+#include <array>
 #include <span>
 
 #include "comm/comm.hpp"
@@ -75,6 +81,16 @@ class DistCsrMatrix {
   /// Number of ghost entries this rank pulls per spmv (plan statistics).
   [[nodiscard]] int numGhosts() const { return static_cast<int>(ghostCols_.size()); }
 
+  /// Rows whose columns are all locally owned (computed while ghosts are
+  /// in flight).
+  [[nodiscard]] int numInteriorRows() const {
+    return static_cast<int>(interiorRows_.size());
+  }
+  /// Rows that touch at least one ghost column (computed after the recv).
+  [[nodiscard]] int numBoundaryRows() const {
+    return static_cast<int>(boundaryRows_.size());
+  }
+
  private:
   void buildHaloPlan();
 
@@ -94,7 +110,19 @@ class DistCsrMatrix {
   std::vector<int> recvCounts_;             ///< ghosts per recv rank
   std::vector<int> recvOffsets_;            ///< slot offset per recv rank
   std::vector<int> sendToRanks_;            ///< ranks we send x entries to
-  std::vector<std::vector<int>> sendLocal_; ///< local x indices per send rank
+  std::vector<int> sendIdx_;                ///< local x indices, flat
+  std::vector<int> sendOffsets_;            ///< sendIdx_ range per send rank,
+                                            ///< size sendToRanks_.size()+1
+  std::vector<int> interiorRows_;           ///< rows with no ghost column
+  std::vector<int> boundaryRows_;           ///< rows with >= 1 ghost column
+  std::vector<int> spmvTags_;               ///< reserved tags, one per round
+
+  // Per-spmv scratch, sized once by buildHaloPlan() so spmv() never
+  // allocates.  Mutable: spmv() is logically const; each rank owns its
+  // DistCsrMatrix instance, so there is no cross-thread aliasing.
+  mutable std::vector<double> sendBuf_;     ///< packed outgoing x entries
+  mutable std::vector<double> xGhost_;      ///< received ghost values, by slot
+  mutable std::size_t spmvRound_ = 0;       ///< rotates through spmvTags_
 };
 
 // ---- Distributed vector helpers (conformal block-row pieces) -----------
@@ -102,6 +130,16 @@ class DistCsrMatrix {
 /// Global dot product of two partitioned vectors.  Collective.
 [[nodiscard]] double distDot(const comm::Comm& comm, std::span<const double> x,
                              std::span<const double> y);
+
+/// Two global dot products fused into one two-element allreduce (halves the
+/// latency-bound collective count on the CG hot path).  The allreduce
+/// schedule is elementwise, so each result is bitwise identical to the
+/// corresponding standalone distDot.  Collective.
+[[nodiscard]] std::array<double, 2> distDot2(const comm::Comm& comm,
+                                             std::span<const double> x1,
+                                             std::span<const double> y1,
+                                             std::span<const double> x2,
+                                             std::span<const double> y2);
 
 /// Global Euclidean norm of a partitioned vector.  Collective.
 [[nodiscard]] double distNorm2(const comm::Comm& comm,

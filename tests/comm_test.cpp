@@ -254,7 +254,161 @@ TEST_P(CollectiveP, ScattervDistributesChunks) {
   });
 }
 
-INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveP, ::testing::Values(1, 2, 3, 4, 8));
+TEST_P(CollectiveP, GatherScatterFixedSizeRoundTrip) {
+  const int p = GetParam();
+  World::run(p, [&](Comm& c) {
+    for (int root = 0; root < p; ++root) {
+      // gather: rank r contributes {r, r+0.5}.
+      const std::vector<double> mine{1.0 * c.rank(), c.rank() + 0.5};
+      std::vector<double> all(c.rank() == root ? 2 * static_cast<std::size_t>(p)
+                                               : 0);
+      c.gather(std::span<const double>(mine), std::span<double>(all), root);
+      if (c.rank() == root) {
+        for (int r = 0; r < p; ++r) {
+          EXPECT_DOUBLE_EQ(all[2 * static_cast<std::size_t>(r)], r);
+          EXPECT_DOUBLE_EQ(all[2 * static_cast<std::size_t>(r) + 1], r + 0.5);
+        }
+      }
+      // scatter the gathered data straight back.
+      std::vector<double> back(2, -1.0);
+      c.scatter(std::span<const double>(all), std::span<double>(back), root);
+      EXPECT_DOUBLE_EQ(back[0], c.rank());
+      EXPECT_DOUBLE_EQ(back[1], c.rank() + 0.5);
+    }
+  });
+}
+
+TEST_P(CollectiveP, EmptySpansAreLegal) {
+  const int p = GetParam();
+  World::run(p, [&](Comm& c) {
+    std::vector<double> nothing;
+    c.bcast(std::span<double>(nothing), 0);
+    c.reduce(std::span<const double>(nothing), std::span<double>(nothing),
+             ReduceOp::kSum, 0);
+    c.allreduce(std::span<const double>(nothing), std::span<double>(nothing),
+                ReduceOp::kSum);
+    c.gather(std::span<const double>(nothing), std::span<double>(nothing), 0);
+    c.scatter(std::span<const double>(nothing), std::span<double>(nothing), 0);
+    std::vector<int> counts;
+    const auto all = c.allgatherv(std::span<const double>(nothing), &counts);
+    EXPECT_TRUE(all.empty());
+    ASSERT_EQ(counts.size(), static_cast<std::size_t>(p));
+    for (int n : counts) EXPECT_EQ(n, 0);
+    // A rank count-sized sanity op afterwards proves nothing deadlocked.
+    EXPECT_EQ(c.allreduceValue(1, ReduceOp::kSum), p);
+  });
+}
+
+TEST_P(CollectiveP, AllgathervWithSomeEmptyContributions) {
+  const int p = GetParam();
+  World::run(p, [&](Comm& c) {
+    // Even ranks contribute nothing; odd ranks contribute rank copies.
+    std::vector<int> mine;
+    if (c.rank() % 2 == 1) {
+      mine.assign(static_cast<std::size_t>(c.rank()), c.rank());
+    }
+    std::vector<int> counts;
+    const auto all = c.allgatherv(std::span<const int>(mine), &counts);
+    std::size_t pos = 0;
+    for (int r = 0; r < p; ++r) {
+      const int expected = r % 2 == 1 ? r : 0;
+      EXPECT_EQ(counts[static_cast<std::size_t>(r)], expected);
+      for (int k = 0; k < expected; ++k) EXPECT_EQ(all[pos++], r);
+    }
+    EXPECT_EQ(pos, all.size());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveP,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8));
+
+TEST(Collectives, ReserveCollectiveTagsAgreeAcrossRanks) {
+  World::run(4, [](Comm& c) {
+    const std::vector<int> tags = c.reserveCollectiveTags(8);
+    ASSERT_EQ(tags.size(), 8u);
+    for (int t : tags) EXPECT_GT(t, kMaxUserTag);
+    // Every rank must hold the same block: compare against rank 0's copy.
+    std::vector<int> ref = tags;
+    c.bcast(std::span<int>(ref), 0);
+    EXPECT_EQ(ref, tags);
+    // Reserved tags work for point-to-point traffic.
+    if (c.rank() == 0) {
+      c.sendValue(41, 1, tags[3]);
+    } else if (c.rank() == 1) {
+      EXPECT_EQ(c.recvValue<int>(0, tags[3]), 41);
+    }
+    c.barrier();
+  });
+}
+
+/// RAII pin of the collective schedule family; restores kAuto on exit.
+class ScheduleGuard {
+ public:
+  explicit ScheduleGuard(CollectiveSchedule s) { setCollectiveSchedule(s); }
+  ~ScheduleGuard() { setCollectiveSchedule(CollectiveSchedule::kAuto); }
+};
+
+class ScheduleP : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleP, BothFamiliesRunEveryCollective) {
+  const int p = GetParam();
+  for (const CollectiveSchedule sched :
+       {CollectiveSchedule::kTree, CollectiveSchedule::kStar}) {
+    ScheduleGuard guard(sched);
+    World::run(p, [&](Comm& c) {
+      EXPECT_EQ(c.bcastValue(c.rank() == p - 1 ? 2.5 : 0.0, p - 1), 2.5);
+      const int root = p / 2;
+      const long mine = c.rank() + 1;
+      std::vector<long> out(1, 0);
+      c.reduce(std::span<const long>(&mine, 1), std::span<long>(out),
+               ReduceOp::kSum, root);
+      if (c.rank() == root) {
+        EXPECT_EQ(out[0], static_cast<long>(p) * (p + 1) / 2);
+      }
+      EXPECT_EQ(c.allreduceValue(c.rank() + 1, ReduceOp::kSum),
+                p * (p + 1) / 2);
+      EXPECT_EQ(c.allreduceValue(c.rank(), ReduceOp::kMax), p - 1);
+      std::vector<int> chunk(static_cast<std::size_t>(c.rank() + 1),
+                             c.rank());
+      std::vector<int> counts;
+      const auto all = c.allgatherv(std::span<const int>(chunk), &counts);
+      std::size_t pos = 0;
+      for (int r = 0; r < p; ++r) {
+        EXPECT_EQ(counts[static_cast<std::size_t>(r)], r + 1);
+        for (int k = 0; k <= r; ++k) EXPECT_EQ(all[pos++], r);
+      }
+      EXPECT_EQ(pos, all.size());
+      c.barrier();
+    });
+  }
+}
+
+TEST_P(ScheduleP, FamiliesAgreeOnIntegerReductions) {
+  // Integer sums are exact regardless of association order, so the two
+  // families must produce identical results.
+  const int p = GetParam();
+  long tree = 0;
+  long star = 0;
+  {
+    ScheduleGuard guard(CollectiveSchedule::kTree);
+    World::run(p, [&](Comm& c) {
+      const long v = c.allreduceValue(static_cast<long>(c.rank()) * c.rank(),
+                                      ReduceOp::kSum);
+      if (c.rank() == 0) tree = v;
+    });
+  }
+  {
+    ScheduleGuard guard(CollectiveSchedule::kStar);
+    World::run(p, [&](Comm& c) {
+      const long v = c.allreduceValue(static_cast<long>(c.rank()) * c.rank(),
+                                      ReduceOp::kSum);
+      if (c.rank() == 0) star = v;
+    });
+  }
+  EXPECT_EQ(tree, star);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScheduleP, ::testing::Values(1, 2, 3, 5, 8));
 
 TEST(Split, EvenOddGroups) {
   World::run(4, [](Comm& c) {
@@ -310,6 +464,27 @@ TEST(Split, NestedSplitOfSplit) {
     ASSERT_EQ(quarter.size(), 2);
     const int sum = quarter.allreduceValue(1, ReduceOp::kSum);
     EXPECT_EQ(sum, 2);
+  });
+}
+
+TEST(Split, UnevenGroupsRunFullCollectives) {
+  World::run(7, [](Comm& c) {
+    // Groups of 3 and 4 — both non-power-of-two relative to the parent.
+    const int color = c.rank() < 3 ? 0 : 1;
+    Comm sub = c.split(color, c.rank());
+    ASSERT_TRUE(sub.valid());
+    const int q = sub.size();
+    ASSERT_EQ(q, color == 0 ? 3 : 4);
+    // Logarithmic schedules must work on the sub-communicator.
+    const int sum = sub.allreduceValue(sub.rank() + 1, ReduceOp::kSum);
+    EXPECT_EQ(sum, q * (q + 1) / 2);
+    const int fromLast = sub.bcastValue(sub.rank() * 11, q - 1);
+    EXPECT_EQ(fromLast, (q - 1) * 11);
+    const auto all =
+        sub.allgatherv(std::span<const int>(&sum, 1), nullptr);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(q));
+    for (int v : all) EXPECT_EQ(v, sum);
+    sub.barrier();
   });
 }
 

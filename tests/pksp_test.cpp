@@ -501,5 +501,79 @@ TEST(PkspGmres, RestartAffectsButStillConverges) {
   });
 }
 
+// The CG kernel fuses <z,z> and <r,z> into one two-element allreduce.  The
+// allreduce schedule is elementwise, so the fused lanes must be bitwise
+// identical to separate dots: iterates, iteration count, and solution may
+// not change at any rank count.  This reference runs the identical
+// recurrence with the *unfused* collectives.
+TEST(PkspCg, FusedDotMatchesUnfusedReferenceBitwise) {
+  const int n = 64;
+  const CsrMatrix g = lisi::sparse::laplacian1d(n);
+  std::vector<double> bGlobal(static_cast<std::size_t>(n));
+  Rng rng(42);
+  for (auto& v : bGlobal) v = rng.uniform(-1, 1);
+  const double rtol = 1e-10;
+  const double atol = 1e-14;
+  const int maxits = 2000;
+
+  for (const int p : {1, 2, 3, 4}) {
+    World::run(p, [&](Comm& c) {
+      DistCsrMatrix a = DistCsrMatrix::scatterFromRoot(c, g);
+      const int s = a.startRow();
+      const auto m = static_cast<std::size_t>(a.localRows());
+      const std::vector<double> b(bGlobal.begin() + s,
+                                  bGlobal.begin() + s + a.localRows());
+
+      // Unfused reference CG (no preconditioner: z == r).
+      std::vector<double> xRef(m, 0.0), r(b), z(b), pd(m), ap(m);
+      const double z0 = lisi::sparse::distNorm2(c, std::span<const double>(z));
+      const double target = rtol * z0;
+      std::copy(z.begin(), z.end(), pd.begin());
+      double rz = lisi::sparse::distDot(c, std::span<const double>(r),
+                                        std::span<const double>(z));
+      int itRef = 0;
+      for (int it = 1; it <= maxits; ++it) {
+        a.spmv(std::span<const double>(pd), std::span<double>(ap));
+        const double pap = lisi::sparse::distDot(
+            c, std::span<const double>(pd), std::span<const double>(ap));
+        const double alpha = rz / pap;
+        for (std::size_t i = 0; i < m; ++i) {
+          xRef[i] += alpha * pd[i];
+          r[i] -= alpha * ap[i];
+        }
+        std::copy(r.begin(), r.end(), z.begin());
+        const double znorm =
+            lisi::sparse::distNorm2(c, std::span<const double>(z));
+        itRef = it;
+        if (znorm <= atol || znorm <= target) break;
+        const double rzNew = lisi::sparse::distDot(
+            c, std::span<const double>(r), std::span<const double>(z));
+        const double beta = rzNew / rz;
+        rz = rzNew;
+        for (std::size_t i = 0; i < m; ++i) pd[i] = z[i] + beta * pd[i];
+      }
+
+      // Production path (fused dots).
+      KSP ksp = nullptr;
+      ASSERT_EQ(KSPCreate(c, &ksp), PKSP_SUCCESS);
+      ASSERT_EQ(KSPSetOperator(ksp, &a), PKSP_SUCCESS);
+      ASSERT_EQ(KSPSetType(ksp, PKSP_CG), PKSP_SUCCESS);
+      ASSERT_EQ(KSPSetPCType(ksp, PKSP_PC_NONE), PKSP_SUCCESS);
+      ASSERT_EQ(KSPSetTolerances(ksp, rtol, atol, maxits), PKSP_SUCCESS);
+      std::vector<double> x(m, 0.0);
+      EXPECT_EQ(KSPSolve(ksp, std::span<const double>(b), std::span<double>(x)),
+                PKSP_SUCCESS);
+      int its = 0;
+      KSPGetIterationNumber(ksp, &its);
+      KSPDestroy(&ksp);
+
+      EXPECT_EQ(its, itRef) << "p=" << p;
+      for (std::size_t i = 0; i < m; ++i) {
+        EXPECT_EQ(x[i], xRef[i]) << "p=" << p << " entry " << s + i;
+      }
+    });
+  }
+}
+
 }  // namespace
 }  // namespace pksp

@@ -2,6 +2,10 @@
 // their serial counterparts for every rank count.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "comm/comm.hpp"
 #include "mesh/pde5pt.hpp"
 #include "sparse/dist_csr.hpp"
@@ -9,6 +13,33 @@
 #include "sparse/ops.hpp"
 #include "sparse/partition.hpp"
 #include "support/rng.hpp"
+
+// ---- global allocation counter ----------------------------------------
+// Replaces the global allocation functions for this test binary so the
+// zero-allocation contract of DistCsrMatrix::spmv can be asserted directly.
+// Counting is off by default; tests toggle it around the measured region.
+namespace {
+std::atomic<bool> g_countAllocs{false};
+std::atomic<std::size_t> g_allocCalls{0};
+std::atomic<std::size_t> g_allocBytes{0};
+
+void* countedAlloc(std::size_t n) {
+  if (g_countAllocs.load(std::memory_order_relaxed)) {
+    g_allocCalls.fetch_add(1, std::memory_order_relaxed);
+    g_allocBytes.fetch_add(n, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return countedAlloc(n); }
+void* operator new[](std::size_t n) { return countedAlloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace lisi::sparse {
 namespace {
@@ -226,7 +257,110 @@ TEST(Dist, GhostCountIsZeroForBlockDiagonal) {
   });
 }
 
-INSTANTIATE_TEST_SUITE_P(RankCounts, DistP, ::testing::Values(1, 2, 3, 4, 8));
+TEST_P(DistP, InteriorBoundarySplitCoversAllRows) {
+  const int p = GetParam();
+  mesh::Pde5ptSpec spec;
+  spec.gridN = 10;
+  comm::World::run(p, [&](comm::Comm& c) {
+    const auto local = mesh::assembleLocal(spec, c.rank(), c.size());
+    const DistCsrMatrix dist(c, local.globalN, local.globalN, local.startRow,
+                             local.localA);
+    EXPECT_EQ(dist.numInteriorRows() + dist.numBoundaryRows(),
+              dist.localRows());
+    // A row is boundary iff it touches a ghost column, so boundary rows and
+    // ghosts appear together.
+    EXPECT_EQ(dist.numBoundaryRows() > 0, dist.numGhosts() > 0);
+    if (p == 1) {
+      EXPECT_EQ(dist.numBoundaryRows(), 0);
+    }
+  });
+}
+
+TEST_P(DistP, RepeatedSpmvIsBitwiseDeterministic) {
+  const int p = GetParam();
+  const int n = 83;
+  Rng rng(700);
+  const CsrMatrix global = randomDiagDominant(n, 6, 1.0, rng);
+  comm::World::run(p, [&](comm::Comm& c) {
+    DistCsrMatrix dist = DistCsrMatrix::scatterFromRoot(c, global);
+    const int m = dist.localRows();
+    std::vector<double> x(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      x[static_cast<std::size_t>(i)] = 0.25 * (dist.startRow() + i) - 3.0;
+    }
+    std::vector<double> y0(static_cast<std::size_t>(m));
+    dist.spmv(std::span<const double>(x), std::span<double>(y0));
+    // Back-to-back rounds rotate through distinct reserved tags; the values
+    // must nevertheless be bitwise identical every round.
+    for (int round = 0; round < 5; ++round) {
+      std::vector<double> y(static_cast<std::size_t>(m), -1.0);
+      dist.spmv(std::span<const double>(x), std::span<double>(y));
+      for (int i = 0; i < m; ++i) {
+        EXPECT_EQ(y[static_cast<std::size_t>(i)],
+                  y0[static_cast<std::size_t>(i)]);
+      }
+    }
+  });
+}
+
+TEST(Dist, SpmvIsAllocationFreeSingleRank) {
+  comm::World::run(1, [](comm::Comm& c) {
+    const int n = 256;
+    const CsrMatrix a = laplacian1d(n);
+    const DistCsrMatrix dist(c, n, n, 0, a);
+    std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+    std::vector<double> y(static_cast<std::size_t>(n));
+    dist.spmv(std::span<const double>(x), std::span<double>(y));  // warm
+    g_allocCalls.store(0);
+    g_allocBytes.store(0);
+    g_countAllocs.store(true);
+    for (int it = 0; it < 32; ++it) {
+      dist.spmv(std::span<const double>(x), std::span<double>(y));
+    }
+    g_countAllocs.store(false);
+    EXPECT_EQ(g_allocCalls.load(), 0u);
+    EXPECT_EQ(g_allocBytes.load(), 0u);
+  });
+}
+
+TEST(Dist, SpmvAllocatesOnlyTransportEnvelopesMultiRank) {
+  // With two ranks the 1-D Laplacian couples the blocks through a single
+  // entry each way, so per-call message payloads are a few bytes while the
+  // plan scratch (xExt, pack buffer) is ~n doubles.  If spmv re-allocated
+  // its scratch per call, the counted bytes would be megabytes.
+  const int n = 20000;
+  const int reps = 16;
+  const CsrMatrix global = laplacian1d(n);
+  comm::World::run(2, [&](comm::Comm& c) {
+    DistCsrMatrix dist = DistCsrMatrix::scatterFromRoot(c, global);
+    const int m = dist.localRows();
+    std::vector<double> x(static_cast<std::size_t>(m), 1.0);
+    std::vector<double> y(static_cast<std::size_t>(m));
+    for (int it = 0; it < 4; ++it) {  // warm the transport
+      dist.spmv(std::span<const double>(x), std::span<double>(y));
+    }
+    c.barrier();
+    if (c.rank() == 0) {
+      g_allocCalls.store(0);
+      g_allocBytes.store(0);
+      g_countAllocs.store(true);
+    }
+    c.barrier();
+    for (int it = 0; it < reps; ++it) {
+      dist.spmv(std::span<const double>(x), std::span<double>(y));
+    }
+    c.barrier();
+    if (c.rank() == 0) {
+      g_countAllocs.store(false);
+      // Both ranks' transport traffic over all reps: far below one xExt.
+      EXPECT_LT(g_allocBytes.load(), static_cast<std::size_t>(n));
+    }
+    c.barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DistP,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8));
 
 }  // namespace
 }  // namespace lisi::sparse
