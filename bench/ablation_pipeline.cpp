@@ -1,0 +1,190 @@
+// Pipeline ablation: classic vs pipelined (communication-hiding) Krylov
+// iteration time at p = 1..8 rank-threads.
+//
+// Classic CG spends two reduction rounds per iteration (<p,Ap>, then the
+// fused <z,z>/<r,z> pair); pipelined CG folds everything into ONE 3-lane
+// split-phase reduction that is begun before — and completed after — the
+// preconditioner + SpMV applications of the same iteration.  BiCGStab goes
+// from four reduction rounds to two.  On latency-dominated configurations
+// the reduction count per iteration is what the solve time tracks, so the
+// per-iteration time ratio is the quantity reported.
+//
+// Protocol: both variants run back to back inside the SAME world instance
+// (per-rep interleaving, order alternated every rep) so host-speed drift
+// cannot masquerade as a pipeline effect.  Matrix scatter and setup are
+// outside the timed region.  Results go to stdout and BENCH_pipeline.json.
+//
+// CG runs on the SPD 5-point Laplacian (the paper PDE's -3 u_x term makes
+// it nonsymmetric, which CG does not admit); BiCGStab runs on the paper's
+// convection-diffusion operator itself.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/ops.hpp"
+
+namespace {
+
+using lisi::comm::Comm;
+using lisi::comm::World;
+using lisi::sparse::CsrMatrix;
+using lisi::sparse::DistCsrMatrix;
+
+constexpr double kRtol = 1e-8;
+constexpr int kMaxIts = 10000;
+
+struct Timed {
+  double seconds = 0.0;
+  int iterations = 0;
+  bool ok = false;
+};
+
+Timed solveOnce(const Comm& comm, const DistCsrMatrix& a,
+                std::span<const double> b, pksp::PkspType type,
+                pksp::PkspPipelineMode mode) {
+  using namespace pksp;
+  Timed t;
+  std::vector<double> x(static_cast<std::size_t>(a.localRows()), 0.0);
+  lisi::WallTimer timer;
+  KSP ksp = nullptr;
+  KSPCreate(comm, &ksp);
+  KSPSetOperator(ksp, &a);
+  KSPSetType(ksp, type);
+  KSPSetPCType(ksp, PKSP_PC_JACOBI);
+  KSPSetTolerances(ksp, kRtol, 1e-50, kMaxIts);
+  KSPSetPipeline(ksp, mode);
+  const int rc = KSPSolve(ksp, b, std::span<double>(x));
+  KSPGetIterationNumber(ksp, &t.iterations);
+  KSPDestroy(&ksp);
+  t.seconds = timer.seconds();
+  t.ok = (rc == PKSP_SUCCESS);
+  return t;
+}
+
+struct Row {
+  std::string method;
+  int procs = 0;
+  double classicSec = 0.0;   // mean solve seconds over reps
+  double pipedSec = 0.0;
+  int classicIters = 0;
+  int pipedIters = 0;
+  bool ok = true;
+};
+
+Row runCase(const char* method, pksp::PkspType type, const CsrMatrix& global,
+            const std::vector<double>& b, int procs, int reps) {
+  Row row;
+  row.method = method;
+  row.procs = procs;
+  lisi::RunStats classicStats;
+  lisi::RunStats pipedStats;
+  for (int rep = 0; rep < reps; ++rep) {
+    World::run(procs, [&](Comm& comm) {
+      const DistCsrMatrix a = DistCsrMatrix::scatterFromRoot(comm, global);
+      const std::size_t n = static_cast<std::size_t>(a.localRows());
+      const std::size_t start = static_cast<std::size_t>(a.startRow());
+      const std::span<const double> bLocal(b.data() + start, n);
+      // Alternate the order every rep so warmup / host-speed drift hits
+      // both variants equally.
+      Timed first, second;
+      if (rep % 2 == 0) {
+        first = solveOnce(comm, a, bLocal, type, pksp::PKSP_PIPELINE_OFF);
+        second = solveOnce(comm, a, bLocal, type, pksp::PKSP_PIPELINE_ON);
+      } else {
+        second = solveOnce(comm, a, bLocal, type, pksp::PKSP_PIPELINE_ON);
+        first = solveOnce(comm, a, bLocal, type, pksp::PKSP_PIPELINE_OFF);
+      }
+      if (comm.rank() == 0) {
+        classicStats.add(first.seconds);
+        pipedStats.add(second.seconds);
+        row.classicIters = first.iterations;
+        row.pipedIters = second.iterations;
+        row.ok = row.ok && first.ok && second.ok;
+      }
+    });
+  }
+  row.classicSec = classicStats.mean();
+  row.pipedSec = pipedStats.mean();
+  return row;
+}
+
+double perItUs(double sec, int iters) {
+  return iters > 0 ? 1e6 * sec / iters : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  // 4096 unknowns: small enough per rank that the per-iteration reduction
+  // rounds (thread wakeups under MiniMPI) dominate over AXPY/SpMV work —
+  // the latency-bound regime the pipelined loops target.
+  const int gridN = 64;
+  const int reps = bench::repetitions();
+
+  // SPD system for CG.
+  const CsrMatrix spd = lisi::sparse::laplacian2d(gridN, gridN);
+  std::vector<double> bSpd(static_cast<std::size_t>(spd.rows), 0.0);
+  {
+    const std::vector<double> ones(bSpd.size(), 1.0);
+    lisi::sparse::spmv(spd, std::span<const double>(ones),
+                       std::span<double>(bSpd));
+  }
+  // The paper's nonsymmetric operator for BiCGStab.
+  lisi::mesh::Pde5ptSpec spec;
+  spec.gridN = gridN;
+  const auto paper = lisi::mesh::assembleGlobal(spec);
+
+  std::printf("# Pipeline ablation: classic vs pipelined Krylov loops, "
+              "grid %dx%d, rtol %g, %d runs per point (mean)\n",
+              gridN, gridN, kRtol, reps);
+  std::printf("%-9s %6s %12s %12s %8s %8s %12s %12s %8s\n", "method", "procs",
+              "classic(s)", "piped(s)", "cl.its", "pi.its", "cl.us/it",
+              "pi.us/it", "ratio");
+
+  std::vector<Row> rows;
+  for (int procs = 1; procs <= 8; ++procs) {
+    rows.push_back(runCase("cg", pksp::PKSP_CG, spd, bSpd, procs, reps));
+    rows.push_back(runCase("bicgstab", pksp::PKSP_BICGSTAB, paper.localA,
+                           paper.localB, procs, reps));
+  }
+
+  for (const Row& r : rows) {
+    const double clUs = perItUs(r.classicSec, r.classicIters);
+    const double piUs = perItUs(r.pipedSec, r.pipedIters);
+    std::printf("%-9s %6d %12.4f %12.4f %8d %8d %12.2f %12.2f %8.3f%s\n",
+                r.method.c_str(), r.procs, r.classicSec, r.pipedSec,
+                r.classicIters, r.pipedIters, clUs, piUs,
+                clUs > 0 ? piUs / clUs : 0.0, r.ok ? "" : "  SOLVE FAILED");
+  }
+  std::printf("# shape check: piped us/it <= classic us/it once reductions "
+              "dominate (p >= 4); iteration counts match within 1.\n");
+
+  std::FILE* f = std::fopen("BENCH_pipeline.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_pipeline.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ablation_pipeline\",\n");
+  std::fprintf(f, "  \"grid_n\": %d,\n  \"rtol\": %g,\n  \"reps\": %d,\n",
+               gridN, kRtol, reps);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"method\": \"%s\", \"procs\": %d, \"classic_s\": %.6f, "
+        "\"pipelined_s\": %.6f, \"classic_iters\": %d, \"pipelined_iters\": "
+        "%d, \"classic_us_per_it\": %.3f, \"pipelined_us_per_it\": %.3f, "
+        "\"ok\": %s}%s\n",
+        r.method.c_str(), r.procs, r.classicSec, r.pipedSec, r.classicIters,
+        r.pipedIters, perItUs(r.classicSec, r.classicIters),
+        perItUs(r.pipedSec, r.pipedIters), r.ok ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("# wrote BENCH_pipeline.json\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Run every ablation benchmark and collect the artifacts in one place
+# (bench-artifacts/): JSON where the harness produces it, the raw table
+# otherwise.  LISI_BENCH_REPS=n shortens the self-timed runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j --target ablation_pipeline ablation_collectives \
+  ablation_rarray ablation_params ablation_formats ablation_matfree \
+  ablation_mg
+
+ART="$PWD/bench-artifacts"
+mkdir -p "$ART"
+
+# Pipelined-Krylov ablation writes BENCH_pipeline.json into its cwd.
+(cd "$ART" && "$OLDPWD"/build/bench/ablation_pipeline \
+  | tee BENCH_pipeline.txt)
+
+# google-benchmark ablations emit JSON natively.  Note: the bundled
+# google-benchmark predates unit suffixes — min_time takes a bare double.
+for b in collectives rarray params formats matfree; do
+  ./build/bench/ablation_"$b" --benchmark_min_time=0.05 \
+    --benchmark_out="$ART/BENCH_$b.json" --benchmark_out_format=json
+done
+
+# Self-timed text harnesses.
+./build/bench/ablation_mg > "$ART/BENCH_mg.txt"
+
+echo "bench: artifacts in $ART"
+ls -1 "$ART"

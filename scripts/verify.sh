@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Repo verify flow:
 #   1. tier-1: configure, build, run the full ctest suite;
-#   2. TSan:   rebuild with -DLISI_SANITIZE=thread and run the comm + dist
-#              binaries — MiniMPI is thread-backed, so this proves the
-#              overlapped halo exchange and collective schedules race-free.
+#   2. TSan:   rebuild with -DLISI_SANITIZE=thread and run the comm, dist,
+#              and pksp binaries — MiniMPI is thread-backed, so this proves
+#              the overlapped halo exchange, the blocking and nonblocking
+#              (split-phase) collective schedules, and the pipelined Krylov
+#              loops race-free.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,8 +14,9 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 cmake -B build-tsan -S . -DLISI_SANITIZE=thread
-cmake --build build-tsan -j --target comm_test sparse_dist_test
+cmake --build build-tsan -j --target comm_test sparse_dist_test pksp_test
 ./build-tsan/tests/comm_test
 ./build-tsan/tests/sparse_dist_test
+./build-tsan/tests/pksp_test --gtest_filter='*Pipelined*:*Pipeline*'
 
 echo "verify: OK"

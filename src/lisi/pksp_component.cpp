@@ -4,6 +4,7 @@
 // and supports the matrix-free path through PKSP's shell operator.
 #include "lisi/solver_base.hpp"
 #include "pksp/pksp.hpp"
+#include "support/string_util.hpp"
 
 namespace lisi {
 namespace {
@@ -18,7 +19,8 @@ class PkspSolverPort final : public detail::SolverComponentBase {
 
   bool acceptsParam(const std::string& key) const override {
     return SolverComponentBase::acceptsParam(key) || key == "restart" ||
-           key == "sor_omega" || key == "sor_sweeps";
+           key == "sor_omega" || key == "sor_sweeps" ||
+           key == "pksp_pipeline";
   }
 
   int backendSolve(const detail::SolveContext& ctx, std::span<const double> b,
@@ -58,6 +60,18 @@ class PkspSolverPort final : public detail::SolverComponentBase {
     }
     KSPSetInitialGuessNonzero(ksp_, paramBool("use_initial_guess", false));
     KSPSetReusePreconditioner(ksp_, paramBool("reuse_preconditioner", false));
+
+    // Communication-hiding Krylov loops (pksp-specific extension; the LISI
+    // application code is unchanged — it only flips this parameter).
+    const std::string pipe = toLower(paramString("pksp_pipeline", "off"));
+    PkspPipelineMode pipeMode = PKSP_PIPELINE_OFF;
+    if (pipe == "auto") pipeMode = PKSP_PIPELINE_AUTO;
+    else if (pipe == "on" || pipe == "true" || pipe == "1" || pipe == "yes")
+      pipeMode = PKSP_PIPELINE_ON;
+    else if (pipe == "off" || pipe == "false" || pipe == "0" || pipe == "no")
+      pipeMode = PKSP_PIPELINE_OFF;
+    else return static_cast<int>(ErrorCode::kInvalidArgument);
+    KSPSetPipeline(ksp_, pipeMode);
 
     if (ctx.matrixFree != nullptr) {
       KSPSetOperatorShell(ksp_, &shellApply, ctx.matrixFree, ctx.localRows);

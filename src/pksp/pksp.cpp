@@ -2,6 +2,7 @@
 // and the solve dispatcher.
 #include "pksp/pksp.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "pksp/pksp_internal.hpp"
@@ -27,6 +28,7 @@ struct PkspSolver {
   int sorSweeps = 1;
   bool nonzeroGuess = false;
   bool reusePc = false;
+  PkspPipelineMode pipeline = PKSP_PIPELINE_OFF;
 
   // Built lazily at solve time (the operator may change between solves).
   std::unique_ptr<Preconditioner> pc;
@@ -83,6 +85,17 @@ const char* typeName(PkspType t) {
     case PKSP_BICGSTAB: return "bicgstab";
   }
   return "?";
+}
+
+/// Resolve the effective pipelining decision for this solve.  AUTO enables
+/// the communication-hiding loops only when there is communication to hide.
+bool usePipelined(const PkspSolver& ksp) {
+  switch (ksp.pipeline) {
+    case PKSP_PIPELINE_OFF: return false;
+    case PKSP_PIPELINE_ON: return true;
+    case PKSP_PIPELINE_AUTO: return ksp.comm.size() > 1;
+  }
+  return false;
 }
 
 const char* pcName(PkspPcType t) {
@@ -193,6 +206,18 @@ int KSPSetReusePreconditioner(KSP ksp, bool flag) {
   return PKSP_SUCCESS;
 }
 
+int KSPSetPipeline(KSP ksp, PkspPipelineMode mode) {
+  if (guard(ksp) != PKSP_SUCCESS) return PKSP_ERR_ARG;
+  switch (mode) {
+    case PKSP_PIPELINE_OFF:
+    case PKSP_PIPELINE_ON:
+    case PKSP_PIPELINE_AUTO:
+      ksp->pipeline = mode;
+      return PKSP_SUCCESS;
+  }
+  return PKSP_ERR_ARG;
+}
+
 int KSPSetFromString(KSP ksp, const char* options) {
   if (guard(ksp) != PKSP_SUCCESS || options == nullptr) return PKSP_ERR_ARG;
   std::istringstream tokens{std::string(options)};
@@ -244,6 +269,15 @@ int KSPSetFromString(KSP ksp, const char* options) {
       const auto v = lisi::parseBool(value());
       if (!v) return PKSP_ERR_ARG;
       KSPSetInitialGuessNonzero(ksp, *v);
+    } else if (key == "-ksp_pipeline") {
+      const std::string v = lisi::toLower(value());
+      if (v == "auto") {
+        KSPSetPipeline(ksp, PKSP_PIPELINE_AUTO);
+      } else if (const auto flag = lisi::parseBool(v)) {
+        KSPSetPipeline(ksp, *flag ? PKSP_PIPELINE_ON : PKSP_PIPELINE_OFF);
+      } else {
+        return PKSP_ERR_ARG;
+      }
     } else {
       return PKSP_ERR_UNSUPPORTED;
     }
@@ -278,19 +312,27 @@ int KSPSolve(KSP ksp, std::span<const double> bLocal,
     if (ksp->monitor) ksp->monitor(ksp->monitorCtx, iteration, rnorm);
   };
 
+  const bool pipelined = usePipelined(*ksp);
   try {
     switch (ksp->type) {
       case PKSP_CG:
-        ksp->lastReport = detail::runCg(ksp->comm, *ksp->op, *ksp->pc, bLocal,
-                                        xLocal, tol);
+        ksp->lastReport =
+            pipelined ? detail::runPipelinedCg(ksp->comm, *ksp->op, *ksp->pc,
+                                               bLocal, xLocal, tol)
+                      : detail::runCg(ksp->comm, *ksp->op, *ksp->pc, bLocal,
+                                      xLocal, tol);
         break;
       case PKSP_GMRES:
         ksp->lastReport = detail::runGmres(ksp->comm, *ksp->op, *ksp->pc,
                                            bLocal, xLocal, tol, ksp->restart);
         break;
       case PKSP_BICGSTAB:
-        ksp->lastReport = detail::runBiCgStab(ksp->comm, *ksp->op, *ksp->pc,
-                                              bLocal, xLocal, tol);
+        ksp->lastReport =
+            pipelined ? detail::runPipelinedBiCgStab(ksp->comm, *ksp->op,
+                                                     *ksp->pc, bLocal, xLocal,
+                                                     tol)
+                      : detail::runBiCgStab(ksp->comm, *ksp->op, *ksp->pc,
+                                            bLocal, xLocal, tol);
         break;
       case PKSP_RICHARDSON:
         ksp->lastReport = detail::runRichardson(ksp->comm, *ksp->op, *ksp->pc,
@@ -299,12 +341,24 @@ int KSPSolve(KSP ksp, std::span<const double> bLocal,
       default:
         return PKSP_ERR_ARG;
     }
-    // True (unpreconditioned) residual for diagnostics.
+    // Recompute both diagnostic residuals against the iterate actually
+    // returned in x.  The norm tracked inside the Krylov loops is carried by
+    // recurrences (and, in the pipelined variants, evaluated one reduction
+    // early), so at convergence it can be slightly stale relative to the
+    // final iterate; recomputing keeps KSPGetResidualNorm and the recorded
+    // report consistent with x.  Both lanes share one fused reduction, and
+    // the unpreconditioned lane is bitwise identical to the distNorm2 it
+    // replaces (reductions are elementwise).
     std::vector<double> r(n);
+    std::vector<double> z(n);
     ksp->op->apply(xLocal, std::span<double>(r));
     for (std::size_t i = 0; i < n; ++i) r[i] = bLocal[i] - r[i];
-    ksp->lastTrueResidual =
-        lisi::sparse::distNorm2(ksp->comm, std::span<const double>(r));
+    ksp->pc->apply(std::span<const double>(r), std::span<double>(z));
+    const auto [rr, zz] = lisi::sparse::distDot2(
+        ksp->comm, std::span<const double>(r), std::span<const double>(r),
+        std::span<const double>(z), std::span<const double>(z));
+    ksp->lastTrueResidual = std::sqrt(rr);
+    ksp->lastReport.residualNorm = std::sqrt(zz);
   } catch (const lisi::Error&) {
     return PKSP_ERR_NUMERIC;
   }
@@ -350,6 +404,11 @@ int KSPGetDescription(KSP ksp, std::string* description) {
   std::ostringstream os;
   os << typeName(ksp->type);
   if (ksp->type == PKSP_GMRES) os << '(' << ksp->restart << ')';
+  if (ksp->pipeline != PKSP_PIPELINE_OFF &&
+      (ksp->type == PKSP_CG || ksp->type == PKSP_BICGSTAB)) {
+    os << "[pipelined" << (ksp->pipeline == PKSP_PIPELINE_AUTO ? ":auto" : "")
+       << ']';
+  }
   os << '+' << pcName(ksp->pcType) << " rtol=" << ksp->tol.rtol
      << " atol=" << ksp->tol.atol << " maxits=" << ksp->tol.maxits;
   *description = os.str();

@@ -113,4 +113,18 @@ SolveReport runRichardson(const lisi::comm::Comm& comm,
                           std::span<const double> b, std::span<double> x,
                           const Tolerances& tol);
 
+// Communication-hiding variants (pksp_pipelined.cpp): one (CG) or two
+// (BiCGStab) fused split-phase reductions per iteration, each overlapped
+// with the SpMV/preconditioner work of the same iteration.  Same
+// convergence criterion and monitor cadence as the classic loops.
+SolveReport runPipelinedCg(const lisi::comm::Comm& comm,
+                           const LinearOperator& a, const Preconditioner& m,
+                           std::span<const double> b, std::span<double> x,
+                           const Tolerances& tol);
+SolveReport runPipelinedBiCgStab(const lisi::comm::Comm& comm,
+                                 const LinearOperator& a,
+                                 const Preconditioner& m,
+                                 std::span<const double> b,
+                                 std::span<double> x, const Tolerances& tol);
+
 }  // namespace pksp::detail

@@ -4,16 +4,16 @@
 #include <cmath>
 #include <numeric>
 
+#include "comm/tags.hpp"
+
 namespace lisi::sparse {
 
 namespace {
-// Distinct user-tags per protocol phase so concurrent exchanges can't
-// cross-match (702 belongs to matmul.cpp's SpGEMM row traffic).
-constexpr int kScatterTag = 701;  ///< scatterFromRoot block shipping
-constexpr int kPlanTag = 703;     ///< one-time halo-plan index exchange
-/// Per-spmv ghost traffic rotates through this many reserved tags, so
-/// back-to-back spmv rounds on one matrix carry different tags.
-constexpr int kSpmvTagRounds = 16;
+// All fixed protocol tags live in the central registry (comm/tags.hpp);
+// aliased locally to keep the call sites short.
+constexpr int kScatterTag = comm::tags::kMatrixScatter;
+constexpr int kPlanTag = comm::tags::kHaloPlan;
+constexpr int kSpmvTagRounds = comm::tags::kSpmvTagRounds;
 }
 
 DistCsrMatrix::DistCsrMatrix(comm::Comm comm, int globalRows, int globalCols,
@@ -410,6 +410,60 @@ double distNormInf(const comm::Comm& comm, std::span<const double> x) {
   double local = 0.0;
   for (double v : x) local = std::max(local, std::abs(v));
   return comm.allreduceValue(local, comm::ReduceOp::kMax);
+}
+
+PendingDots distDotsBegin(const comm::Comm& comm,
+                          std::span<const DotArgs> dots) {
+  PendingDots pending;
+  pending.buf_ = std::make_unique<PendingDots::Buf>();
+  auto& buf = *pending.buf_;
+  buf.local.resize(dots.size());
+  buf.global.resize(dots.size());
+  for (std::size_t lane = 0; lane < dots.size(); ++lane) {
+    const DotArgs& d = dots[lane];
+    LISI_CHECK(d.x.size() == d.y.size(), "distDotsBegin: local size mismatch");
+    // Identical summation loop to distDot, so each lane's partial is
+    // bitwise what the blocking call would feed the reduction.
+    double local = 0.0;
+    for (std::size_t i = 0; i < d.x.size(); ++i) local += d.x[i] * d.y[i];
+    buf.local[lane] = local;
+  }
+  pending.handle_ = comm.iallreduce(std::span<const double>(buf.local),
+                                    std::span<double>(buf.global),
+                                    comm::ReduceOp::kSum);
+  return pending;
+}
+
+std::span<const double> distDotsEnd(PendingDots& pending) {
+  LISI_CHECK(pending.valid(), "distDotsEnd: no batch in flight");
+  pending.handle_.wait();
+  return std::span<const double>(pending.buf_->global);
+}
+
+PendingDots distDotBegin(const comm::Comm& comm, std::span<const double> x,
+                         std::span<const double> y) {
+  const DotArgs lane{x, y};
+  return distDotsBegin(comm, std::span<const DotArgs>(&lane, 1));
+}
+
+double distDotEnd(PendingDots& pending) {
+  const std::span<const double> r = distDotsEnd(pending);
+  LISI_CHECK(r.size() == 1, "distDotEnd: batch is not single-lane");
+  return r[0];
+}
+
+PendingDots distDot2Begin(const comm::Comm& comm, std::span<const double> x1,
+                          std::span<const double> y1,
+                          std::span<const double> x2,
+                          std::span<const double> y2) {
+  const std::array<DotArgs, 2> lanes{DotArgs{x1, y1}, DotArgs{x2, y2}};
+  return distDotsBegin(comm, std::span<const DotArgs>(lanes));
+}
+
+std::array<double, 2> distDot2End(PendingDots& pending) {
+  const std::span<const double> r = distDotsEnd(pending);
+  LISI_CHECK(r.size() == 2, "distDot2End: batch is not two-lane");
+  return {r[0], r[1]};
 }
 
 }  // namespace lisi::sparse

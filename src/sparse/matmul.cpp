@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "comm/tags.hpp"
+
 namespace lisi::sparse {
 
 namespace {
 
-constexpr int kRowFetchTag = 702;  ///< reserved tag for SpGEMM row traffic
+constexpr int kRowFetchTag = comm::tags::kMatMulRowFetch;
 
 /// Sparse accumulator (SPA) used to form one output row at a time.
 class SparseAccumulator {
