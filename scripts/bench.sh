@@ -6,9 +6,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S .
-cmake --build build -j --target ablation_pipeline ablation_collectives \
-  ablation_rarray ablation_params ablation_formats ablation_matfree \
-  ablation_mg
+cmake --build build -j --target ablation_pipeline ablation_reuse \
+  ablation_collectives ablation_rarray ablation_params ablation_formats \
+  ablation_matfree ablation_mg
 
 ART="$PWD/bench-artifacts"
 mkdir -p "$ART"
@@ -16,6 +16,10 @@ mkdir -p "$ART"
 # Pipelined-Krylov ablation writes BENCH_pipeline.json into its cwd.
 (cd "$ART" && "$OLDPWD"/build/bench/ablation_pipeline \
   | tee BENCH_pipeline.txt)
+
+# Operator-reuse ablation writes BENCH_reuse.json into its cwd.
+(cd "$ART" && "$OLDPWD"/build/bench/ablation_reuse \
+  | tee BENCH_reuse.txt)
 
 # google-benchmark ablations emit JSON natively.  Note: the bundled
 # google-benchmark predates unit suffixes — min_time takes a bare double.

@@ -6,6 +6,11 @@
 #              the overlapped halo exchange, the blocking and nonblocking
 #              (split-phase) collective schedules, and the pipelined Krylov
 #              loops race-free.
+#   3. ASan+UBSan: rebuild with -DLISI_SANITIZE=address+undefined and run
+#              the sparse, slu, and operator-reuse binaries — the value-only
+#              update paths write positionally into frozen factor / halo-plan
+#              storage, which is exactly the bug class these sanitizers
+#              catch.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,5 +23,11 @@ cmake --build build-tsan -j --target comm_test sparse_dist_test pksp_test
 ./build-tsan/tests/comm_test
 ./build-tsan/tests/sparse_dist_test
 ./build-tsan/tests/pksp_test --gtest_filter='*Pipelined*:*Pipeline*'
+
+cmake -B build-asan -S . -DLISI_SANITIZE=address+undefined
+cmake --build build-asan -j --target sparse_dist_test slu_test lisi_reuse_test
+./build-asan/tests/sparse_dist_test
+./build-asan/tests/slu_test
+./build-asan/tests/lisi_reuse_test
 
 echo "verify: OK"

@@ -16,6 +16,10 @@ CrsMatrix::CrsMatrix(const Map& map, lisi::sparse::CsrMatrix localRows)
              "CrsMatrix: local row count does not match the map");
 }
 
+void CrsMatrix::replaceValues(const lisi::sparse::CsrMatrix& localRows) {
+  dist_.updateValues(localRows);
+}
+
 void CrsMatrix::apply(const Vector& x, Vector& y) const {
   LISI_CHECK(map_->sameAs(x.map()) && map_->sameAs(y.map()),
              "CrsMatrix::apply: incompatible maps");

@@ -55,6 +55,12 @@ class CrsMatrix final : public RowMatrix {
 
   [[nodiscard]] long long numGlobalNonzeros() const { return dist_.globalNnz(); }
 
+  /// Same-pattern value refresh (Epetra's ReplaceMyValues-style workflow):
+  /// `localRows` must be canonical and carry exactly the sparsity of the
+  /// wrapped rows; the distributed operator's halo plan and importer state
+  /// are reused untouched.  Purely local.
+  void replaceValues(const lisi::sparse::CsrMatrix& localRows);
+
  private:
   const Map* map_;
   lisi::sparse::DistCsrMatrix dist_;

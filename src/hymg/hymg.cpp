@@ -227,6 +227,8 @@ struct Solver::Impl {
   DenseLu coarseLu;  ///< valid on rank 0 only
 
   void build(int gridN);
+  void refreshValues();
+  void factorCoarse();
   void smooth(const Level& lvl, std::span<const double> b,
               std::span<double> x, int sweeps) const;
   void cycle(std::size_t l, std::span<const double> b,
@@ -337,6 +339,10 @@ void Solver::Impl::build(int gridN) {
   }
 
   // Coarsest-level exact solve: gather the operator to rank 0 and factor.
+  factorCoarse();
+}
+
+void Solver::Impl::factorCoarse() {
   const Level& coarse = levels.back();
   const CsrMatrix gathered = coarse.a->gatherToRoot(0);
   if (comm.rank() == 0) {
@@ -355,6 +361,59 @@ void Solver::Impl::build(int gridN) {
     }
     coarseLu.factor(std::move(dense), cn);
   }
+}
+
+// Value-only operator refresh over the fixed hierarchy: every DistCsrMatrix,
+// transfer operator, halo plan, gsDiagPos table, and scratch vector built in
+// build() stays alive; only values flow through.  Fine-to-coarse order so a
+// Galerkin coarse operator sees the already-refreshed fine operator.
+void Solver::Impl::refreshValues() {
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    Level& lvl = levels[l];
+    const int n = lvl.n;
+    if (l == 0 || options.coarseOperator == CoarseOperator::kRediscretize) {
+      const double h = 1.0 / (n + 1);
+      const BlockRowPartition part(n * n, comm.size());
+      const int begin = part.startRow(comm.rank());
+      const int end = begin + part.localRows(comm.rank());
+      // assembleLevelRows emits canonical rows, so the structure matches
+      // what the original constructor canonicalized; updateValues verifies.
+      lvl.a->updateValues(assembleLevelRows(n, stencil(h), begin, end));
+    } else {
+      // Galerkin: recompute R*A*P values.  The triple product is structurally
+      // deterministic in its inputs, so the sparsity matches the stored
+      // operator and only values are copied over.  The temporary product does
+      // build its own (throwaway) halo plan.
+      const Level& fine = levels[l - 1];
+      const DistCsrMatrix prod =
+          lisi::sparse::galerkinProduct(*fine.r, *fine.a, *fine.p);
+      lvl.a->updateValues(prod.localBlock());
+    }
+    // Smoother data: same recipes as build(), values only.
+    lvl.invDiag = lvl.a->localDiagonal();
+    for (double& d : lvl.invDiag) {
+      LISI_CHECK(d != 0.0, "HyMG: zero diagonal on a level");
+      d = 1.0 / d;
+    }
+    if (options.smoother == Smoother::kHybridGs) {
+      const CsrMatrix& loc = lvl.a->localBlock();
+      const int s = lvl.a->startRow();
+      const int e = s + lvl.a->localRows();
+      std::size_t pos = 0;
+      for (int i = 0; i < loc.rows; ++i) {
+        for (int k = loc.rowPtr[static_cast<std::size_t>(i)];
+             k < loc.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+          const int c = loc.colIdx[static_cast<std::size_t>(k)];
+          if (c >= s && c < e) {
+            lvl.gsBlock.values[pos++] = loc.values[static_cast<std::size_t>(k)];
+          }
+        }
+      }
+      LISI_CHECK(pos == lvl.gsBlock.values.size(),
+                 "HyMG: local block sparsity changed during refresh");
+    }
+  }
+  factorCoarse();
 }
 
 void Solver::Impl::smooth(const Level& lvl, std::span<const double> b,
@@ -447,6 +506,13 @@ Solver::Solver(Comm comm, int gridN, StencilFn stencil, Options options)
 Solver::~Solver() = default;
 Solver::Solver(Solver&&) noexcept = default;
 Solver& Solver::operator=(Solver&&) noexcept = default;
+
+void Solver::refreshOperator(StencilFn stencil) {
+  LISI_CHECK(static_cast<bool>(stencil),
+             "HyMG::refreshOperator: stencil must be callable");
+  impl_->stencil = std::move(stencil);
+  impl_->refreshValues();
+}
 
 int Solver::numLevels() const { return static_cast<int>(impl_->levels.size()); }
 

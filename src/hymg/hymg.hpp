@@ -98,6 +98,16 @@ class Solver {
   /// This rank's share of the finest grid.
   [[nodiscard]] int fineLocalRows() const;
 
+  /// Value-only refresh of the operator across the fixed hierarchy.
+  /// The grid hierarchy, transfer operators, halo plans, and solve scratch
+  /// are all kept; only operator values are recomputed: each level's
+  /// stencil coefficients (or Galerkin coarse values), the smoother
+  /// diagonals, the hybrid-GS local blocks, and the coarsest-grid dense
+  /// factorization.  Use when the continuous operator's coefficients
+  /// changed but the discretization (grid sizes, stencil footprint) did
+  /// not.  Collective.
+  void refreshOperator(StencilFn stencil);
+
   /// One multigrid cycle with zero initial guess: x = MG(b).  This is the
   /// preconditioner form (linear in b).  Collective.
   void applyCycle(std::span<const double> b, std::span<double> x) const;

@@ -40,8 +40,14 @@ class AztecSolverPort final : public detail::SolverComponentBase {
   int backendSolve(const detail::SolveContext& ctx, std::span<const double> b,
                    std::span<double> x, detail::BackendStats& stats) override {
     using namespace aztec;
-    // (Re)build the Aztec objects when the operator changed.
-    if (!ctx.operatorUnchanged || !map_) {
+    // Operator change contract: kSameOperator keeps everything;
+    // kSameStructure keeps the Map and the CrsMatrix (importer/halo state)
+    // and rewrites only the wrapped values; kNewStructure rebuilds.
+    auto* crs = dynamic_cast<CrsMatrix*>(rowMatrix_.get());
+    if (ctx.change == detail::OperatorChange::kSameStructure &&
+        ctx.matrixFree == nullptr && map_ && crs != nullptr) {
+      crs->replaceValues(ctx.matrix->localBlock());
+    } else if (ctx.change != detail::OperatorChange::kSameOperator || !map_) {
       map_ = std::make_unique<Map>(ctx.globalRows, ctx.localRows, *ctx.comm);
       if (ctx.matrixFree != nullptr) {
         rowMatrix_ =

@@ -36,7 +36,15 @@ class HymgSolverPort final : public detail::SolverComponentBase {
     if (gridN < 1 || gridN * gridN != ctx.globalRows) {
       return static_cast<int>(ErrorCode::kInvalidArgument);
     }
-    if (!ctx.operatorUnchanged || !mg_) {
+    if (ctx.change == detail::OperatorChange::kSameStructure && mg_) {
+      // Same sparsity, possibly new coefficients (e.g. time-dependent
+      // convection): keep the grid hierarchy and transfer operators and
+      // refresh only operator values, smoother data, and the coarse factor.
+      mg_->refreshOperator(hymg::convectionDiffusionStencil(
+          paramDouble("mg_bx", 0.0), paramDouble("mg_by", 0.0)));
+      const int rc = validateFineLevel(ctx);
+      if (rc != 0) return rc;
+    } else if (ctx.change != detail::OperatorChange::kSameOperator || !mg_) {
       hymg::Options opts;
       opts.preSmooth = paramInt("mg_pre_smooth", 2);
       opts.postSmooth = paramInt("mg_post_smooth", 2);
@@ -56,16 +64,8 @@ class HymgSolverPort final : public detail::SolverComponentBase {
                   hymg::convectionDiffusionStencil(paramDouble("mg_bx", 0.0),
                                                    paramDouble("mg_by", 0.0)),
                   opts);
-      // Guard against a mismatched operator: the rediscretized fine level
-      // must agree with the matrix the application supplied.
-      const double diff = localBlockMaxDiff(*ctx.matrix, mg_->fineMatrix());
-      const double maxDiff =
-          ctx.comm->allreduceValue(diff, comm::ReduceOp::kMax);
-      const double scale = sparse::infNorm(ctx.matrix->localBlock()) + 1.0;
-      if (maxDiff > 1e-8 * scale) {
-        mg_.reset();
-        return static_cast<int>(ErrorCode::kInvalidArgument);
-      }
+      const int rc = validateFineLevel(ctx);
+      if (rc != 0) return rc;
     }
     const hymg::SolveInfo info =
         mg_->solve(b, x, paramDouble("tol", 1e-6), paramInt("maxits", 100));
@@ -80,6 +80,19 @@ class HymgSolverPort final : public detail::SolverComponentBase {
   }
 
  private:
+  /// Guard against a mismatched operator: the rediscretized fine level must
+  /// agree with the matrix the application supplied.  Collective.
+  int validateFineLevel(const detail::SolveContext& ctx) {
+    const double diff = localBlockMaxDiff(*ctx.matrix, mg_->fineMatrix());
+    const double maxDiff = ctx.comm->allreduceValue(diff, comm::ReduceOp::kMax);
+    const double scale = sparse::infNorm(ctx.matrix->localBlock()) + 1.0;
+    if (maxDiff > 1e-8 * scale) {
+      mg_.reset();
+      return static_cast<int>(ErrorCode::kInvalidArgument);
+    }
+    return 0;
+  }
+
   static double localBlockMaxDiff(const sparse::DistCsrMatrix& a,
                                   const sparse::DistCsrMatrix& b) {
     if (a.localRows() != b.localRows()) {

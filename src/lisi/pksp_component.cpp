@@ -76,7 +76,16 @@ class PkspSolverPort final : public detail::SolverComponentBase {
     if (ctx.matrixFree != nullptr) {
       KSPSetOperatorShell(ksp_, &shellApply, ctx.matrixFree, ctx.localRows);
     } else {
-      KSPSetOperator(ksp_, ctx.matrix);
+      // Map the framework's operator-change contract onto PKSP's
+      // KSPSetOperators-style structure flag so the preconditioner is
+      // kept (same operator), value-refreshed (same pattern), or rebuilt.
+      PkspMatStructure ms = PKSP_DIFFERENT_NONZERO_PATTERN;
+      if (ctx.change == detail::OperatorChange::kSameOperator) {
+        ms = PKSP_SAME_PRECONDITIONER;
+      } else if (ctx.change == detail::OperatorChange::kSameStructure) {
+        ms = PKSP_SAME_NONZERO_PATTERN;
+      }
+      KSPSetOperator(ksp_, ctx.matrix, ms);
     }
 
     const int rc = KSPSolve(ksp_, b, x);

@@ -6,7 +6,8 @@
 // identical to the iterative components', which is exactly the paper's
 // point: the application cannot tell a direct component from an iterative
 // one.  The factorization is cached and reused while the operator is
-// unchanged (§5.2 use case b).
+// unchanged (§5.2 use case b); a same-pattern value update reuses the
+// symbolic analysis and replays only the numeric factorization.
 #include "lisi/solver_base.hpp"
 #include "slu/slu.hpp"
 #include "sparse/convert.hpp"
@@ -28,7 +29,7 @@ class SluSolverPort final : public detail::SolverComponentBase {
     const sparse::DistCsrMatrix& a = *ctx.matrix;
     const bool isRoot = ctx.comm->rank() == 0;
 
-    if (!ctx.operatorUnchanged || !haveFactor_) {
+    if (ctx.change != detail::OperatorChange::kSameOperator || !haveFactor_) {
       const sparse::CsrMatrix global = a.gatherToRoot(0);
       int failed = 0;
       if (isRoot) {
@@ -42,8 +43,24 @@ class SluSolverPort final : public detail::SolverComponentBase {
         opts.equilibrate = paramBool("equilibrate", false);
         if (failed == 0) {
           try {
-            factor_ = slu::Factorization::factorize(sparse::csrToCsc(global),
-                                                    opts);
+            const sparse::CscMatrix csc = sparse::csrToCsc(global);
+            // Same nonzero pattern: skip the symbolic phase and replay the
+            // numeric factorization in the frozen ordering
+            // (SamePattern_SameRowPerm).  Any defect — pattern drift, a
+            // pivot that became zero — falls back to a full factorize.
+            bool refactored = false;
+            if (haveFactor_ &&
+                ctx.change == detail::OperatorChange::kSameStructure) {
+              try {
+                factor_->refactorize(csc);
+                refactored = true;
+              } catch (const Error&) {
+                refactored = false;
+              }
+            }
+            if (!refactored) {
+              factor_ = slu::Factorization::factorize(csc, opts);
+            }
           } catch (const Error&) {
             failed = static_cast<int>(ErrorCode::kNumericFailure);
           }

@@ -13,6 +13,26 @@ namespace {
 
 int code(ErrorCode c) { return static_cast<int>(c); }
 
+/// FNV-1a over the canonical local structure plus the block's start row.
+/// Canonicalization first makes the fingerprint insensitive to input entry
+/// order and duplicate-triplet order (FEM assembly), so re-feeding the same
+/// pattern can never be defeated by ordering.
+std::uint64_t structureHash(const sparse::CsrMatrix& a, int startRow) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int s = 0; s < 64; s += 8) {
+      h ^= (v >> s) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(a.rows));
+  mix(static_cast<std::uint64_t>(a.cols));
+  mix(static_cast<std::uint64_t>(startRow));
+  for (const int p : a.rowPtr) mix(static_cast<std::uint64_t>(p));
+  for (const int c : a.colIdx) mix(static_cast<std::uint64_t>(c));
+  return h;
+}
+
 }  // namespace
 
 SolverComponentBase::SolverComponentBase() = default;
@@ -226,6 +246,11 @@ int SolverComponentBase::setupMatrixImpl(RArray<const double> values,
         return code(ErrorCode::kUnsupported);
     }
     local.check();
+    // Canonical form (sorted columns, merged duplicates) is what every
+    // consumer wants anyway (DistCsrMatrix canonicalizes on construction),
+    // and it is what makes the structural fingerprint and the value-only
+    // update path independent of input entry order.
+    local.canonicalize();
     localA_ = std::move(local);
     haveMatrix_ = true;
     matrixDirty_ = true;
@@ -284,21 +309,47 @@ int SolverComponentBase::solve(RArray<double> solution, RArray<double> status,
       const int globalRows =
           comm_.allreduceValue(localRows_, comm::ReduceOp::kSum);
       ctx.globalRows = globalRows;
-      ctx.operatorUnchanged = false;
+      // The application operator is opaque — it may change arbitrarily
+      // between calls — so matrix-free solves always report kNewStructure.
+      ctx.change = OperatorChange::kNewStructure;
     } else {
       WallTimer setup;
       if (matrixDirty_ || !distA_) {
-        // Collective: every rank rebuilds the distributed operator together.
-        distA_.emplace(comm_, comm_.allreduceValue(localRows_,
-                                                   comm::ReduceOp::kSum),
-                       globalCols_, startRow_, localA_);
+        // Structural fingerprint of the freshly adapted canonical block.
+        // One min-allreduce makes the decision collective: the pattern is
+        // "same" only if EVERY rank kept its local pattern, so all ranks
+        // take the same branch below.
+        const std::uint64_t fp = structureHash(localA_, startRow_);
+        const int sameLocal = (distA_ && fp == structFingerprint_) ? 1 : 0;
+        const bool samePattern =
+            comm_.allreduceValue(sameLocal, comm::ReduceOp::kMin) == 1;
+        if (samePattern) {
+          // Value-only refresh: halo plan, ghost column map, and scratch
+          // all survive; no communication, no allocation.
+          distA_->updateValues(localA_);
+        } else {
+          // Collective: every rank rebuilds the distributed operator
+          // together.
+          distA_.emplace(comm_, comm_.allreduceValue(localRows_,
+                                                     comm::ReduceOp::kSum),
+                         globalCols_, startRow_, localA_);
+          structFingerprint_ = fp;
+          ++structEpoch_;
+        }
+        ++valueEpoch_;
         matrixDirty_ = false;
-        ++operatorEpoch_;
       }
       setupSeconds += setup.seconds();
       ctx.matrix = &*distA_;
       ctx.globalRows = distA_->globalRows();
-      ctx.operatorUnchanged = (operatorEpoch_ == lastSolvedEpoch_);
+      if (structEpoch_ != lastSolvedStructEpoch_ ||
+          lastSolvedKind_ != OperatorKind::kAssembled) {
+        ctx.change = OperatorChange::kNewStructure;
+      } else if (valueEpoch_ != lastSolvedValueEpoch_) {
+        ctx.change = OperatorChange::kSameStructure;
+      } else {
+        ctx.change = OperatorChange::kSameOperator;
+      }
     }
   } catch (const Error&) {
     return code(ErrorCode::kInternal);
@@ -321,7 +372,10 @@ int SolverComponentBase::solve(RArray<double> solution, RArray<double> status,
     }
     if (rc != code(ErrorCode::kOk)) return rc;
   }
-  lastSolvedEpoch_ = operatorEpoch_;
+  lastSolvedStructEpoch_ = structEpoch_;
+  lastSolvedValueEpoch_ = valueEpoch_;
+  lastSolvedKind_ =
+      matrixFree ? OperatorKind::kMatrixFree : OperatorKind::kAssembled;
 
   const double solveSeconds = solveTimer.seconds();
   (void)total;

@@ -26,6 +26,25 @@
 
 namespace lisi::detail {
 
+/// How the operator handed to this backendSolve relates to the one handed
+/// to the previous backendSolve on the same component.  The three-state
+/// contract every mature library ships (PETSc SAME_NONZERO_PATTERN, SuperLU
+/// SamePattern); solver_base detects the state automatically by
+/// fingerprinting the adapted local CSR structure, so applications just
+/// call setupMatrix again (DESIGN.md "Operator change contract").
+enum class OperatorChange {
+  /// Identical operator object, untouched since the last backendSolve:
+  /// factorizations, hierarchies, and preconditioners stay valid as-is.
+  kSameOperator,
+  /// Values changed on the identical sparsity pattern: symbolic objects
+  /// (halo plan, elimination structure, grid hierarchy, PC storage layout)
+  /// survive; only numeric content needs a refresh.
+  kSameStructure,
+  /// Pattern changed, first solve, or the operator kind flipped between
+  /// assembled and matrix-free: full rebuild.
+  kNewStructure,
+};
+
 /// Everything a backend needs for one solve call.
 struct SolveContext {
   const comm::Comm* comm = nullptr;
@@ -36,9 +55,9 @@ struct SolveContext {
   int localRows = 0;
   int globalRows = 0;
   int startRow = 0;
-  /// True when the same operator object was already passed to the previous
-  /// backendSolve (lets backends reuse factorizations/preconditioners).
-  bool operatorUnchanged = false;
+  /// Operator relation to the previous backendSolve; identical on every
+  /// rank (the structural fingerprint is agreed by allreduce).
+  OperatorChange change = OperatorChange::kNewStructure;
 };
 
 /// Per-solve results a backend reports back.
@@ -130,12 +149,26 @@ class SolverComponentBase : public SparseSolver {
   int localNnz_ = -1;
   int globalCols_ = -1;
 
-  sparse::CsrMatrix localA_;  ///< adapted local rows, global columns
+  sparse::CsrMatrix localA_;  ///< adapted local rows, global columns (canonical)
   bool haveMatrix_ = false;
   bool matrixDirty_ = false;  ///< local block changed since distA_ was built
   std::optional<sparse::DistCsrMatrix> distA_;
-  std::uint64_t operatorEpoch_ = 0;  ///< bumped when distA_ is rebuilt
-  std::uint64_t lastSolvedEpoch_ = 0;
+  /// Structural epoch: bumped when the sparsity pattern changes (fingerprint
+  /// mismatch) and distA_ is rebuilt from scratch.
+  std::uint64_t structEpoch_ = 0;
+  /// Value epoch: bumped on every operator content change (rebuild or
+  /// in-place refresh).  Distinct from structEpoch_ so a same-pattern
+  /// setupMatrix reports kSameStructure, not kNewStructure.
+  std::uint64_t valueEpoch_ = 0;
+  std::uint64_t lastSolvedStructEpoch_ = 0;
+  std::uint64_t lastSolvedValueEpoch_ = 0;
+  /// FNV-1a hash of the canonical local structure (rows, cols, startRow,
+  /// rowPtr, colIdx) distA_ was last built from.
+  std::uint64_t structFingerprint_ = 0;
+  /// Which operator kind the last successful solve used; switching between
+  /// assembled and matrix-free always reports kNewStructure.
+  enum class OperatorKind { kNone, kAssembled, kMatrixFree };
+  OperatorKind lastSolvedKind_ = OperatorKind::kNone;
 
   std::vector<double> rhs_;
   int nRhs_ = 0;

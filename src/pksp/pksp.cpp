@@ -33,6 +33,11 @@ struct PkspSolver {
   // Built lazily at solve time (the operator may change between solves).
   std::unique_ptr<Preconditioner> pc;
   bool pcStale = true;
+  /// Set by KSPSetOperator(..., PKSP_SAME_NONZERO_PATTERN): the next solve
+  /// value-refreshes the built preconditioner instead of rebuilding it.
+  bool pcRefreshPending = false;
+  int pcBuilds = 0;     ///< full preconditioner constructions on this handle
+  int pcRefreshes = 0;  ///< in-place same-pattern refreshes on this handle
 
   SolveReport lastReport;
   double lastTrueResidual = 0.0;
@@ -74,6 +79,8 @@ int buildPc(KSP ksp) {
     return PKSP_ERR_NUMERIC;
   }
   ksp->pcStale = false;
+  ksp->pcRefreshPending = false;
+  ++ksp->pcBuilds;
   return PKSP_SUCCESS;
 }
 
@@ -126,10 +133,35 @@ int KSPDestroy(KSP* ksp) {
 }
 
 int KSPSetOperator(KSP ksp, const lisi::sparse::DistCsrMatrix* a) {
+  return KSPSetOperator(ksp, a, PKSP_DIFFERENT_NONZERO_PATTERN);
+}
+
+int KSPSetOperator(KSP ksp, const lisi::sparse::DistCsrMatrix* a,
+                   PkspMatStructure structure) {
   if (guard(ksp) != PKSP_SUCCESS || a == nullptr) return PKSP_ERR_ARG;
   if (a->globalRows() != a->globalCols()) return PKSP_ERR_ARG;
   ksp->op = std::make_unique<detail::MatrixOperator>(a);
-  if (!(ksp->reusePc && ksp->pc)) ksp->pcStale = true;
+  switch (structure) {
+    case PKSP_SAME_PRECONDITIONER:
+      // Caller vouches the operator content is unchanged: keep the built
+      // preconditioner exactly as it is (build lazily if none exists yet).
+      if (!ksp->pc) ksp->pcStale = true;
+      break;
+    case PKSP_SAME_NONZERO_PATTERN:
+      // reusePc still wins: a frozen preconditioner is not even refreshed.
+      if (ksp->reusePc && ksp->pc) break;
+      if (ksp->pc && !ksp->pcStale) {
+        ksp->pcRefreshPending = true;
+      } else {
+        ksp->pcStale = true;
+      }
+      break;
+    case PKSP_DIFFERENT_NONZERO_PATTERN:
+      if (!(ksp->reusePc && ksp->pc)) ksp->pcStale = true;
+      break;
+    default:
+      return PKSP_ERR_ARG;
+  }
   return PKSP_SUCCESS;
 }
 
@@ -295,6 +327,24 @@ int KSPSolve(KSP ksp, std::span<const double> bLocal,
   if (ksp->pcStale) {
     const int rc = buildPc(ksp);
     if (rc != PKSP_SUCCESS) return rc;
+  } else if (ksp->pcRefreshPending) {
+    // SAME_NONZERO_PATTERN path: refresh the preconditioner values in
+    // place; fall back to a full rebuild if the PC cannot (shell operator,
+    // layout drift).
+    ksp->pcRefreshPending = false;
+    const lisi::sparse::DistCsrMatrix* a = ksp->op->matrix();
+    bool refreshed = false;
+    try {
+      refreshed = (a != nullptr) && ksp->pc->refresh(*a);
+    } catch (const lisi::Error&) {
+      return PKSP_ERR_NUMERIC;
+    }
+    if (refreshed) {
+      ++ksp->pcRefreshes;
+    } else {
+      const int rc = buildPc(ksp);
+      if (rc != PKSP_SUCCESS) return rc;
+    }
   }
   if (!ksp->nonzeroGuess) {
     std::fill(xLocal.begin(), xLocal.end(), 0.0);
@@ -396,6 +446,13 @@ int KSPGetResidualHistory(KSP ksp, const double** history, int* count) {
   }
   *history = ksp->residualHistory.data();
   *count = static_cast<int>(ksp->residualHistory.size());
+  return PKSP_SUCCESS;
+}
+
+int KSPGetPCSetupCounts(KSP ksp, int* builds, int* refreshes) {
+  if (guard(ksp) != PKSP_SUCCESS) return PKSP_ERR_ARG;
+  if (builds != nullptr) *builds = ksp->pcBuilds;
+  if (refreshes != nullptr) *refreshes = ksp->pcRefreshes;
   return PKSP_SUCCESS;
 }
 

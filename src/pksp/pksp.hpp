@@ -93,10 +93,34 @@ int KSPCreate(const lisi::comm::Comm& comm, KSP* outKsp);
 /// Destroy the solver and null the handle.  Safe on already-null handles.
 int KSPDestroy(KSP* ksp);
 
+/// How a newly registered operator relates to the previous one — the
+/// three-state reuse contract of classic PETSc's KSPSetOperators
+/// (SAME_NONZERO_PATTERN / SAME_PRECONDITIONER / DIFFERENT_NONZERO_PATTERN).
+enum PkspMatStructure : int {
+  /// Operator object unchanged since the last registration: the built
+  /// preconditioner stays valid and is kept untouched.
+  PKSP_SAME_PRECONDITIONER = 0,
+  /// Values changed over the identical sparsity pattern: the preconditioner
+  /// storage (diagonals, SOR block, ILU(0) factors) is refreshed in place at
+  /// the next solve instead of being rebuilt.
+  PKSP_SAME_NONZERO_PATTERN = 1,
+  /// Pattern changed: full preconditioner rebuild (the default contract of
+  /// the two-argument KSPSetOperator).
+  PKSP_DIFFERENT_NONZERO_PATTERN = 2,
+};
+
 // ---- operator registration -------------------------------------------
 
 /// Use an assembled distributed matrix (not owned; must outlive solves).
 int KSPSetOperator(KSP ksp, const lisi::sparse::DistCsrMatrix* a);
+
+/// Like KSPSetOperator, with an explicit statement of how `a` relates to
+/// the previously registered operator (see PkspMatStructure).  With
+/// PKSP_SAME_NONZERO_PATTERN the preconditioner is value-refreshed over its
+/// fixed storage layout; KSPSetReusePreconditioner(true) still wins and
+/// freezes the preconditioner entirely.
+int KSPSetOperator(KSP ksp, const lisi::sparse::DistCsrMatrix* a,
+                   PkspMatStructure structure);
 
 /// Use a matrix-free shell operator over `localRows` owned rows of a
 /// square global operator.  Collective (validates the global tiling).
@@ -160,5 +184,10 @@ int KSPGetResidualHistory(KSP ksp, const double** history, int* count);
 
 /// Human-readable one-line solver description ("gmres(30)+ilu0 rtol=1e-6").
 int KSPGetDescription(KSP ksp, std::string* description);
+
+/// Preconditioner setup counters for this handle: `builds` = full
+/// constructions, `refreshes` = in-place value refreshes taken on the
+/// SAME_NONZERO_PATTERN path.  Either pointer may be null.
+int KSPGetPCSetupCounts(KSP ksp, int* builds, int* refreshes);
 
 }  // namespace pksp

@@ -62,6 +62,17 @@ class Preconditioner {
  public:
   virtual ~Preconditioner() = default;
   virtual void apply(std::span<const double> r, std::span<double> z) const = 0;
+
+  /// Same-pattern value refresh: re-derive the numeric content from `a`
+  /// over the existing storage layout (no structural rebuild).  Returns
+  /// false when the refresh is unsupported or `a` no longer matches the
+  /// stored pattern — the caller then falls back to a full rebuild.  Throws
+  /// lisi::Error on numeric defects (zero diagonal/pivot), like the
+  /// factories.
+  [[nodiscard]] virtual bool refresh(const lisi::sparse::DistCsrMatrix& a) {
+    (void)a;
+    return false;
+  }
 };
 
 /// Identity (PC_NONE).
@@ -69,6 +80,9 @@ class IdentityPc final : public Preconditioner {
  public:
   void apply(std::span<const double> r, std::span<double> z) const override {
     std::copy(r.begin(), r.end(), z.begin());
+  }
+  [[nodiscard]] bool refresh(const lisi::sparse::DistCsrMatrix&) override {
+    return true;  // nothing value-dependent to refresh
   }
 };
 

@@ -39,16 +39,26 @@ CsrMatrix localDiagonalBlock(const DistCsrMatrix& a) {
 class JacobiPc final : public Preconditioner {
  public:
   explicit JacobiPc(const DistCsrMatrix& a) : invDiag_(a.localDiagonal()) {
+    invert();
+  }
+  void apply(std::span<const double> r, std::span<double> z) const override {
+    for (std::size_t i = 0; i < r.size(); ++i) z[i] = invDiag_[i] * r[i];
+  }
+  [[nodiscard]] bool refresh(const DistCsrMatrix& a) override {
+    std::vector<double> d = a.localDiagonal();
+    if (d.size() != invDiag_.size()) return false;
+    invDiag_ = std::move(d);
+    invert();
+    return true;
+  }
+
+ private:
+  void invert() {
     for (double& d : invDiag_) {
       LISI_CHECK(d != 0.0, "Jacobi preconditioner: zero diagonal entry");
       d = 1.0 / d;
     }
   }
-  void apply(std::span<const double> r, std::span<double> z) const override {
-    for (std::size_t i = 0; i < r.size(); ++i) z[i] = invDiag_[i] * r[i];
-  }
-
- private:
   std::vector<double> invDiag_;
 };
 
@@ -73,6 +83,26 @@ class LocalSorPc final : public Preconditioner {
       LISI_CHECK(d != 0.0, "SOR preconditioner: zero diagonal entry");
       diag_[static_cast<std::size_t>(i)] = d;
     }
+  }
+
+  [[nodiscard]] bool refresh(const DistCsrMatrix& a) override {
+    // Same-pattern contract: the extracted diagonal block keeps its layout,
+    // so only the values (and the cached row diagonals) need rewriting.
+    CsrMatrix blk = localDiagonalBlock(a);
+    if (blk.rowPtr != blk_.rowPtr || blk.colIdx != blk_.colIdx) return false;
+    blk_.values = std::move(blk.values);
+    for (int i = 0; i < blk_.rows; ++i) {
+      double d = 0.0;
+      for (int k = blk_.rowPtr[static_cast<std::size_t>(i)];
+           k < blk_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+        if (blk_.colIdx[static_cast<std::size_t>(k)] == i) {
+          d += blk_.values[static_cast<std::size_t>(k)];
+        }
+      }
+      LISI_CHECK(d != 0.0, "SOR preconditioner: zero diagonal entry");
+      diag_[static_cast<std::size_t>(i)] = d;
+    }
+    return true;
   }
 
   void apply(std::span<const double> r, std::span<double> z) const override {
@@ -125,6 +155,18 @@ class LocalIlu0Pc final : public Preconditioner {
                  "ILU(0): structurally zero diagonal");
     }
     factor();
+  }
+
+  [[nodiscard]] bool refresh(const DistCsrMatrix& a) override {
+    // Rewrite the factor storage with the fresh values over the fixed
+    // ILU(0) pattern (zero fill: the factors live exactly on the block's
+    // sparsity) and redo the numeric elimination.  diagPos_ stays valid.
+    CsrMatrix blk = localDiagonalBlock(a);
+    blk.canonicalize();
+    if (blk.rowPtr != lu_.rowPtr || blk.colIdx != lu_.colIdx) return false;
+    lu_.values = std::move(blk.values);
+    factor();
+    return true;
   }
 
   void apply(std::span<const double> r, std::span<double> z) const override {

@@ -4,6 +4,7 @@
 #include "slu/slu.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -12,6 +13,22 @@
 namespace slu {
 
 using lisi::sparse::CscMatrix;
+
+namespace {
+// Reuse observability: full (symbolic + numeric) factorizations vs
+// numeric-only same-pattern refactorizations.  Process-wide atomics because
+// MiniMPI ranks are threads.
+std::atomic<long long> gSymbolicFactorizations{0};
+std::atomic<long long> gNumericRefactorizations{0};
+}  // namespace
+
+long long symbolicFactorizations() {
+  return gSymbolicFactorizations.load(std::memory_order_relaxed);
+}
+
+long long numericRefactorizations() {
+  return gNumericRefactorizations.load(std::memory_order_relaxed);
+}
 
 /// Flattened column-compressed triangular factors in pivot coordinates.
 struct Factorization::Impl {
@@ -22,10 +39,17 @@ struct Factorization::Impl {
   std::vector<int> pinv;     ///< original row -> pivot position
   std::vector<double> rowScale;  ///< row equilibration factors (or empty)
 
+  // The factorized matrix's sparsity pattern, kept so refactorize() can
+  // verify its SamePattern precondition instead of silently producing a
+  // wrong factorization.
+  std::vector<int> aColPtr, aRowIdx;
+
   // L: unit lower triangular, off-diagonal entries only, by column.
   std::vector<int> lPtr, lRow;
   std::vector<double> lVal;
-  // U: strictly upper entries by column plus the diagonal.
+  // U: strictly upper entries by column plus the diagonal.  Each column's
+  // entries are sorted by row, which doubles as the topological order the
+  // numeric-only refactorization replays the left-looking updates in.
   std::vector<int> uPtr, uRow;
   std::vector<double> uVal;
   std::vector<double> uDiag;
@@ -113,12 +137,15 @@ Factorization Factorization::factorize(const CscMatrix& a,
   LISI_CHECK(a.rows == a.cols, "SLU: matrix must be square");
   const int n = a.cols;
 
+  gSymbolicFactorizations.fetch_add(1, std::memory_order_relaxed);
   Factorization fact;
   Impl& f = *fact.impl_;
   f.n = n;
   f.options = options;
   f.stats.n = n;
   f.stats.nnzA = a.nnz();
+  f.aColPtr = a.colPtr;
+  f.aRowIdx = a.rowIdx;
   f.q = computeOrdering(a, options.ordering);
   f.pinv.assign(static_cast<std::size_t>(n), -1);
 
@@ -236,7 +263,12 @@ Factorization Factorization::factorize(const CscMatrix& a,
       f.lVal.push_back(v);
     }
     f.lPtr[static_cast<std::size_t>(j) + 1] = static_cast<int>(f.lRow.size());
-    for (const auto& [k, v] : uCols[static_cast<std::size_t>(j)]) {
+    // Sort each U column by pivot row: the solves are order-independent,
+    // and refactorize() needs increasing row order (a topological order of
+    // the triangular dependencies) to replay the updates.
+    auto& uc = uCols[static_cast<std::size_t>(j)];
+    std::sort(uc.begin(), uc.end());
+    for (const auto& [k, v] : uc) {
       f.uRow.push_back(k);
       f.uVal.push_back(v);
     }
@@ -262,6 +294,92 @@ Factorization Factorization::factorize(const CscMatrix& a,
           ? static_cast<double>(nnzL + nnzU - n) / static_cast<double>(f.stats.nnzA)
           : 0.0;
   return fact;
+}
+
+void Factorization::refactorize(const CscMatrix& a) {
+  Impl& f = *impl_;
+  a.check();
+  LISI_CHECK(a.rows == f.n && a.cols == f.n,
+             "SLU refactorize: matrix order mismatch");
+  LISI_CHECK(a.colPtr == f.aColPtr && a.rowIdx == f.aRowIdx,
+             "SLU refactorize: sparsity pattern differs from the factorized "
+             "matrix (SamePattern contract)");
+  const auto n = static_cast<std::size_t>(f.n);
+
+  // Row equilibration factors depend on values; recompute over the fixed
+  // pattern.
+  if (f.options.equilibrate) {
+    std::fill(f.rowScale.begin(), f.rowScale.end(), 0.0);
+    for (std::size_t k = 0; k < a.values.size(); ++k) {
+      auto& s = f.rowScale[static_cast<std::size_t>(a.rowIdx[k])];
+      s = std::max(s, std::abs(a.values[k]));
+    }
+    for (double& s : f.rowScale) {
+      LISI_CHECK(s != 0.0, "SLU refactorize: structurally zero row");
+      s = 1.0 / s;
+    }
+  }
+
+  // Left-looking numeric replay in pivot coordinates: the row permutation
+  // (pinv), column ordering (q), and the L/U patterns are frozen, so each
+  // column is one sparse triangular solve against the already-refreshed
+  // earlier columns.  U entries are sorted by row (see factorize), which is
+  // a valid topological order for the updates.
+  std::vector<double> x(n, 0.0);
+  for (int j = 0; j < f.n; ++j) {
+    const int col = f.q[static_cast<std::size_t>(j)];
+    for (int t = a.colPtr[static_cast<std::size_t>(col)];
+         t < a.colPtr[static_cast<std::size_t>(col) + 1]; ++t) {
+      const int r = a.rowIdx[static_cast<std::size_t>(t)];
+      const double scale =
+          f.rowScale.empty() ? 1.0 : f.rowScale[static_cast<std::size_t>(r)];
+      x[static_cast<std::size_t>(f.pinv[static_cast<std::size_t>(r)])] +=
+          a.values[static_cast<std::size_t>(t)] * scale;
+    }
+    for (int t = f.uPtr[static_cast<std::size_t>(j)];
+         t < f.uPtr[static_cast<std::size_t>(j) + 1]; ++t) {
+      const int i = f.uRow[static_cast<std::size_t>(t)];
+      const double uij = x[static_cast<std::size_t>(i)];
+      f.uVal[static_cast<std::size_t>(t)] = uij;
+      if (uij == 0.0) continue;
+      for (int s = f.lPtr[static_cast<std::size_t>(i)];
+           s < f.lPtr[static_cast<std::size_t>(i) + 1]; ++s) {
+        x[static_cast<std::size_t>(f.lRow[static_cast<std::size_t>(s)])] -=
+            uij * f.lVal[static_cast<std::size_t>(s)];
+      }
+    }
+    const double pivot = x[static_cast<std::size_t>(j)];
+    LISI_CHECK(pivot != 0.0,
+               "SLU refactorize: zero pivot at position " + std::to_string(j) +
+                   " under the frozen pivot sequence; a full factorize() is "
+                   "required");
+    f.uDiag[static_cast<std::size_t>(j)] = pivot;
+    for (int t = f.lPtr[static_cast<std::size_t>(j)];
+         t < f.lPtr[static_cast<std::size_t>(j) + 1]; ++t) {
+      f.lVal[static_cast<std::size_t>(t)] =
+          x[static_cast<std::size_t>(f.lRow[static_cast<std::size_t>(t)])] /
+          pivot;
+    }
+    // Clear the whole work column: update writes may touch positions the
+    // (numerically pruned) stored pattern misses, and stale values must not
+    // leak into later columns.
+    std::fill(x.begin(), x.end(), 0.0);
+  }
+
+  // Refresh the value-dependent diagnostics; the symbolic stats (fill,
+  // permutation quality) are unchanged by construction.
+  double maxA = 0.0;
+  for (std::size_t k = 0; k < a.values.size(); ++k) {
+    const double scale =
+        f.rowScale.empty() ? 1.0
+                           : f.rowScale[static_cast<std::size_t>(a.rowIdx[k])];
+    maxA = std::max(maxA, std::abs(a.values[k] * scale));
+  }
+  double maxU = 0.0;
+  for (double v : f.uDiag) maxU = std::max(maxU, std::abs(v));
+  for (double v : f.uVal) maxU = std::max(maxU, std::abs(v));
+  f.stats.pivotGrowth = maxA > 0.0 ? maxU / maxA : 0.0;
+  gNumericRefactorizations.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Factorization::solve(std::span<const double> b,

@@ -67,9 +67,25 @@ class Factorization {
   Factorization& operator=(const Factorization&) = delete;
 
   /// Factor a square CSC matrix.  Throws lisi::Error on structural or
-  /// numerical singularity.
+  /// numerical singularity.  This is the full path: symbolic analysis
+  /// (ordering + elimination structure) fused with the numeric
+  /// factorization.
   static Factorization factorize(const lisi::sparse::CscMatrix& a,
                                  const Options& options = {});
+
+  /// Numeric-only refactorization over the SAME sparsity pattern —
+  /// SuperLU's SamePattern_SameRowPerm: the column ordering, the row
+  /// permutation, and the elimination structure of the existing factors are
+  /// all reused, and only the numeric left-looking updates are replayed
+  /// (values overwritten in place, no symbolic work, no allocation beyond
+  /// the dense work column).  `a` must carry exactly the pattern this
+  /// object was factorized from; a mismatch throws.  Because the pivot
+  /// sequence is frozen, a pivot that becomes exactly zero throws
+  /// lisi::Error — callers fall back to a full factorize().  Positions that
+  /// were exactly zero in the originally factorized matrix are treated as
+  /// structurally absent (the stored-factor-pattern contract, as in
+  /// SuperLU).
+  void refactorize(const lisi::sparse::CscMatrix& a);
 
   /// Solve A x = b for one right-hand side.
   void solve(std::span<const double> b, std::span<double> x) const;
@@ -107,5 +123,15 @@ void solve(const lisi::sparse::CscMatrix& a, std::span<const double> b,
 /// tests and for reuse across same-pattern factorizations).
 std::vector<int> computeOrdering(const lisi::sparse::CscMatrix& a,
                                  Ordering ordering);
+
+// ---- Reuse observability (process-wide, across MiniMPI rank-threads) ----
+
+/// Number of full factorizations (symbolic analysis + numerics) since
+/// process start.  Tests assert a zero delta across a same-pattern re-setup
+/// to prove the symbolic object was reused.
+[[nodiscard]] long long symbolicFactorizations();
+
+/// Number of numeric-only refactorize() calls since process start.
+[[nodiscard]] long long numericRefactorizations();
 
 }  // namespace slu

@@ -1,6 +1,7 @@
 #include "sparse/dist_csr.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 
@@ -14,6 +15,36 @@ namespace {
 constexpr int kScatterTag = comm::tags::kMatrixScatter;
 constexpr int kPlanTag = comm::tags::kHaloPlan;
 constexpr int kSpmvTagRounds = comm::tags::kSpmvTagRounds;
+
+// Reuse observability: MiniMPI ranks are threads of one process, so the
+// counters are process-wide atomics (tests look at deltas, which is exactly
+// what "no rank rebuilt its plan" means under threads-as-ranks).
+std::atomic<long long> gHaloPlanBuilds{0};
+std::atomic<long long> gValueUpdates{0};
+}
+
+long long haloPlanBuilds() {
+  return gHaloPlanBuilds.load(std::memory_order_relaxed);
+}
+
+long long valueUpdates() {
+  return gValueUpdates.load(std::memory_order_relaxed);
+}
+
+void DistCsrMatrix::updateValues(const CsrMatrix& local) {
+  LISI_CHECK(local.rows == local_.rows && local.cols == local_.cols,
+             "updateValues: dimensions differ from the built operator");
+  LISI_CHECK(local.rowPtr == local_.rowPtr && local.colIdx == local_.colIdx,
+             "updateValues: sparsity structure differs from the built "
+             "operator (callers must pass the canonical same-pattern block)");
+  std::copy(local.values.begin(), local.values.end(), local_.values.begin());
+  // mapped_ shares local_'s value layout (buildHaloPlan copies local_ and
+  // remaps only the column indices), so the refresh is positional.
+  if (mapped_.values.size() == local.values.size()) {
+    std::copy(local.values.begin(), local.values.end(),
+              mapped_.values.begin());
+  }
+  gValueUpdates.fetch_add(1, std::memory_order_relaxed);
 }
 
 DistCsrMatrix::DistCsrMatrix(comm::Comm comm, int globalRows, int globalCols,
@@ -147,6 +178,7 @@ DistCsrMatrix DistCsrMatrix::scatterFromRoot(comm::Comm comm,
 }
 
 void DistCsrMatrix::buildHaloPlan() {
+  gHaloPlanBuilds.fetch_add(1, std::memory_order_relaxed);
   const int p = comm_.size();
   const int rank = comm_.rank();
   const int myStart = colStarts_[static_cast<std::size_t>(rank)];

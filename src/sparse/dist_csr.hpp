@@ -59,6 +59,14 @@ class DistCsrMatrix {
   /// Number of input-vector entries owned by this rank.
   [[nodiscard]] int localCols() const;
 
+  /// Refresh the numerical values in place, keeping the halo-exchange plan,
+  /// ghost column map, and all scratch.  `local` must be canonical (sorted
+  /// columns, merged duplicates) and carry exactly the sparsity structure of
+  /// localBlock(); anything else throws.  Purely local: no communication and
+  /// no allocation — this is the same-pattern fast path of the operator
+  /// change contract (DESIGN.md "Operator change contract").
+  void updateValues(const CsrMatrix& local);
+
   /// y = A*x; x is this rank's piece under colStarts(), y under rowStarts().
   /// Collective.
   void spmv(std::span<const double> xLocal, std::span<double> yLocal) const;
@@ -126,6 +134,16 @@ class DistCsrMatrix {
   mutable std::vector<double> xGhost_;      ///< received ghost values, by slot
   mutable std::size_t spmvRound_ = 0;       ///< rotates through spmvTags_
 };
+
+// ---- Reuse observability (process-wide, across MiniMPI rank-threads) ----
+
+/// Number of halo-plan constructions since process start.  Tests assert a
+/// zero delta across a same-pattern re-setup to prove the plan was reused.
+[[nodiscard]] long long haloPlanBuilds();
+
+/// Number of in-place value refreshes (updateValues calls) since process
+/// start.
+[[nodiscard]] long long valueUpdates();
 
 // ---- Distributed vector helpers (conformal block-row pieces) -----------
 
