@@ -10,6 +10,7 @@
 #include "cca/cca.hpp"
 #include "comm/comm.hpp"
 #include "comm/comm_handle.hpp"
+#include "comm/tags.hpp"
 #include "lisi/sparse_solver.hpp"
 #include "sparse/partition.hpp"
 
@@ -70,21 +71,21 @@ class StencilOperator final : public lisi::MatrixFree {
     const int k = std::min(n_, len);
     if (rank > 0) {
       comm_.send(std::span<const double>(x.data(), static_cast<std::size_t>(k)),
-                 rank - 1, 11);
+                 rank - 1, lisi::comm::tags::kStencilHaloToPrev);
     }
     if (rank + 1 < p) {
       comm_.send(std::span<const double>(x.data() + len - k,
                                          static_cast<std::size_t>(k)),
-                 rank + 1, 12);
+                 rank + 1, lisi::comm::tags::kStencilHaloToNext);
     }
     if (rank + 1 < p) {
       comm_.recv(std::span<double>(above.data(), static_cast<std::size_t>(k)),
-                 rank + 1, 11);
+                 rank + 1, lisi::comm::tags::kStencilHaloToPrev);
     }
     if (rank > 0) {
       comm_.recv(std::span<double>(below.data() + (n_ - k),
                                    static_cast<std::size_t>(k)),
-                 rank - 1, 12);
+                 rank - 1, lisi::comm::tags::kStencilHaloToNext);
     }
   }
 

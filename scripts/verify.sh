@@ -1,29 +1,71 @@
 #!/usr/bin/env bash
 # Repo verify flow:
 #   1. tier-1: configure, build, run the full ctest suite;
-#   2. TSan:   rebuild with -DLISI_SANITIZE=thread and run the comm, dist,
+#   2. checker: rebuild with -DLISI_COMM_CHECK=ON and run the full suite
+#              again — the MiniMPI verifier (lockstep collective signatures,
+#              wait-for-graph deadlock detection, tag/handle lint) must stay
+#              silent on correct code, and the comm_check_test seeded
+#              violations must each die with their diagnostic;
+#   3. TSan:   rebuild with -DLISI_SANITIZE=thread and run the comm, dist,
 #              and pksp binaries — MiniMPI is thread-backed, so this proves
 #              the overlapped halo exchange, the blocking and nonblocking
 #              (split-phase) collective schedules, and the pipelined Krylov
-#              loops race-free.
-#   3. ASan+UBSan: rebuild with -DLISI_SANITIZE=address+undefined and run
+#              loops race-free;
+#   4. ASan+UBSan: rebuild with -DLISI_SANITIZE=address+undefined and run
 #              the sparse, slu, and operator-reuse binaries — the value-only
 #              update paths write positionally into frozen factor / halo-plan
 #              storage, which is exactly the bug class these sanitizers
 #              catch.
+#
+# Sanitizer availability is probed loudly up front: a toolchain without
+# libtsan/libasan would otherwise fail mid-flow with an obscure linker error,
+# or worse, tempt a silent skip that reports a verification that never ran.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# ---- sanitizer availability probes ------------------------------------
+# Compile-and-link a one-liner against each sanitizer runtime.  Each probe
+# prints its verdict; a missing runtime fails the flow here, by name, not
+# three stages later inside a CMake error log.
+probe_sanitizer() {
+  local flag="$1"
+  local name="$2"
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  echo 'int main(){return 0;}' > "${tmp}/probe.cpp"
+  if c++ "-fsanitize=${flag}" -o "${tmp}/probe" "${tmp}/probe.cpp" 2> "${tmp}/err"; then
+    echo "verify: sanitizer probe: ${name} available"
+  else
+    echo "verify: FATAL: ${name} (-fsanitize=${flag}) is not usable with this toolchain:" >&2
+    sed 's/^/verify:   /' "${tmp}/err" >&2
+    echo "verify: install the ${name} runtime or run the stages manually." >&2
+    return 1
+  fi
+}
+probe_sanitizer thread            "ThreadSanitizer"
+probe_sanitizer address,undefined "AddressSanitizer+UBSan"
+
+# ---- 1. tier-1 ---------------------------------------------------------
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+# ---- 2. LISI_COMM_CHECK ------------------------------------------------
+# The checked library must pass the *entire* suite (no false positives on
+# correct code) and the seeded-violation tests flip from SKIPPED to active.
+cmake -B build-check -S . -DLISI_COMM_CHECK=ON
+cmake --build build-check -j
+(cd build-check && ctest --output-on-failure -j)
+
+# ---- 3. TSan -----------------------------------------------------------
 cmake -B build-tsan -S . -DLISI_SANITIZE=thread
 cmake --build build-tsan -j --target comm_test sparse_dist_test pksp_test
 ./build-tsan/tests/comm_test
 ./build-tsan/tests/sparse_dist_test
 ./build-tsan/tests/pksp_test --gtest_filter='*Pipelined*:*Pipeline*'
 
+# ---- 4. ASan+UBSan -----------------------------------------------------
 cmake -B build-asan -S . -DLISI_SANITIZE=address+undefined
 cmake --build build-asan -j --target sparse_dist_test slu_test lisi_reuse_test
 ./build-asan/tests/sparse_dist_test

@@ -30,7 +30,45 @@ double recvTimeoutSeconds() {
   return timeout;
 }
 
+/// Tags above kMaxUserTag rotate through this window; all ranks advance
+/// their collective sequence in lockstep, so equal positions map to equal
+/// tags on every rank.
+constexpr std::uint64_t kCollectiveTagWindow = 1u << 20;
+
+int tagForSeq(std::uint64_t seq) {
+  return kMaxUserTag + 1 + static_cast<int>(seq % kCollectiveTagWindow);
+}
+
 }  // namespace
+
+#ifdef LISI_COMM_CHECK
+/// Name of this rank's most recent collective entry point, labeling blocked
+/// collective-internal recvs in the checker's deadlock reports.
+thread_local const char* t_lastCollKind = "collective";
+
+/// RAII wait registration with the checker.  Declared *before* the mailbox
+/// lock in every blocking wait so that, on scope exit, the mailbox mutex is
+/// released before endWait() takes the checker mutex (global lock order:
+/// checker mutex -> mailbox mutex; the deadlock probe locks mailboxes while
+/// holding the checker mutex).
+class CheckedWaitScope {
+ public:
+  CheckedWaitScope(check::WorldChecker* checker, int worldRank,
+                   const char* what, std::vector<check::WaitNeed> needs)
+      : checker_(checker), worldRank_(worldRank) {
+    if (checker_) checker_->beginWait(worldRank_, what, std::move(needs));
+  }
+  ~CheckedWaitScope() {
+    if (checker_) checker_->endWait(worldRank_);
+  }
+  CheckedWaitScope(const CheckedWaitScope&) = delete;
+  CheckedWaitScope& operator=(const CheckedWaitScope&) = delete;
+
+ private:
+  check::WorldChecker* checker_;
+  int worldRank_;
+};
+#endif
 
 /// One in-flight message.
 struct Envelope {
@@ -54,9 +92,56 @@ struct Mailbox {
 class WorldContext {
  public:
   explicit WorldContext(int nranks)
-      : nranks_(nranks), mailboxes_(static_cast<std::size_t>(nranks)) {}
+      : nranks_(nranks), mailboxes_(static_cast<std::size_t>(nranks)) {
+#ifdef LISI_COMM_CHECK
+    checker_ = std::make_unique<check::WorldChecker>(
+        nranks, kMaxUserTag, static_cast<int>(kCollectiveTagWindow),
+        [this](int waiter, const std::vector<check::WaitNeed>& needs) {
+          // Runs with the checker mutex held; the mailbox mutex nests
+          // inside it (see CheckedWaitScope for the lock order).
+          Mailbox& box = mailboxes_[static_cast<std::size_t>(waiter)];
+          std::lock_guard<std::mutex> lock(box.mutex);
+          for (const check::WaitNeed& need : needs) {
+            for (const Envelope& e : box.queue) {
+              if (e.ctx == need.ctx &&
+                  (need.src == kAnySource || e.src == need.src) &&
+                  (need.tag == kAnyTag || e.tag == need.tag)) {
+                return true;
+              }
+            }
+          }
+          return false;
+        },
+        // Violations also abort the world: solver layers may catch the
+        // thrown Error, and a swallowed diagnosis must not turn into a
+        // silently-failed solve with a desynchronized tag stream.
+        [this](const std::string& msg) { abort(msg); },
+        [this](int worldRank) {
+          Mailbox& box = mailboxes_[static_cast<std::size_t>(worldRank)];
+          std::lock_guard<std::mutex> lock(box.mutex);
+          std::string out;
+          std::size_t shown = 0;
+          for (const Envelope& e : box.queue) {
+            if (shown++ == 8) {
+              out += " ...(" + std::to_string(box.queue.size()) + " total)";
+              break;
+            }
+            out += "{ctx=" + std::to_string(e.ctx) +
+                   " src=" + std::to_string(e.src) +
+                   " tag=" + std::to_string(e.tag) + "}";
+          }
+          return out;
+        });
+    std::vector<int> identity(static_cast<std::size_t>(nranks));
+    for (int i = 0; i < nranks; ++i) identity[static_cast<std::size_t>(i)] = i;
+    checker_->onCommCreated(0, identity);
+#endif
+  }
 
   [[nodiscard]] int worldSize() const { return nranks_; }
+
+  /// The LISI_COMM_CHECK verifier; null in unchecked builds.
+  [[nodiscard]] check::WorldChecker* checker() { return checker_.get(); }
 
   void deliver(int worldDest, Envelope env) {
     Mailbox& box = mailboxes_[static_cast<std::size_t>(worldDest)];
@@ -122,6 +207,14 @@ class WorldContext {
   /// Blocking matched receive for `worldRank`.
   Envelope receive(int worldRank, std::uint64_t ctx, int src, int tag) {
     Mailbox& box = mailboxes_[static_cast<std::size_t>(worldRank)];
+#ifdef LISI_COMM_CHECK
+    // Wait scope before the lock: its destructor must run after the lock's
+    // (see CheckedWaitScope).  beginWait may itself diagnose a deadlock and
+    // throw; the rank then unwinds into World::run, which aborts the world.
+    CheckedWaitScope waitScope(checker_.get(), worldRank,
+                               tag > kMaxUserTag ? t_lastCollKind : "recv",
+                               {check::WaitNeed{ctx, src, tag}});
+#endif
     std::unique_lock<std::mutex> lock(box.mutex);
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -137,6 +230,12 @@ class WorldContext {
       if (it != box.queue.end()) {
         Envelope env = std::move(*it);
         box.queue.erase(it);
+#ifdef LISI_COMM_CHECK
+        // Mark the wait satisfied while still holding the mailbox lock:
+        // from here to endWait the rank still reads as blocked, and a
+        // deadlock probe finding the mailbox empty must not condemn it.
+        if (checker_) checker_->noteWaitSatisfied(worldRank);
+#endif
         return env;
       }
       if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
@@ -198,6 +297,8 @@ class WorldContext {
   std::uint64_t nextCtxId_ = 1;  // 0 is the world context
 
   std::atomic<int> firstFailedRank_{-1};
+
+  std::unique_ptr<check::WorldChecker> checker_;  // null unless LISI_COMM_CHECK
 };
 
 /// Per-rank communicator state (shared by all Comm copies in that rank).
@@ -256,6 +357,21 @@ class CollOp {
       own_.resize(bytes_ == 0 ? 1 : bytes_);
       acc_ = own_.data();
     }
+#ifdef LISI_COMM_CHECK
+    // Before the pendingColl registration: an aliasing diagnosis throws out
+    // of this constructor, and a registered-but-unconstructed op would
+    // dangle in the list.
+    if (auto* checker = state_->world->checker()) {
+      std::vector<check::BufferRange> outstanding;
+      for (const CollOp* op : state_->pendingColl) {
+        if (op->done() || !op->own_.empty()) continue;  // op-owned tokens
+        outstanding.push_back({op->acc_, op->bytes_, op->tag_});
+      }
+      checker->onNonblockingStart(state_->worldRankOf(state_->myLocalRank),
+                                  tag_, own_.empty() ? acc_ : nullptr,
+                                  own_.empty() ? bytes_ : 0, outstanding);
+    }
+#endif
     state_->pendingColl.push_back(this);
   }
 
@@ -263,6 +379,17 @@ class CollOp {
     auto& pending = state_->pendingColl;
     const auto it = std::find(pending.begin(), pending.end(), this);
     if (it != pending.end()) pending.erase(it);
+#ifdef LISI_COMM_CHECK
+    // During an abort every rank unwinds with whatever handles it had in
+    // flight; recording those as abandoned would only clutter the abort's
+    // own diagnostic.
+    if (auto* checker = state_->world->checker()) {
+      if (!state_->world->aborted()) {
+        checker->onNonblockingEnd(state_->worldRankOf(state_->myLocalRank),
+                                  tag_, done(), steps_.size() - next_);
+      }
+    }
+#endif
   }
 
   CollOp(const CollOp&) = delete;
@@ -316,6 +443,25 @@ class CollOp {
     while (true) {
       progressAll(*state_);
       if (done()) return;
+#ifdef LISI_COMM_CHECK
+      if (auto* checker = world.checker()) {
+        // After progressAll every incomplete op is parked at a receive
+        // step; any of those arrivals unblocks the sweep, so they are all
+        // registered as this wait's needs (refreshed each time around —
+        // the parked steps move as ops progress).
+        std::vector<check::WaitNeed> needs;
+        for (const CollOp* op : state_->pendingColl) {
+          if (op->done()) continue;
+          needs.push_back(
+              {state_->ctx, op->steps_[op->next_].peer, op->tag_});
+        }
+        CheckedWaitScope waitScope(checker, worldRank,
+                                   "nonblocking collective wait",
+                                   std::move(needs));
+        world.waitForDelivery(worldRank, seen);
+        continue;
+      }
+#endif
       world.waitForDelivery(worldRank, seen);
     }
   }
@@ -373,6 +519,12 @@ void Comm::sendBytes(const void* data, std::size_t n, int dest, int tag) const {
   LISI_CHECK(valid(), "sendBytes() on an invalid communicator");
   LISI_CHECK(dest >= 0 && dest < size(), "sendBytes: dest out of range");
   LISI_CHECK(tag >= 0, "sendBytes: negative tag");
+#ifdef LISI_COMM_CHECK
+  if (auto* checker = state_->world->checker()) {
+    checker->onSend(state_->ctx, state_->myLocalRank,
+                    state_->worldRankOf(state_->myLocalRank), dest, tag);
+  }
+#endif
   state_->world->checkAborted();
   detail::Envelope env;
   env.ctx = state_->ctx;
@@ -406,20 +558,37 @@ void Comm::recvBytesInto(void* data, std::size_t n, int src, int tag,
   if (n != 0) std::memcpy(data, payload.data(), n);
 }
 
-namespace {
-/// Tags above kMaxUserTag rotate through this window; all ranks advance
-/// their collective sequence in lockstep, so equal positions map to equal
-/// tags on every rank.
-constexpr std::uint64_t kCollectiveTagWindow = 1u << 20;
-
-int tagForSeq(std::uint64_t seq) {
-  return kMaxUserTag + 1 + static_cast<int>(seq % kCollectiveTagWindow);
-}
-}  // namespace
-
-int Comm::nextCollectiveTag() const {
+int Comm::nextCollectiveTag(check::CollKind kind, int root, std::uint64_t bytes,
+                            int reduceOp) const {
   LISI_CHECK(valid(), "collective on an invalid communicator");
-  return tagForSeq(state_->collSeq.fetch_add(1));
+  // Check the abort flag before advancing the sequence: solver layers catch
+  // lisi::Error and return error codes, so a rank that swallowed the abort
+  // mid-solve resumes with fewer collectives issued than its peers.  Letting
+  // it draw the next tag anyway would desynchronize the lockstep sequence
+  // and (under LISI_COMM_CHECK) bury the original diagnostic beneath a
+  // secondary mismatch report.
+  state_->world->checkAborted();
+  const std::uint64_t seq = state_->collSeq.fetch_add(1);
+  const int tag = detail::tagForSeq(seq);
+#ifdef LISI_COMM_CHECK
+  detail::t_lastCollKind = check::collKindName(kind);
+  if (auto* checker = state_->world->checker()) {
+    check::CollSignature sig;
+    sig.kind = kind;
+    sig.root = root;
+    sig.bytes = bytes;
+    sig.reduceOp = reduceOp;
+    sig.treeFamily = detail::useTreeSchedule(size());
+    checker->onCollectiveStart(state_->ctx, state_->myLocalRank, seq, tag, 1,
+                               sig);
+  }
+#else
+  (void)kind;
+  (void)root;
+  (void)bytes;
+  (void)reduceOp;
+#endif
+  return tag;
 }
 
 namespace {
@@ -455,13 +624,25 @@ bool detail::useTreeSchedule(int p) {
 std::vector<int> Comm::reserveCollectiveTags(int count) const {
   LISI_CHECK(valid(), "reserveCollectiveTags on an invalid communicator");
   LISI_CHECK(count > 0, "reserveCollectiveTags: count must be positive");
+  state_->world->checkAborted();  // see nextCollectiveTag
   const std::uint64_t seq =
       state_->collSeq.fetch_add(static_cast<std::uint64_t>(count));
   std::vector<int> tags(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
     tags[static_cast<std::size_t>(i)] =
-        tagForSeq(seq + static_cast<std::uint64_t>(i));
+        detail::tagForSeq(seq + static_cast<std::uint64_t>(i));
   }
+#ifdef LISI_COMM_CHECK
+  detail::t_lastCollKind = "reserveCollectiveTags";
+  if (auto* checker = state_->world->checker()) {
+    check::CollSignature sig;
+    sig.kind = check::CollKind::kReserveTags;
+    sig.bytes = static_cast<std::uint64_t>(count);
+    sig.treeFamily = detail::useTreeSchedule(size());
+    checker->onCollectiveStart(state_->ctx, state_->myLocalRank, seq,
+                               tags.front(), count, sig);
+  }
+#endif
   return tags;
 }
 
@@ -470,7 +651,7 @@ void Comm::barrier() const {
   // every rank signals (rank + 2^k) mod p and waits on (rank - 2^k) mod p.
   // Each round's source is distinct, so one tag disambiguates all rounds.
   // Star family: gather tokens at rank 0, then release everyone.
-  const int tag = nextCollectiveTag();
+  const int tag = nextCollectiveTag(check::CollKind::kBarrier, -1, 0);
   const int p = size();
   if (p == 1) return;
   const int r = rank();
@@ -496,7 +677,8 @@ void Comm::bcastBytes(void* data, std::size_t n, int root) const {
   // its parent once and forwards to at most ceil(log2 p) children, so the
   // critical path is O(log p).  Star family: the root sends p-1
   // independent (buffered, non-blocking) messages.
-  const int tag = nextCollectiveTag();
+  const int tag = nextCollectiveTag(check::CollKind::kBcast, root,
+                                    static_cast<std::uint64_t>(n));
   const int p = size();
   LISI_CHECK(root >= 0 && root < p, "bcast: root out of range");
   if (p == 1) return;
@@ -536,7 +718,9 @@ void Comm::reduceBytes(const void* in, void* out, std::size_t count,
   // reproducible run-to-run.  Star family: the root folds every rank's
   // contribution in ascending rank order (also fixed, also reproducible,
   // but a different association than the tree — pick one family per run).
-  const int tag = nextCollectiveTag();
+  const int tag = nextCollectiveTag(check::CollKind::kReduce, root,
+                                    static_cast<std::uint64_t>(count * elemSize),
+                                    static_cast<int>(op));
   const int p = size();
   LISI_CHECK(root >= 0 && root < p, "reduce: root out of range");
   const std::size_t bytes = count * elemSize;
@@ -602,7 +786,9 @@ void Comm::allreduceBytes(const void* in, void* out, std::size_t count,
     bcastBytes(out, bytes, 0);
     return;
   }
-  const int tag = nextCollectiveTag();
+  const int tag = nextCollectiveTag(check::CollKind::kAllreduce, -1,
+                                    static_cast<std::uint64_t>(bytes),
+                                    static_cast<int>(op));
   const int r = rank();
   int pof2 = 1;
   while (pof2 * 2 <= p) pof2 *= 2;
@@ -650,9 +836,11 @@ CollHandle Comm::iallreduceBytes(
   // collective tag per handle keeps overlapping iallreduces (and any
   // blocking collectives issued while this one is in flight) from
   // cross-matching.
-  const int tag = nextCollectiveTag();
-  const int p = size();
   const std::size_t bytes = count * elemSize;
+  const int tag = nextCollectiveTag(check::CollKind::kIallreduce, -1,
+                                    static_cast<std::uint64_t>(bytes),
+                                    static_cast<int>(op));
+  const int p = size();
   if (bytes != 0 && out != in) std::memcpy(out, in, bytes);
   using Step = detail::CollOp::Step;
   using K = detail::CollOp::StepKind;
@@ -708,7 +896,7 @@ CollHandle Comm::ibarrier() const {
   // Dissemination rounds (tree family) or token gather/release via rank 0
   // (star family) — the same patterns as Comm::barrier, recorded as a
   // program.  The token lives inside the op (acc == nullptr).
-  const int tag = nextCollectiveTag();
+  const int tag = nextCollectiveTag(check::CollKind::kIbarrier, -1, 0);
   const int p = size();
   using Step = detail::CollOp::Step;
   using K = detail::CollOp::StepKind;
@@ -767,6 +955,11 @@ Comm Comm::split(int color, int key) const {
       newState->myLocalRank = static_cast<int>(i);
     }
   }
+#ifdef LISI_COMM_CHECK
+  if (auto* checker = state_->world->checker()) {
+    checker->onCommCreated(newState->ctx, newState->groupWorldRanks);
+  }
+#endif
   return Comm(std::move(newState));
 }
 
@@ -796,6 +989,14 @@ void World::run(int nranks, const std::function<void(Comm&)>& body) {
       Comm comm(state);
       try {
         body(comm);
+#ifdef LISI_COMM_CHECK
+        // Inside the try: a leak/strand diagnosis from the exit sweep is a
+        // rank failure like any other, so firstFailedRank makes the report
+        // the exception World::run rethrows.
+        if (auto* checker = world->checker()) {
+          if (!world->aborted()) checker->onRankExit(r);
+        }
+#endif
       } catch (...) {
         failures[static_cast<std::size_t>(r)] = std::current_exception();
         world->noteFailure(r);
@@ -811,6 +1012,11 @@ void World::run(int nranks, const std::function<void(Comm&)>& body) {
   for (const std::exception_ptr& e : failures) {
     if (e) std::rethrow_exception(e);
   }
+  // Every rank body returned, but the world was aborted: some layer caught
+  // the original Error (solver components legitimately translate failures
+  // into return codes) and the diagnosis would otherwise vanish.  Surface
+  // the recorded first reason rather than reporting success.
+  world->checkAborted();
 }
 
 }  // namespace lisi::comm

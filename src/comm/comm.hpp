@@ -43,6 +43,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "comm/check.hpp"
 #include "support/error.hpp"
 
 namespace lisi::comm {
@@ -331,7 +332,11 @@ class Comm {
                                       ReduceOp)) const;
 
   /// Next reserved tag for a collective step (advances a shared counter).
-  [[nodiscard]] int nextCollectiveTag() const;
+  /// The signature arguments describe the calling collective for the
+  /// LISI_COMM_CHECK lockstep verifier; unchecked builds ignore them.
+  [[nodiscard]] int nextCollectiveTag(check::CollKind kind, int root,
+                                      std::uint64_t bytes,
+                                      int reduceOp = -1) const;
 
   std::shared_ptr<detail::CommState> state_;
 };
@@ -395,7 +400,8 @@ CollHandle Comm::iallreduce(std::span<const T> in, std::span<T> out,
 template <class T>
 void Comm::gather(std::span<const T> in, std::span<T> out, int root) const {
   static_assert(std::is_trivially_copyable_v<T>);
-  const int tag = nextCollectiveTag();
+  const int tag =
+      nextCollectiveTag(check::CollKind::kGather, root, in.size_bytes());
   const int p = size();
   LISI_CHECK(root >= 0 && root < p, "gather: root out of range");
   const std::size_t chunk = in.size();
@@ -418,7 +424,8 @@ template <class T>
 std::vector<T> Comm::gatherv(std::span<const T> in, int root,
                              std::vector<int>* counts) const {
   static_assert(std::is_trivially_copyable_v<T>);
-  const int tag = nextCollectiveTag();
+  const int tag =
+      nextCollectiveTag(check::CollKind::kGatherv, root, check::kVariableBytes);
   const int p = size();
   std::vector<T> result;
   if (rank() == root) {
@@ -477,7 +484,8 @@ std::vector<T> Comm::allgatherv(std::span<const T> in,
     // Ring exchange: in step s every rank forwards the block that
     // originated s hops to its left, so after p-1 steps everyone holds the
     // full concatenation and no rank serializes more than its neighbours.
-    const int tag = nextCollectiveTag();
+    const int tag = nextCollectiveTag(check::CollKind::kAllgatherv, -1,
+                                      check::kVariableBytes);
     const int right = (r + 1) % p;
     const int left = (r - 1 + p) % p;
     for (int s = 0; s < p - 1; ++s) {
@@ -500,7 +508,8 @@ std::vector<T> Comm::allgatherv(std::span<const T> in,
 template <class T>
 void Comm::scatter(std::span<const T> in, std::span<T> out, int root) const {
   static_assert(std::is_trivially_copyable_v<T>);
-  const int tag = nextCollectiveTag();
+  const int tag =
+      nextCollectiveTag(check::CollKind::kScatter, root, out.size_bytes());
   const int p = size();
   LISI_CHECK(root >= 0 && root < p, "scatter: root out of range");
   const std::size_t chunk = out.size();
@@ -525,7 +534,8 @@ template <class T>
 std::vector<T> Comm::scatterv(std::span<const T> in,
                               std::span<const int> counts, int root) const {
   static_assert(std::is_trivially_copyable_v<T>);
-  const int tag = nextCollectiveTag();
+  const int tag =
+      nextCollectiveTag(check::CollKind::kScatterv, root, check::kVariableBytes);
   const int p = size();
   if (rank() == root) {
     LISI_CHECK(static_cast<int>(counts.size()) == p,

@@ -38,6 +38,13 @@ inline constexpr int kMatMulRowFetch = 702;
 /// One-time halo-plan index exchange in DistCsrMatrix::buildHaloPlan.
 inline constexpr int kHaloPlan = 703;
 
+/// Matrix-free stencil halo exchange (examples/matrix_free.cpp): boundary
+/// rows shipped to the previous / next block-row neighbour.  Two tags, one
+/// per direction, so the up- and down-travelling rows of one exchange never
+/// cross-match between the same rank pair.
+inline constexpr int kStencilHaloToPrev = 704;
+inline constexpr int kStencilHaloToNext = 705;
+
 // ---- reserved-block sizes (collective-internal space) ------------------
 
 /// Tags each DistCsrMatrix reserves for its spmv ghost exchange; per-spmv
@@ -49,11 +56,24 @@ inline constexpr int kSpmvTagRounds = 16;
 
 namespace detail {
 inline constexpr int kFixedTags[] = {kMatrixScatter, kMatMulRowFetch,
-                                     kHaloPlan};
+                                     kHaloPlan, kStencilHaloToPrev,
+                                     kStencilHaloToNext};
+
+/// Fixed protocol tags live in one contiguous registry block so an
+/// application scanning this header can pick a clear value at a glance.
+inline constexpr int kRegistryBlockFirst = 700;
+inline constexpr int kRegistryBlockLast = 799;
 
 constexpr bool allInUserRange() {
   for (const int t : kFixedTags) {
     if (t < 0 || t > kMaxUserTag) return false;
+  }
+  return true;
+}
+
+constexpr bool allInRegistryBlock() {
+  for (const int t : kFixedTags) {
+    if (t < kRegistryBlockFirst || t > kRegistryBlockLast) return false;
   }
   return true;
 }
@@ -73,6 +93,11 @@ static_assert(detail::allInUserRange(),
               "fixed protocol tags must lie in the user-tag space");
 static_assert(detail::allDistinct(),
               "fixed protocol tags must be pairwise distinct");
+static_assert(detail::allInRegistryBlock(),
+              "fixed protocol tags must stay inside the registry block "
+              "[700, 799] — claim the next free value, do not scatter");
 static_assert(kSpmvTagRounds > 0, "spmv needs at least one reserved tag");
+static_assert(detail::kRegistryBlockLast < kMaxUserTag,
+              "the registry block must sit strictly inside user tag space");
 
 }  // namespace lisi::comm::tags

@@ -353,6 +353,10 @@ int KSPSolve(KSP ksp, std::span<const double> bLocal,
   // Arm the per-iteration observer: records the residual history and relays
   // to the user monitor if one is set.
   ksp->residualHistory.clear();
+  // Reset the report before running: if the method throws below, the caller
+  // must see this solve as not-converged, not the previous solve's stats.
+  ksp->lastReport = SolveReport{};
+  ksp->lastTrueResidual = 0.0;
   Tolerances tol = ksp->tol;
   tol.monitor = [ksp](int iteration, double rnorm) {
     if (static_cast<std::size_t>(iteration) >= ksp->residualHistory.size()) {

@@ -164,7 +164,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(BackendParams, GetAllNamesEveryBackend) {
   registerSolverComponents();
-  World::run(1, [](Comm& c) {
+  World::run(1, [](Comm&) {
     const char* expected[] = {"backend=pksp", "backend=aztec", "backend=slu",
                               "backend=hymg"};
     for (int i = 0; i < 4; ++i) {
@@ -179,7 +179,7 @@ TEST(BackendParams, GetAllNamesEveryBackend) {
 TEST(BackendParams, BackendSpecificKeysScoped) {
   // Each backend accepts its own keys and rejects the others' exotic ones.
   registerSolverComponents();
-  World::run(1, [](Comm& c) {
+  World::run(1, [](Comm&) {
     cca::Framework fw;
     fw.instantiate("pksp", kPkspComponentClass);
     fw.instantiate("slu", kSluComponentClass);

@@ -326,7 +326,9 @@ TEST(LisiKindSwitch, AssembledMatrixFreeAssembledRoundTrip) {
         } else {
           for (std::size_t i = 0; i < first.size(); ++i) {
             EXPECT_NEAR(res.localSolution[i], first[i], 1e-6)
-                << cls << " round " << round;
+                << cls << " round " << round << " (iterations="
+                << res.iterations << ", residualNorm=" << res.residualNorm
+                << ")";
           }
         }
         ++round;
