@@ -1,0 +1,146 @@
+// Componentization-overhead ablation (the §8 overhead experiment, extended
+// to every wrapped backend): each backend solves the same pre-assembled
+// system twice per cell —
+//   * CCA:    through the lisi.* component's SparseSolver port,
+//   * NonCCA: through the package's native API,
+// and the delta is the price of the component layer (argument marshalling,
+// format adaptation, parameter parsing, virtual dispatch).
+//
+// The grid is 63x63 (2^6 - 1, so the multigrid backend can coarsen) and the
+// cells run at 1 and 4 ranks.  Results go to stdout and BENCH_overhead.json;
+// when the build has LISI_OBS=ON the run also writes the merged span/counter
+// report (BENCH_overhead_obs.json) and a Chrome trace
+// (BENCH_overhead_trace.json) so the overhead can be attributed phase by
+// phase — see docs/OBSERVABILITY.md.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+using bench::LocalSystem;
+using bench::SolveSample;
+
+struct BackendCase {
+  const char* backend;    ///< short tag used in rows and ccaSolve
+  const char* component;  ///< LISI component class
+  SolveSample (*direct)(const lisi::comm::Comm&, const LocalSystem&);
+};
+
+struct Row {
+  std::string backend;
+  int procs = 0;
+  double ccaSec = 0.0;
+  double nativeSec = 0.0;
+  int ccaIters = 0;
+  int nativeIters = 0;
+  bool ok = false;
+};
+
+}  // namespace
+
+int main() {
+  const int gridN = 63;  // 2^6 - 1: valid for every backend including hymg
+  const int reps = bench::repetitions();
+  const BackendCase cases[] = {
+      {"pksp", lisi::kPkspComponentClass, &bench::directPksp},
+      {"aztec", lisi::kAztecComponentClass, &bench::directAztec},
+      {"slu", lisi::kSluComponentClass, &bench::directSlu},
+      {"hymg", lisi::kHymgComponentClass, &bench::directHymg},
+  };
+
+  lisi::registerSolverComponents();
+  std::printf("# Overhead ablation: CCA vs native per backend, grid %dx%d, "
+              "%d runs per cell (mean)\n",
+              gridN, gridN, reps);
+  std::printf("%-8s %6s %12s %12s %12s %10s %8s\n", "backend", "procs",
+              "CCA(s)", "native(s)", "delta(s)", "delta(%)", "iters");
+
+  std::vector<Row> rows;
+  for (const BackendCase& bc : cases) {
+    for (const int procs : {1, 4}) {
+      auto [ccaStats, ccaLast] = bench::repeatOnRanks(
+          procs, reps, [&](lisi::comm::Comm& comm) {
+            const LocalSystem ls = bench::assembleFor(comm, gridN);
+            cca::Framework fw;
+            fw.instantiate("solver", bc.component);
+            auto port = fw.getProvidesPortAs<lisi::SparseSolver>(
+                "solver", lisi::kSparseSolverPortName);
+            return bench::ccaSolve(comm, *port, ls, bc.backend);
+          });
+      auto [nativeStats, nativeLast] = bench::repeatOnRanks(
+          procs, reps, [&](lisi::comm::Comm& comm) {
+            const LocalSystem ls = bench::assembleFor(comm, gridN);
+            return bc.direct(comm, ls);
+          });
+      Row row;
+      row.backend = bc.backend;
+      row.procs = procs;
+      row.ccaSec = ccaStats.mean();
+      row.nativeSec = nativeStats.mean();
+      row.ccaIters = ccaLast.iterations;
+      row.nativeIters = nativeLast.iterations;
+      row.ok = ccaLast.ok && nativeLast.ok;
+      rows.push_back(row);
+      if (row.ok) {
+        const double delta = row.ccaSec - row.nativeSec;
+        std::printf("%-8s %6d %12.4f %12.4f %12.4f %10.2f %8d\n",
+                    row.backend.c_str(), procs, row.ccaSec, row.nativeSec,
+                    delta,
+                    row.nativeSec > 0 ? 100.0 * delta / row.nativeSec : 0.0,
+                    row.ccaIters);
+      } else {
+        std::printf("%-8s %6d  SOLVE FAILED (cca ok=%d native ok=%d)\n",
+                    row.backend.c_str(), procs, ccaLast.ok, nativeLast.ok);
+      }
+      std::fflush(stdout);
+    }
+  }
+
+  std::FILE* f = std::fopen("BENCH_overhead.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_overhead.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ablation_overhead\",\n");
+  std::fprintf(f, "  \"grid_n\": %d,\n  \"rtol\": %g,\n  \"reps\": %d,\n",
+               gridN, bench::kTol, reps);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double delta = r.ccaSec - r.nativeSec;
+    std::fprintf(
+        f,
+        "    {\"backend\": \"%s\", \"procs\": %d, \"cca_s\": %.6f, "
+        "\"native_s\": %.6f, \"delta_s\": %.6f, \"delta_pct\": %.3f, "
+        "\"cca_iters\": %d, \"native_iters\": %d, \"ok\": %s}%s\n",
+        r.backend.c_str(), r.procs, r.ccaSec, r.nativeSec, delta,
+        r.nativeSec > 0 ? 100.0 * delta / r.nativeSec : 0.0, r.ccaIters,
+        r.nativeIters, r.ok ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("# wrote BENCH_overhead.json\n");
+
+  if (lisi::obs::enabled()) {
+    const std::string report = lisi::obs::toJson(lisi::obs::collect());
+    if (std::FILE* obsF = std::fopen("BENCH_overhead_obs.json", "w")) {
+      std::fputs(report.c_str(), obsF);
+      std::fclose(obsF);
+      std::printf("# wrote BENCH_overhead_obs.json (LISI_OBS span/counter "
+                  "report)\n");
+    }
+    if (lisi::obs::writeChromeTrace("BENCH_overhead_trace.json")) {
+      std::printf("# wrote BENCH_overhead_trace.json (load in "
+                  "chrome://tracing or ui.perfetto.dev)\n");
+    }
+  }
+
+  bool anyFailed = false;
+  for (const Row& r : rows) anyFailed = anyFailed || !r.ok;
+  return anyFailed ? 1 : 0;
+}

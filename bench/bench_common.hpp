@@ -22,6 +22,7 @@
 #include "cca/cca.hpp"
 #include "comm/comm.hpp"
 #include "comm/comm_handle.hpp"
+#include "hymg/hymg.hpp"
 #include "lisi/sparse_solver.hpp"
 #include "mesh/pde5pt.hpp"
 #include "pksp/pksp.hpp"
@@ -218,6 +219,38 @@ inline SolveSample directSlu(const lisi::comm::Comm& comm,
 
   sample.seconds = timer.seconds();
   sample.ok = ok;
+  return sample;
+}
+
+/// NonCCA baseline: HyMG called natively on the same operator the hymg
+/// component rediscretizes (-lap(u) + 3 u_x on the (gridN)x(gridN) interior
+/// grid; gridN must be 2^k - 1 so the hierarchy coarsens).  Only usable from
+/// binaries that link lisi_hymg.
+inline SolveSample directHymg(const lisi::comm::Comm& comm,
+                              const LocalSystem& ls) {
+  const auto& sys = ls.sys;
+  SolveSample sample;
+  lisi::WallTimer timer;
+
+  int n = 1;
+  while ((n + 1) * (n + 1) <= sys.globalN) ++n;
+  const hymg::Solver mg(comm, n, hymg::convectionDiffusionStencil(3.0, 0.0),
+                        hymg::Options{});
+  if (mg.fineLocalRows() != sys.localA.rows) {
+    sample.ok = false;  // partition mismatch: not the same local system
+    return sample;
+  }
+  std::vector<double> x(static_cast<std::size_t>(sys.localA.rows), 0.0);
+  const hymg::SolveInfo info = mg.solve(std::span<const double>(sys.localB),
+                                        std::span<double>(x), kTol, 200);
+  sample.iterations = info.cycles;
+  std::vector<double> r(x.size());
+  mg.fineMatrix().spmv(std::span<const double>(x), std::span<double>(r));
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = sys.localB[i] - r[i];
+  sample.residualNorm = lisi::sparse::distNorm2(comm, r);
+
+  sample.seconds = timer.seconds();
+  sample.ok = info.converged;
   return sample;
 }
 

@@ -7,8 +7,20 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S .
 cmake --build build -j --target ablation_pipeline ablation_reuse \
-  ablation_collectives ablation_rarray ablation_params ablation_formats \
-  ablation_matfree ablation_mg
+  ablation_overhead ablation_collectives ablation_rarray ablation_params \
+  ablation_formats ablation_matfree ablation_mg
+
+# Fail loudly, by name, if any expected harness binary is missing — a
+# renamed target would otherwise surface as a confusing "no such file"
+# halfway through the collection loop below.
+for bin in ablation_pipeline ablation_reuse ablation_overhead \
+    ablation_collectives ablation_rarray ablation_params ablation_formats \
+    ablation_matfree ablation_mg; do
+  if [ ! -x "./build/bench/$bin" ]; then
+    echo "bench: FATAL: expected binary build/bench/$bin is missing" >&2
+    exit 1
+  fi
+done
 
 ART="$PWD/bench-artifacts"
 mkdir -p "$ART"
@@ -20,6 +32,12 @@ mkdir -p "$ART"
 # Operator-reuse ablation writes BENCH_reuse.json into its cwd.
 (cd "$ART" && "$OLDPWD"/build/bench/ablation_reuse \
   | tee BENCH_reuse.txt)
+
+# Componentization-overhead ablation writes BENCH_overhead.json into its
+# cwd (plus BENCH_overhead_obs.json / BENCH_overhead_trace.json when the
+# build has LISI_OBS=ON — see docs/OBSERVABILITY.md).
+(cd "$ART" && "$OLDPWD"/build/bench/ablation_overhead \
+  | tee BENCH_overhead.txt)
 
 # google-benchmark ablations emit JSON natively.  Note: the bundled
 # google-benchmark predates unit suffixes — min_time takes a bare double.

@@ -15,7 +15,13 @@
 #              the sparse, slu, and operator-reuse binaries — the value-only
 #              update paths write positionally into frozen factor / halo-plan
 #              storage, which is exactly the bug class these sanitizers
-#              catch.
+#              catch;
+#   5. obs:    rebuild with -DLISI_OBS=ON and run the full suite — the
+#              observability spans/counters on the comm and solver hot
+#              paths must not change any result, and the allocation-free
+#              guarantees must survive the instrumentation;
+#   6. docs:   every -DLISI_* CMake option named in README/DESIGN/docs must
+#              actually exist in CMakeLists.txt (no doc drift).
 #
 # Sanitizer availability is probed loudly up front: a toolchain without
 # libtsan/libasan would otherwise fail mid-flow with an obscure linker error,
@@ -71,5 +77,33 @@ cmake --build build-asan -j --target sparse_dist_test slu_test lisi_reuse_test
 ./build-asan/tests/sparse_dist_test
 ./build-asan/tests/slu_test
 ./build-asan/tests/lisi_reuse_test
+
+# ---- 5. LISI_OBS=ON ----------------------------------------------------
+# The instrumented build must pass the entire suite: spans/counters on the
+# hot paths may not perturb results, break the allocation-free guarantees
+# (the streams preallocate), or deadlock the checker-free collectives.
+cmake -B build-obs -S . -DLISI_OBS=ON
+cmake --build build-obs -j
+(cd build-obs && ctest --output-on-failure -j)
+
+# ---- 6. doc sanity -----------------------------------------------------
+# Any -DLISI_FOO a reader can copy out of the docs must be a real CMake
+# option: stale flags in README/DESIGN/docs are worse than none.
+doc_sanity() {
+  local fail=0
+  local flags
+  flags=$(grep -rhoE '\-DLISI_[A-Z_]+' README.md DESIGN.md EXPERIMENTS.md docs/*.md 2>/dev/null \
+    | sed 's/^-D//' | sort -u)
+  for flag in $flags; do
+    if grep -qE "(option|set)\(${flag}([^A-Z_]|\$)" CMakeLists.txt; then
+      echo "verify: doc sanity: ${flag} exists in CMakeLists.txt"
+    else
+      echo "verify: FATAL: docs name -D${flag} but CMakeLists.txt defines no such option" >&2
+      fail=1
+    fi
+  done
+  return "${fail}"
+}
+doc_sanity
 
 echo "verify: OK"

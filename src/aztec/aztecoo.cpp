@@ -1,6 +1,8 @@
 // AztecOO iteration kernels and preconditioners.
 #include "aztec/aztecoo.hpp"
 
+#include "obs/obs.hpp"
+
 #include <cmath>
 #include <functional>
 
@@ -591,6 +593,7 @@ int AztecOO::iterate() {
 int AztecOO::iterate(int maxIter, double tol) {
   LISI_CHECK(maxIter >= 0, "AztecOO::iterate: negative maxIter");
   LISI_CHECK(tol >= 0, "AztecOO::iterate: negative tolerance");
+  lisi::obs::Span span("aztec.iterate");
 
   const PcApply pc =
       makePreconditioner(*a_, options_[AZ_precond], options_[AZ_poly_ord]);

@@ -30,13 +30,30 @@ double recvTimeoutSeconds() {
   return timeout;
 }
 
-/// Tags above kMaxUserTag rotate through this window; all ranks advance
-/// their collective sequence in lockstep, so equal positions map to equal
-/// tags on every rank.
-constexpr std::uint64_t kCollectiveTagWindow = 1u << 20;
+/// Tags above kMaxUserTag rotate through a window of this many values; all
+/// ranks advance their collective sequence in lockstep, so equal positions
+/// map to equal tags on every rank.
+constexpr int kDefaultCollectiveTagWindow = 1 << 20;
 
-int tagForSeq(std::uint64_t seq) {
-  return kMaxUserTag + 1 + static_cast<int>(seq % kCollectiveTagWindow);
+/// Test knob: LISI_COMM_TAG_WINDOW shrinks the window so the wrap paths
+/// (and the LISI_COMM_CHECK wrap-overlap diagnoses) can be exercised with a
+/// handful of collectives instead of ~2^20.  Read per WorldContext
+/// construction — NOT statically cached — so an in-process test can setenv
+/// before World::run and see the shrunken window for just that world.
+/// Out-of-range values (below 16 or above the default) are ignored.
+int collectiveTagWindowFromEnv() {
+  if (const char* env = std::getenv("LISI_COMM_TAG_WINDOW")) {
+    const long v = std::atol(env);
+    if (v >= 16 && v <= kDefaultCollectiveTagWindow) {
+      return static_cast<int>(v);
+    }
+  }
+  return kDefaultCollectiveTagWindow;
+}
+
+int tagForSeq(std::uint64_t seq, int window) {
+  return kMaxUserTag + 1 +
+         static_cast<int>(seq % static_cast<std::uint64_t>(window));
 }
 
 }  // namespace
@@ -92,10 +109,12 @@ struct Mailbox {
 class WorldContext {
  public:
   explicit WorldContext(int nranks)
-      : nranks_(nranks), mailboxes_(static_cast<std::size_t>(nranks)) {
+      : nranks_(nranks),
+        collectiveTagWindow_(collectiveTagWindowFromEnv()),
+        mailboxes_(static_cast<std::size_t>(nranks)) {
 #ifdef LISI_COMM_CHECK
     checker_ = std::make_unique<check::WorldChecker>(
-        nranks, kMaxUserTag, static_cast<int>(kCollectiveTagWindow),
+        nranks, kMaxUserTag, collectiveTagWindow_,
         [this](int waiter, const std::vector<check::WaitNeed>& needs) {
           // Runs with the checker mutex held; the mailbox mutex nests
           // inside it (see CheckedWaitScope for the lock order).
@@ -139,6 +158,9 @@ class WorldContext {
   }
 
   [[nodiscard]] int worldSize() const { return nranks_; }
+
+  /// Collective tag window for every communicator of this world.
+  [[nodiscard]] int collectiveTagWindow() const { return collectiveTagWindow_; }
 
   /// The LISI_COMM_CHECK verifier; null in unchecked builds.
   [[nodiscard]] check::WorldChecker* checker() { return checker_.get(); }
@@ -287,6 +309,7 @@ class WorldContext {
 
  private:
   int nranks_;
+  int collectiveTagWindow_;
   std::vector<Mailbox> mailboxes_;
   std::atomic<bool> aborted_{false};
   mutable std::mutex abortMutex_;
@@ -408,6 +431,8 @@ class CollOp {
         env.tag = tag_;
         env.payload.assign(acc_, acc_ + bytes_);
         state_->world->checkAborted();
+        obs::count("comm.send.count");
+        obs::count("comm.send.bytes", static_cast<long long>(bytes_));
         state_->world->deliver(state_->worldRankOf(step.peer), std::move(env));
         ++next_;
         continue;
@@ -416,6 +441,8 @@ class CollOp {
           state_->worldRankOf(state_->myLocalRank), state_->ctx, step.peer,
           tag_);
       if (!env) return false;
+      obs::count("comm.recv.count");
+      obs::count("comm.recv.bytes", static_cast<long long>(env->payload.size()));
       LISI_CHECK(env->payload.size() == bytes_,
                  "nonblocking collective: payload size mismatch");
       if (step.kind == StepKind::kRecvCombine) {
@@ -502,6 +529,7 @@ bool CollHandle::test() {
 
 void CollHandle::wait() {
   LISI_CHECK(valid(), "wait() on an empty CollHandle");
+  obs::Span span("coll.wait");
   op_->waitDone();
 }
 
@@ -525,6 +553,8 @@ void Comm::sendBytes(const void* data, std::size_t n, int dest, int tag) const {
                     state_->worldRankOf(state_->myLocalRank), dest, tag);
   }
 #endif
+  obs::count("comm.send.count");
+  obs::count("comm.send.bytes", static_cast<long long>(n));
   state_->world->checkAborted();
   detail::Envelope env;
   env.ctx = state_->ctx;
@@ -541,6 +571,8 @@ std::vector<std::byte> Comm::recvBytes(int src, int tag, Status* status) const {
              "recvBytes: src out of range");
   detail::Envelope env = state_->world->receive(
       state_->worldRankOf(state_->myLocalRank), state_->ctx, src, tag);
+  obs::count("comm.recv.count");
+  obs::count("comm.recv.bytes", static_cast<long long>(env.payload.size()));
   if (status) {
     status->source = env.src;
     status->tag = env.tag;
@@ -569,7 +601,7 @@ int Comm::nextCollectiveTag(check::CollKind kind, int root, std::uint64_t bytes,
   // secondary mismatch report.
   state_->world->checkAborted();
   const std::uint64_t seq = state_->collSeq.fetch_add(1);
-  const int tag = detail::tagForSeq(seq);
+  const int tag = detail::tagForSeq(seq, state_->world->collectiveTagWindow());
 #ifdef LISI_COMM_CHECK
   detail::t_lastCollKind = check::collKindName(kind);
   if (auto* checker = state_->world->checker()) {
@@ -629,8 +661,9 @@ std::vector<int> Comm::reserveCollectiveTags(int count) const {
       state_->collSeq.fetch_add(static_cast<std::uint64_t>(count));
   std::vector<int> tags(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
-    tags[static_cast<std::size_t>(i)] =
-        detail::tagForSeq(seq + static_cast<std::uint64_t>(i));
+    tags[static_cast<std::size_t>(i)] = detail::tagForSeq(
+        seq + static_cast<std::uint64_t>(i),
+        state_->world->collectiveTagWindow());
   }
 #ifdef LISI_COMM_CHECK
   detail::t_lastCollKind = "reserveCollectiveTags";
@@ -653,6 +686,8 @@ void Comm::barrier() const {
   // Star family: gather tokens at rank 0, then release everyone.
   const int tag = nextCollectiveTag(check::CollKind::kBarrier, -1, 0);
   const int p = size();
+  obs::Span span(detail::useTreeSchedule(p) ? "coll.barrier.tree"
+                                            : "coll.barrier.star");
   if (p == 1) return;
   const int r = rank();
   const char token = 0;
@@ -680,6 +715,9 @@ void Comm::bcastBytes(void* data, std::size_t n, int root) const {
   const int tag = nextCollectiveTag(check::CollKind::kBcast, root,
                                     static_cast<std::uint64_t>(n));
   const int p = size();
+  obs::Span span(detail::useTreeSchedule(p) ? "coll.bcast.tree"
+                                            : "coll.bcast.star",
+                 static_cast<std::uint64_t>(n));
   LISI_CHECK(root >= 0 && root < p, "bcast: root out of range");
   if (p == 1) return;
   if (!detail::useTreeSchedule(p)) {
@@ -722,6 +760,9 @@ void Comm::reduceBytes(const void* in, void* out, std::size_t count,
                                     static_cast<std::uint64_t>(count * elemSize),
                                     static_cast<int>(op));
   const int p = size();
+  obs::Span span(detail::useTreeSchedule(p) ? "coll.reduce.tree"
+                                            : "coll.reduce.star",
+                 static_cast<std::uint64_t>(count * elemSize));
   LISI_CHECK(root >= 0 && root < p, "reduce: root out of range");
   const std::size_t bytes = count * elemSize;
   if (rank() == root && bytes != 0 && out != in) std::memcpy(out, in, bytes);
@@ -779,6 +820,9 @@ void Comm::allreduceBytes(const void* in, void* out, std::size_t count,
   // rank 0's bytes, so results are identical across ranks here too).
   const int p = size();
   const std::size_t bytes = count * elemSize;
+  obs::Span span(detail::useTreeSchedule(p) ? "coll.allreduce.tree"
+                                            : "coll.allreduce.star",
+                 static_cast<std::uint64_t>(bytes));
   if (bytes != 0 && out != in) std::memcpy(out, in, bytes);
   if (p == 1 || bytes == 0) return;
   if (!detail::useTreeSchedule(p)) {
@@ -840,6 +884,7 @@ CollHandle Comm::iallreduceBytes(
   const int tag = nextCollectiveTag(check::CollKind::kIallreduce, -1,
                                     static_cast<std::uint64_t>(bytes),
                                     static_cast<int>(op));
+  obs::count("coll.iallreduce.start");
   const int p = size();
   if (bytes != 0 && out != in) std::memcpy(out, in, bytes);
   using Step = detail::CollOp::Step;
@@ -897,6 +942,7 @@ CollHandle Comm::ibarrier() const {
   // (star family) — the same patterns as Comm::barrier, recorded as a
   // program.  The token lives inside the op (acc == nullptr).
   const int tag = nextCollectiveTag(check::CollKind::kIbarrier, -1, 0);
+  obs::count("coll.ibarrier.start");
   const int p = size();
   using Step = detail::CollOp::Step;
   using K = detail::CollOp::StepKind;
@@ -978,6 +1024,7 @@ void World::run(int nranks, const std::function<void(Comm&)>& body) {
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
+      obs::setThreadRank(r);
       auto state = std::make_shared<detail::CommState>();
       state->world = world;
       state->ctx = 0;

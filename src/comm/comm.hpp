@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "comm/check.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace lisi::comm {
@@ -403,6 +404,7 @@ void Comm::gather(std::span<const T> in, std::span<T> out, int root) const {
   const int tag =
       nextCollectiveTag(check::CollKind::kGather, root, in.size_bytes());
   const int p = size();
+  obs::Span span("coll.gather", in.size_bytes());
   LISI_CHECK(root >= 0 && root < p, "gather: root out of range");
   const std::size_t chunk = in.size();
   if (rank() == root) {
@@ -427,6 +429,7 @@ std::vector<T> Comm::gatherv(std::span<const T> in, int root,
   const int tag =
       nextCollectiveTag(check::CollKind::kGatherv, root, check::kVariableBytes);
   const int p = size();
+  obs::Span span("coll.gatherv", in.size_bytes());
   std::vector<T> result;
   if (rank() == root) {
     if (counts) counts->assign(static_cast<std::size_t>(p), 0);
@@ -453,6 +456,9 @@ std::vector<T> Comm::allgatherv(std::span<const T> in,
   static_assert(std::is_trivially_copyable_v<T>);
   const int p = size();
   const int r = rank();
+  obs::Span span(detail::useTreeSchedule(p) ? "coll.allgatherv.tree"
+                                            : "coll.allgatherv.star",
+                 in.size_bytes());
   if (!detail::useTreeSchedule(p)) {
     // Star: gatherv to rank 0, then broadcast counts and concatenation.
     std::vector<int> localCounts;
@@ -511,6 +517,7 @@ void Comm::scatter(std::span<const T> in, std::span<T> out, int root) const {
   const int tag =
       nextCollectiveTag(check::CollKind::kScatter, root, out.size_bytes());
   const int p = size();
+  obs::Span span("coll.scatter", out.size_bytes());
   LISI_CHECK(root >= 0 && root < p, "scatter: root out of range");
   const std::size_t chunk = out.size();
   if (rank() == root) {
@@ -537,6 +544,7 @@ std::vector<T> Comm::scatterv(std::span<const T> in,
   const int tag =
       nextCollectiveTag(check::CollKind::kScatterv, root, check::kVariableBytes);
   const int p = size();
+  obs::Span span("coll.scatterv", in.size_bytes());
   if (rank() == root) {
     LISI_CHECK(static_cast<int>(counts.size()) == p,
                "scatterv: counts.size() != comm size");

@@ -2,6 +2,8 @@
 // the recursive cycle, and the coarse-grid dense solve.
 #include "hymg/hymg.hpp"
 
+#include "obs/obs.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -500,6 +502,7 @@ Solver::Solver(Comm comm, int gridN, StencilFn stencil, Options options)
   impl_->comm = std::move(comm);
   impl_->options = options;
   impl_->stencil = std::move(stencil);
+  lisi::obs::Span span("hymg.setup");
   impl_->build(gridN);
 }
 
@@ -511,6 +514,7 @@ void Solver::refreshOperator(StencilFn stencil) {
   LISI_CHECK(static_cast<bool>(stencil),
              "HyMG::refreshOperator: stencil must be callable");
   impl_->stencil = std::move(stencil);
+  lisi::obs::Span span("hymg.refresh");
   impl_->refreshValues();
 }
 
@@ -534,6 +538,7 @@ void Solver::applyCycle(std::span<const double> b, std::span<double> x) const {
                  b.size() == x.size(),
              "HyMG::applyCycle: size mismatch");
   std::fill(x.begin(), x.end(), 0.0);
+  lisi::obs::Span span("hymg.cycle");
   impl_->cycle(0, b, x);
 }
 
@@ -552,7 +557,10 @@ SolveInfo Solver::solve(std::span<const double> b, std::span<double> x,
   }
   std::vector<double> r(b.size());
   for (int c = 0; c < maxCycles; ++c) {
-    impl_->cycle(0, b, x);
+    {
+      lisi::obs::Span span("hymg.cycle");
+      impl_->cycle(0, b, x);
+    }
     info.cycles = c + 1;
     a.spmv(x, std::span<double>(r));
     for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "sparse/convert.hpp"
 #include "support/string_util.hpp"
 #include "support/timer.hpp"
@@ -315,6 +316,7 @@ int SolverComponentBase::solve(RArray<double> solution, RArray<double> status,
     } else {
       WallTimer setup;
       if (matrixDirty_ || !distA_) {
+        obs::Span span("lisi.setup");
         // Structural fingerprint of the freshly adapted canonical block.
         // One min-allreduce makes the decision collective: the pattern is
         // "same" only if EVERY rank kept its local pattern, so all ranks
@@ -355,8 +357,21 @@ int SolverComponentBase::solve(RArray<double> solution, RArray<double> status,
     return code(ErrorCode::kInternal);
   }
 
+  obs::count("lisi.solve.calls");
+  switch (ctx.change) {
+    case OperatorChange::kSameOperator:
+      obs::count("lisi.change.same_operator");
+      break;
+    case OperatorChange::kSameStructure:
+      obs::count("lisi.change.same_structure");
+      break;
+    case OperatorChange::kNewStructure:
+      obs::count("lisi.change.new_structure");
+      break;
+  }
   BackendStats last{};
   WallTimer solveTimer;
+  obs::Span solveSpan("lisi.backend_solve");
   const auto m = static_cast<std::size_t>(numLocalRow);
   for (int k = 0; k < nRhs_; ++k) {
     std::span<const double> b(rhs_.data() + m * static_cast<std::size_t>(k), m);

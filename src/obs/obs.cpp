@@ -1,0 +1,394 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace lisi::obs {
+namespace {
+
+/// Raw timeline events kept per thread; the oldest are overwritten when a
+/// thread records more (drops are counted, aggregates stay exact).
+constexpr std::size_t kRingCapacity = std::size_t{1} << 14;
+
+std::uint64_t nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Time zero for trace timestamps, anchored at first use.
+std::uint64_t processStartNs() {
+  static const std::uint64_t t0 = nowNs();
+  return t0;
+}
+
+/// Exact per-name aggregate on one thread.
+struct SpanAgg {
+  const char* name = nullptr;
+  std::uint64_t count = 0;
+  std::uint64_t totalNs = 0;
+  std::uint64_t minNs = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t maxNs = 0;
+  std::uint64_t detailTotal = 0;
+};
+
+struct CounterAgg {
+  const char* name = nullptr;
+  long long total = 0;
+};
+
+struct RawEvent {
+  const char* name = nullptr;
+  std::uint64_t startNs = 0;
+  std::uint64_t durNs = 0;
+  int depth = 0;
+};
+
+/// One thread's private stream.  The owning thread writes without locks;
+/// collect()/reset() read/clear from another thread only while no rank
+/// threads are live (documented contract).
+struct ThreadStream {
+  ThreadStream() {
+    // Reserve up front so steady-state recording never reallocates: the
+    // instrumented hot paths (spmv, collectives) are covered by
+    // allocation-free tests that must hold with LISI_OBS=ON too.
+    spans.reserve(64);
+    counters.reserve(64);
+    ring.reserve(kRingCapacity);
+  }
+
+  int rank = -1;
+  int depth = 0;
+  std::vector<SpanAgg> spans;
+  std::vector<CounterAgg> counters;
+  std::vector<RawEvent> ring;
+  std::size_t ringNext = 0;  ///< wraps at kRingCapacity once the ring is full
+  std::uint64_t dropped = 0;
+
+  SpanAgg& spanAggFor(const char* name) {
+    // Pointer identity is the fast path (string literals); content equality
+    // is the fallback so the same name from two TUs still merges here
+    // rather than only at collect time.
+    for (SpanAgg& agg : spans) {
+      if (agg.name == name || std::strcmp(agg.name, name) == 0) return agg;
+    }
+    spans.push_back(SpanAgg{name, 0, 0,
+                            std::numeric_limits<std::uint64_t>::max(), 0, 0});
+    return spans.back();
+  }
+
+  CounterAgg& counterAggFor(const char* name) {
+    for (CounterAgg& agg : counters) {
+      if (agg.name == name || std::strcmp(agg.name, name) == 0) return agg;
+    }
+    counters.push_back(CounterAgg{name, 0});
+    return counters.back();
+  }
+
+  void clear() {
+    spans.clear();
+    counters.clear();
+    ring.clear();
+    ringNext = 0;
+    dropped = 0;
+  }
+};
+
+/// Global registry of every thread's stream.  Streams are shared_ptr so a
+/// thread's data survives its exit (World::run joins its rank threads long
+/// before the post-run aggregation happens).  Leaked deliberately: rank
+/// threads may still be unwinding their thread_local destructors while the
+/// process exits.
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadStream>> streams;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+#ifdef LISI_OBS_ENABLED
+ThreadStream& stream() {
+  thread_local std::shared_ptr<ThreadStream> s = [] {
+    auto p = std::make_shared<ThreadStream>();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.streams.push_back(p);
+    return p;
+  }();
+  return *s;
+}
+#endif
+
+// ---- JSON helpers ------------------------------------------------------
+
+void appendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+}
+
+void appendDouble(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+bool enabled() {
+#ifdef LISI_OBS_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+#ifdef LISI_OBS_ENABLED
+
+namespace detail {
+
+std::uint64_t spanBegin() {
+  ++stream().depth;
+  return nowNs();
+}
+
+void spanEnd(const char* name, std::uint64_t startNs, std::uint64_t detail) {
+  const std::uint64_t endNs = nowNs();
+  const std::uint64_t durNs = endNs - startNs;
+  ThreadStream& s = stream();
+  const int depth = --s.depth;
+  SpanAgg& agg = s.spanAggFor(name);
+  ++agg.count;
+  agg.totalNs += durNs;
+  agg.minNs = std::min(agg.minNs, durNs);
+  agg.maxNs = std::max(agg.maxNs, durNs);
+  agg.detailTotal += detail;
+  const RawEvent event{name, startNs, durNs, depth};
+  if (s.ring.size() < kRingCapacity) {
+    s.ring.push_back(event);
+  } else {
+    s.ring[s.ringNext] = event;
+    s.ringNext = (s.ringNext + 1) % kRingCapacity;
+    ++s.dropped;
+  }
+}
+
+}  // namespace detail
+
+void setThreadRank(int rank) { stream().rank = rank; }
+
+void count(const char* name, long long delta) {
+  stream().counterAggFor(name).total += delta;
+}
+
+#endif  // LISI_OBS_ENABLED
+
+Report collect() {
+  Report report;
+  report.enabled = enabled();
+  // Merge per-thread exact aggregates: first per (name, rank), then across
+  // ranks.  Multiple streams can share a rank (every World::run spawns
+  // fresh threads), so per-rank totals accumulate across worlds.
+  struct SpanMerge {
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+    std::uint64_t minNs = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t maxNs = 0;
+    std::uint64_t detailTotal = 0;
+    std::map<int, std::uint64_t> rankTotalNs;
+  };
+  std::map<std::string, SpanMerge> spanByName;
+  std::map<std::string, std::map<int, long long>> counterByName;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto& s : reg.streams) {
+      report.droppedEvents += s->dropped;
+      for (const SpanAgg& agg : s->spans) {
+        SpanMerge& m = spanByName[agg.name];
+        m.count += agg.count;
+        m.totalNs += agg.totalNs;
+        m.minNs = std::min(m.minNs, agg.minNs);
+        m.maxNs = std::max(m.maxNs, agg.maxNs);
+        m.detailTotal += agg.detailTotal;
+        m.rankTotalNs[s->rank] += agg.totalNs;
+      }
+      for (const CounterAgg& agg : s->counters) {
+        counterByName[agg.name][s->rank] += agg.total;
+      }
+    }
+  }
+  const auto toSeconds = [](std::uint64_t ns) {
+    return static_cast<double>(ns) * 1e-9;
+  };
+  for (const auto& [name, m] : spanByName) {
+    SpanStat stat;
+    stat.name = name;
+    stat.count = m.count;
+    stat.totalSeconds = toSeconds(m.totalNs);
+    stat.minSeconds = toSeconds(m.minNs);
+    stat.maxSeconds = toSeconds(m.maxNs);
+    stat.detailTotal = m.detailTotal;
+    stat.ranks = static_cast<int>(m.rankTotalNs.size());
+    std::uint64_t rankMin = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t rankMax = 0;
+    std::uint64_t rankSum = 0;
+    for (const auto& [rank, totalNs] : m.rankTotalNs) {
+      rankMin = std::min(rankMin, totalNs);
+      rankMax = std::max(rankMax, totalNs);
+      rankSum += totalNs;
+    }
+    stat.rankTotalMin = toSeconds(rankMin);
+    stat.rankTotalMax = toSeconds(rankMax);
+    stat.rankTotalMean =
+        toSeconds(rankSum) / static_cast<double>(stat.ranks);
+    stat.imbalance = stat.rankTotalMean > 0.0
+                         ? stat.rankTotalMax / stat.rankTotalMean
+                         : 1.0;
+    report.spans.push_back(std::move(stat));
+  }
+  for (const auto& [name, byRank] : counterByName) {
+    CounterStat stat;
+    stat.name = name;
+    stat.ranks = static_cast<int>(byRank.size());
+    long long rankMin = std::numeric_limits<long long>::max();
+    long long rankMax = std::numeric_limits<long long>::min();
+    for (const auto& [rank, total] : byRank) {
+      stat.total += total;
+      rankMin = std::min(rankMin, total);
+      rankMax = std::max(rankMax, total);
+    }
+    stat.rankMin = rankMin;
+    stat.rankMax = rankMax;
+    stat.rankMean =
+        static_cast<double>(stat.total) / static_cast<double>(stat.ranks);
+    report.counters.push_back(std::move(stat));
+  }
+  return report;
+}
+
+std::vector<TraceEvent> traceEvents() {
+  std::vector<TraceEvent> events;
+  const std::uint64_t t0 = processStartNs();
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& s : reg.streams) {
+    for (const RawEvent& e : s->ring) {
+      TraceEvent out;
+      out.name = e.name;
+      out.rank = s->rank;
+      out.startUs = static_cast<double>(e.startNs - t0) * 1e-3;
+      out.durUs = static_cast<double>(e.durNs) * 1e-3;
+      out.depth = e.depth;
+      events.push_back(std::move(out));
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.startUs < b.startUs;
+            });
+  return events;
+}
+
+void reset() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& s : reg.streams) s->clear();
+}
+
+std::string toJson(const Report& report) {
+  std::string out;
+  out += "{\n  \"schema\": \"lisi-obs-v1\",\n  \"enabled\": ";
+  out += report.enabled ? "true" : "false";
+  out += ",\n  \"dropped_events\": " + std::to_string(report.droppedEvents);
+  out += ",\n  \"spans\": [";
+  bool first = true;
+  for (const SpanStat& s : report.spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"";
+    appendEscaped(out, s.name);
+    out += "\", \"count\": " + std::to_string(s.count);
+    out += ", \"total_s\": ";
+    appendDouble(out, s.totalSeconds);
+    out += ", \"min_s\": ";
+    appendDouble(out, s.minSeconds);
+    out += ", \"max_s\": ";
+    appendDouble(out, s.maxSeconds);
+    out += ", \"mean_s\": ";
+    appendDouble(out, s.count > 0
+                          ? s.totalSeconds / static_cast<double>(s.count)
+                          : 0.0);
+    out += ", \"detail_total\": " + std::to_string(s.detailTotal);
+    out += ", \"ranks\": " + std::to_string(s.ranks);
+    out += ", \"rank_total_min_s\": ";
+    appendDouble(out, s.rankTotalMin);
+    out += ", \"rank_total_max_s\": ";
+    appendDouble(out, s.rankTotalMax);
+    out += ", \"rank_total_mean_s\": ";
+    appendDouble(out, s.rankTotalMean);
+    out += ", \"imbalance\": ";
+    appendDouble(out, s.imbalance);
+    out += "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"counters\": [";
+  first = true;
+  for (const CounterStat& c : report.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"";
+    appendEscaped(out, c.name);
+    out += "\", \"total\": " + std::to_string(c.total);
+    out += ", \"ranks\": " + std::to_string(c.ranks);
+    out += ", \"rank_min\": " + std::to_string(c.rankMin);
+    out += ", \"rank_max\": " + std::to_string(c.rankMax);
+    out += ", \"rank_mean\": ";
+    appendDouble(out, c.rankMean);
+    out += "}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool writeChromeTrace(const std::string& path) {
+  const std::vector<TraceEvent> events = traceEvents();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("{\"traceEvents\": [", f);
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    std::string line = first ? "\n" : ",\n";
+    first = false;
+    line += "  {\"name\": \"";
+    appendEscaped(line, e.name);
+    line += "\", \"ph\": \"X\", \"pid\": 0, \"tid\": " +
+            std::to_string(e.rank) + ", \"ts\": ";
+    appendDouble(line, e.startUs);
+    line += ", \"dur\": ";
+    appendDouble(line, e.durUs);
+    line += ", \"args\": {\"depth\": " + std::to_string(e.depth) + "}}";
+    std::fputs(line.c_str(), f);
+  }
+  std::fputs(first ? "]}\n" : "\n]}\n", f);
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+}  // namespace lisi::obs

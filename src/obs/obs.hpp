@@ -1,0 +1,163 @@
+// lisi::obs — low-overhead observability: per-rank scoped timers (spans)
+// and counters, merged post-run into a cross-rank report.
+//
+// The paper's credibility argument (Figure 5, Table 1) is that the LISI
+// layer adds only a small, attributable overhead per solve.  Backing that
+// claim — and steering the next performance PR — needs to know *where*
+// time goes across the comm, preconditioner, and Krylov layers.  This
+// module provides that attribution without perturbing what it measures:
+//
+//   * Hot path: `Span` (RAII scoped timer) and `count()` write only to
+//     thread-local streams — no locks, no allocation after warm-up, no
+//     shared cache lines between rank threads.  Raw timeline events go to
+//     a fixed-capacity ring (oldest dropped, drops counted); per-name
+//     aggregates (count/total/min/max) are exact regardless of drops.
+//   * Compile-out: configured with -DLISI_OBS=OFF (the default) the span
+//     and counter calls are empty inline functions and the instrumented
+//     binaries contain no recording code at all — benchmarks measure
+//     identically.  obs::enabled() reports at run time which way the
+//     linked library was built.  The LISI_OBS_ENABLED definition is
+//     PUBLIC on the lisi_obs target: span call sites inline into every
+//     dependent TU, so all of them must agree with the library.
+//   * Post-run: `collect()` merges every thread's stream into a Report —
+//     per-phase min/max/mean across ranks, a load-imbalance ratio
+//     (max-over-ranks / mean-over-ranks of per-rank total time), counter
+//     sums — rendered to JSON by `toJson()`; `writeChromeTrace()` exports
+//     the raw timeline in Chrome trace-event format (load in
+//     chrome://tracing or https://ui.perfetto.dev, one row per rank).
+//
+// Rank attribution: comm::World::run tags each rank thread via
+// setThreadRank(); streams recorded outside any world (the main thread)
+// report rank -1.  collect()/reset() walk other threads' streams without
+// synchronizing against live writers, so call them only while no world is
+// running — i.e. between World::run invocations, which is the natural
+// post-run aggregation point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lisi::obs {
+
+/// True if the linked lisi_obs library was built with LISI_OBS=ON.
+[[nodiscard]] bool enabled();
+
+// ---- post-run aggregation (available in both build modes) -------------
+
+/// Cross-rank statistics for one span name.
+struct SpanStat {
+  std::string name;
+  std::uint64_t count = 0;       ///< completed spans, all ranks
+  double totalSeconds = 0.0;     ///< summed over all spans and ranks
+  double minSeconds = 0.0;       ///< fastest single span
+  double maxSeconds = 0.0;       ///< slowest single span
+  std::uint64_t detailTotal = 0; ///< summed span detail (bytes for comm spans)
+  int ranks = 0;                 ///< distinct ranks that recorded the span
+  double rankTotalMin = 0.0;     ///< min over ranks of per-rank total
+  double rankTotalMax = 0.0;     ///< max over ranks of per-rank total
+  double rankTotalMean = 0.0;    ///< mean over ranks of per-rank total
+  double imbalance = 1.0;        ///< rankTotalMax / rankTotalMean
+};
+
+/// Cross-rank statistics for one counter name.
+struct CounterStat {
+  std::string name;
+  long long total = 0;       ///< summed over all ranks
+  int ranks = 0;             ///< distinct ranks that bumped the counter
+  long long rankMin = 0;     ///< min over ranks of per-rank total
+  long long rankMax = 0;     ///< max over ranks of per-rank total
+  double rankMean = 0.0;     ///< mean over ranks of per-rank total
+};
+
+/// Everything recorded since the last reset(), merged across threads.
+struct Report {
+  bool enabled = false;              ///< obs::enabled() at collection time
+  std::uint64_t droppedEvents = 0;   ///< timeline ring overflows (aggregates
+                                     ///< stay exact; only the trace is lossy)
+  std::vector<SpanStat> spans;       ///< sorted by name
+  std::vector<CounterStat> counters; ///< sorted by name
+};
+
+/// One raw timeline event (for trace export and tests).
+struct TraceEvent {
+  std::string name;
+  int rank = -1;
+  double startUs = 0.0;  ///< microseconds since process start
+  double durUs = 0.0;
+  int depth = 0;         ///< span nesting depth at record time (0 = outermost)
+};
+
+/// Merge every registered stream into a Report.  Quiescent-only: see the
+/// header comment.  On LISI_OBS=OFF builds returns an empty report with
+/// enabled == false.
+[[nodiscard]] Report collect();
+
+/// Raw timeline events (start-ordered).  Quiescent-only.
+[[nodiscard]] std::vector<TraceEvent> traceEvents();
+
+/// Discard all recorded data (aggregates, rings, drop counts).
+/// Quiescent-only.
+void reset();
+
+/// Render a Report as JSON (schema "lisi-obs-v1"; key order is stable and
+/// asserted by tests/obs_test.cpp).
+[[nodiscard]] std::string toJson(const Report& report);
+
+/// Write the raw timeline as a Chrome trace-event file ("traceEvents"
+/// array of "ph":"X" slices, tid = rank).  Returns false if the file
+/// could not be written.
+bool writeChromeTrace(const std::string& path);
+
+// ---- hot-path recording API -------------------------------------------
+
+#ifdef LISI_OBS_ENABLED
+
+namespace detail {
+/// Enter a span on this thread: bumps the nesting depth, returns start ns.
+[[nodiscard]] std::uint64_t spanBegin();
+/// Leave a span: records the aggregate and a ring event, drops the depth.
+void spanEnd(const char* name, std::uint64_t startNs, std::uint64_t detail);
+}  // namespace detail
+
+/// Tag the calling thread as `rank` (comm::World::run does this for every
+/// rank thread it spawns).
+void setThreadRank(int rank);
+
+/// Add `delta` to the named counter on this thread's stream.  `name` must
+/// be a string literal (it is stored by pointer on the hot path and only
+/// merged by content at collect time).
+void count(const char* name, long long delta = 1);
+
+/// RAII scoped timer.  `name` must be a string literal; `detail` is an
+/// arbitrary payload summed per name in the report (comm spans pass bytes
+/// on the wire).
+class Span {
+ public:
+  explicit Span(const char* name, std::uint64_t detail = 0)
+      : name_(name), detail_(detail), startNs_(detail::spanBegin()) {}
+  ~Span() { detail::spanEnd(name_, startNs_, detail_); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t detail_;
+  std::uint64_t startNs_;
+};
+
+#else  // LISI_OBS=OFF: everything below compiles to nothing.
+
+inline void setThreadRank(int) {}
+inline void count(const char*, long long = 1) {}
+
+class Span {
+ public:
+  explicit Span(const char*, std::uint64_t = 0) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+#endif  // LISI_OBS_ENABLED
+
+}  // namespace lisi::obs

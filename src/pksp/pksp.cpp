@@ -81,6 +81,7 @@ int buildPc(KSP ksp) {
   ksp->pcStale = false;
   ksp->pcRefreshPending = false;
   ++ksp->pcBuilds;
+  lisi::obs::count("pksp.pc_builds");
   return PKSP_SUCCESS;
 }
 
@@ -324,26 +325,30 @@ int KSPSolve(KSP ksp, std::span<const double> bLocal,
   const auto n = static_cast<std::size_t>(ksp->op->localRows());
   if (bLocal.size() != n || xLocal.size() != n) return PKSP_ERR_ARG;
 
-  if (ksp->pcStale) {
-    const int rc = buildPc(ksp);
-    if (rc != PKSP_SUCCESS) return rc;
-  } else if (ksp->pcRefreshPending) {
-    // SAME_NONZERO_PATTERN path: refresh the preconditioner values in
-    // place; fall back to a full rebuild if the PC cannot (shell operator,
-    // layout drift).
-    ksp->pcRefreshPending = false;
-    const lisi::sparse::DistCsrMatrix* a = ksp->op->matrix();
-    bool refreshed = false;
-    try {
-      refreshed = (a != nullptr) && ksp->pc->refresh(*a);
-    } catch (const lisi::Error&) {
-      return PKSP_ERR_NUMERIC;
-    }
-    if (refreshed) {
-      ++ksp->pcRefreshes;
-    } else {
+  {
+    lisi::obs::Span pcSpan("pksp.pc_setup");
+    if (ksp->pcStale) {
       const int rc = buildPc(ksp);
       if (rc != PKSP_SUCCESS) return rc;
+    } else if (ksp->pcRefreshPending) {
+      // SAME_NONZERO_PATTERN path: refresh the preconditioner values in
+      // place; fall back to a full rebuild if the PC cannot (shell operator,
+      // layout drift).
+      ksp->pcRefreshPending = false;
+      const lisi::sparse::DistCsrMatrix* a = ksp->op->matrix();
+      bool refreshed = false;
+      try {
+        refreshed = (a != nullptr) && ksp->pc->refresh(*a);
+      } catch (const lisi::Error&) {
+        return PKSP_ERR_NUMERIC;
+      }
+      if (refreshed) {
+        ++ksp->pcRefreshes;
+        lisi::obs::count("pksp.pc_refreshes");
+      } else {
+        const int rc = buildPc(ksp);
+        if (rc != PKSP_SUCCESS) return rc;
+      }
     }
   }
   if (!ksp->nonzeroGuess) {
@@ -368,6 +373,7 @@ int KSPSolve(KSP ksp, std::span<const double> bLocal,
 
   const bool pipelined = usePipelined(*ksp);
   try {
+    lisi::obs::Span iterSpan("pksp.iterate");
     switch (ksp->type) {
       case PKSP_CG:
         ksp->lastReport =

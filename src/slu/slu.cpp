@@ -8,6 +8,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "sparse/ops.hpp"
 
 namespace slu {
@@ -138,6 +139,8 @@ Factorization Factorization::factorize(const CscMatrix& a,
   const int n = a.cols;
 
   gSymbolicFactorizations.fetch_add(1, std::memory_order_relaxed);
+  lisi::obs::count("slu.factor.symbolic");
+  lisi::obs::Span span("slu.factor.symbolic");
   Factorization fact;
   Impl& f = *fact.impl_;
   f.n = n;
@@ -297,6 +300,7 @@ Factorization Factorization::factorize(const CscMatrix& a,
 }
 
 void Factorization::refactorize(const CscMatrix& a) {
+  lisi::obs::Span span("slu.factor.numeric_refresh");
   Impl& f = *impl_;
   a.check();
   LISI_CHECK(a.rows == f.n && a.cols == f.n,
@@ -380,6 +384,7 @@ void Factorization::refactorize(const CscMatrix& a) {
   for (double v : f.uVal) maxU = std::max(maxU, std::abs(v));
   f.stats.pivotGrowth = maxA > 0.0 ? maxU / maxA : 0.0;
   gNumericRefactorizations.fetch_add(1, std::memory_order_relaxed);
+  lisi::obs::count("slu.factor.numeric_refresh");
 }
 
 void Factorization::solve(std::span<const double> b,

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "comm/tags.hpp"
+#include "obs/obs.hpp"
 
 namespace lisi::sparse {
 
@@ -45,6 +46,7 @@ void DistCsrMatrix::updateValues(const CsrMatrix& local) {
               mapped_.values.begin());
   }
   gValueUpdates.fetch_add(1, std::memory_order_relaxed);
+  obs::count("sparse.value_updates");
 }
 
 DistCsrMatrix::DistCsrMatrix(comm::Comm comm, int globalRows, int globalCols,
@@ -179,6 +181,8 @@ DistCsrMatrix DistCsrMatrix::scatterFromRoot(comm::Comm comm,
 
 void DistCsrMatrix::buildHaloPlan() {
   gHaloPlanBuilds.fetch_add(1, std::memory_order_relaxed);
+  obs::count("sparse.halo_plan_builds");
+  obs::Span span("sparse.halo_plan_build");
   const int p = comm_.size();
   const int rank = comm_.rank();
   const int myStart = colStarts_[static_cast<std::size_t>(rank)];
@@ -310,14 +314,18 @@ void DistCsrMatrix::spmv(std::span<const double> xLocal,
   //   3. receive ghosts, then finish the boundary rows.
   const int tag = spmvTags_[spmvRound_ % spmvTags_.size()];
   ++spmvRound_;
-  for (std::size_t s = 0; s < sendToRanks_.size(); ++s) {
-    const auto b = static_cast<std::size_t>(sendOffsets_[s]);
-    const auto e = static_cast<std::size_t>(sendOffsets_[s + 1]);
-    for (std::size_t k = b; k < e; ++k) {
-      sendBuf_[k] = xLocal[static_cast<std::size_t>(sendIdx_[k])];
+  obs::Span spmvSpan("sparse.spmv");
+  {
+    obs::Span phase("sparse.spmv.halo_send");
+    for (std::size_t s = 0; s < sendToRanks_.size(); ++s) {
+      const auto b = static_cast<std::size_t>(sendOffsets_[s]);
+      const auto e = static_cast<std::size_t>(sendOffsets_[s + 1]);
+      for (std::size_t k = b; k < e; ++k) {
+        sendBuf_[k] = xLocal[static_cast<std::size_t>(sendIdx_[k])];
+      }
+      comm_.send(std::span<const double>(sendBuf_.data() + b, e - b),
+                 sendToRanks_[s], tag);
     }
-    comm_.send(std::span<const double>(sendBuf_.data() + b, e - b),
-               sendToRanks_[s], tag);
   }
   // Owned columns read straight from the caller's x (no copy); ghost
   // columns read from the plan's receive buffer via their remapped index.
@@ -333,14 +341,24 @@ void DistCsrMatrix::spmv(std::span<const double> xLocal,
     }
     yLocal[static_cast<std::size_t>(i)] = acc;
   };
-  for (const int i : interiorRows_) rowProduct(i);
-  for (std::size_t r = 0; r < recvFromRanks_.size(); ++r) {
-    comm_.recv(std::span<double>(xGhost_.data() +
-                                     static_cast<std::size_t>(recvOffsets_[r]),
-                                 static_cast<std::size_t>(recvCounts_[r])),
-               recvFromRanks_[r], tag);
+  {
+    obs::Span phase("sparse.spmv.interior");
+    for (const int i : interiorRows_) rowProduct(i);
   }
-  for (const int i : boundaryRows_) rowProduct(i);
+  {
+    obs::Span phase("sparse.spmv.halo_recv");
+    for (std::size_t r = 0; r < recvFromRanks_.size(); ++r) {
+      comm_.recv(
+          std::span<double>(xGhost_.data() +
+                                static_cast<std::size_t>(recvOffsets_[r]),
+                            static_cast<std::size_t>(recvCounts_[r])),
+          recvFromRanks_[r], tag);
+    }
+  }
+  {
+    obs::Span phase("sparse.spmv.boundary");
+    for (const int i : boundaryRows_) rowProduct(i);
+  }
 }
 
 CsrMatrix DistCsrMatrix::gatherToRoot(int root) const {

@@ -156,6 +156,56 @@ TEST(CommCheck, ReservedBlockSendIsLegal) {
   }
 }
 
+/// RAII guard: shrink the collective tag window for the enclosed worlds so
+/// the seq->tag wrap happens after a handful of collectives instead of 2^20.
+/// The window is read per WorldContext construction, so setting the env var
+/// here affects exactly the worlds started inside the test body.
+class TagWindowGuard {
+ public:
+  explicit TagWindowGuard(int window) {
+    setenv("LISI_COMM_TAG_WINDOW", std::to_string(window).c_str(), 1);
+  }
+  ~TagWindowGuard() { unsetenv("LISI_COMM_TAG_WINDOW"); }
+  TagWindowGuard(const TagWindowGuard&) = delete;
+  TagWindowGuard& operator=(const TagWindowGuard&) = delete;
+};
+
+TEST(CommCheck, WrapIntoReservedBlockDiagnosed) {
+  SKIP_IF_UNCHECKED();
+  // Reserve a block right at the start of the window, then run enough
+  // collectives that the rotating sequence wraps around and would hand a
+  // schedule a tag inside the still-reserved block.
+  const TagWindowGuard guard(64);
+  for (const int nranks : {2, 4}) {
+    const std::string msg = runExpectViolation(nranks, [](Comm& c) {
+      (void)c.reserveCollectiveTags(8);  // seq 0..7: block at window start
+      for (int i = 8; i < 64; ++i) c.barrier();  // seq 8..63
+      c.barrier();  // seq 64 wraps to the reserved first slot
+    });
+    expectContains(msg, "wrapped into a reserved block");
+    expectContains(msg, "reserveCollectiveTags");
+  }
+}
+
+TEST(CommCheck, ReservationWrapOverlapDiagnosed) {
+  SKIP_IF_UNCHECKED();
+  // Two reservations whose tag ranges collide after the window wraps: the
+  // second starts at a different first tag but covers part of the first
+  // block, which the checker must reject (an identical re-reservation of
+  // the same block is the one legal case, so the blocks are offset here).
+  const TagWindowGuard guard(64);
+  for (const int nranks : {2, 4}) {
+    const std::string msg = runExpectViolation(nranks, [](Comm& c) {
+      for (int i = 0; i < 4; ++i) c.barrier();  // seq 0..3
+      (void)c.reserveCollectiveTags(8);         // seq 4..11: block [W+4, W+12)
+      for (int i = 12; i < 64; ++i) c.barrier();  // seq 12..63
+      // seq 64..71 wraps to [W+0, W+8): overlaps the live block above.
+      (void)c.reserveCollectiveTags(8);
+    });
+    expectContains(msg, "reserveCollectiveTags overlap");
+  }
+}
+
 TEST(CommCheck, CollHandleLeakDiagnosed) {
   SKIP_IF_UNCHECKED();
   for (const int nranks : {2, 4}) {

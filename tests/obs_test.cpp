@@ -1,0 +1,212 @@
+// Tests for the lisi::obs observability layer.
+//
+// The suite is built in both configurations:
+//   - LISI_OBS=ON:  spans/counters record, collect() aggregates across the
+//     rank threads of a World::run, JSON/trace exports carry the data.
+//   - LISI_OBS=OFF: the hot-path API compiles to no-ops; the reporting API
+//     still links and runs but reports an empty, disabled registry.
+// Tests that assert on recorded data skip themselves when obs::enabled()
+// is false; the compile-out test asserts the opposite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "obs/obs.hpp"
+
+namespace lisi {
+namespace {
+
+using comm::Comm;
+using comm::World;
+
+#define SKIP_IF_DISABLED()                                        \
+  if (!obs::enabled()) {                                          \
+    GTEST_SKIP() << "built without LISI_OBS=ON";                  \
+  }                                                               \
+  static_assert(true, "")
+
+const obs::SpanStat* findSpan(const obs::Report& r, const std::string& name) {
+  for (const obs::SpanStat& s : r.spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const obs::CounterStat* findCounter(const obs::Report& r,
+                                    const std::string& name) {
+  for (const obs::CounterStat& c : r.counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+TEST(Obs, SpanNestingRecordsBothLevels) {
+  SKIP_IF_DISABLED();
+  obs::reset();
+  World::run(1, [](Comm&) {
+    for (int i = 0; i < 3; ++i) {
+      obs::Span outer("obs_test.outer");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      {
+        obs::Span inner("obs_test.inner");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+  const obs::Report r = obs::collect();
+  EXPECT_TRUE(r.enabled);
+  const obs::SpanStat* outer = findSpan(r, "obs_test.outer");
+  const obs::SpanStat* inner = findSpan(r, "obs_test.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 3);
+  EXPECT_EQ(inner->count, 3);
+  // The outer span contains the inner one, so its total must dominate.
+  EXPECT_GE(outer->totalSeconds, inner->totalSeconds);
+  EXPECT_GE(outer->minSeconds, 0.0);
+  EXPECT_GE(outer->maxSeconds, outer->minSeconds);
+
+  // The raw timeline keeps the nesting depth for the trace export.
+  const std::vector<obs::TraceEvent> events = obs::traceEvents();
+  bool sawOuterAtDepth0 = false;
+  bool sawInnerAtDepth1 = false;
+  for (const obs::TraceEvent& e : events) {
+    if (e.name == "obs_test.outer" && e.depth == 0) sawOuterAtDepth0 = true;
+    if (e.name == "obs_test.inner" && e.depth == 1) sawInnerAtDepth1 = true;
+  }
+  EXPECT_TRUE(sawOuterAtDepth0);
+  EXPECT_TRUE(sawInnerAtDepth1);
+}
+
+TEST(Obs, CountersAggregateAcrossRanks) {
+  SKIP_IF_DISABLED();
+  obs::reset();
+  World::run(4, [](Comm& c) {
+    // Rank r contributes r+1, so the cross-rank totals are exact and
+    // asymmetric: total 10, min 1, max 4, mean 2.5.
+    obs::count("obs_test.per_rank", c.rank() + 1);
+    c.barrier();
+  });
+  const obs::Report r = obs::collect();
+  const obs::CounterStat* c = findCounter(r, "obs_test.per_rank");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->total, 10);
+  EXPECT_EQ(c->ranks, 4);
+  EXPECT_EQ(c->rankMin, 1);
+  EXPECT_EQ(c->rankMax, 4);
+  EXPECT_DOUBLE_EQ(c->rankMean, 2.5);
+
+  // The instrumented barrier shows up too, attributed to all four ranks.
+  const obs::SpanStat* barrier = findSpan(r, "coll.barrier.star");
+  if (barrier == nullptr) barrier = findSpan(r, "coll.barrier.tree");
+  ASSERT_NE(barrier, nullptr);
+  EXPECT_EQ(barrier->ranks, 4);
+  EXPECT_GE(barrier->imbalance, 1.0);
+}
+
+TEST(Obs, CompileOutBuildReportsDisabledAndEmpty) {
+  if (obs::enabled()) {
+    GTEST_SKIP() << "built with LISI_OBS=ON; compile-out path not active";
+  }
+  obs::reset();
+  World::run(2, [](Comm& c) {
+    // Exercise the instrumented paths and the public no-op API: none of
+    // this may record anything in an OFF build.
+    obs::Span span("obs_test.should_not_exist");
+    obs::count("obs_test.should_not_exist");
+    (void)c.allreduceValue(1.0, comm::ReduceOp::kSum);
+    c.barrier();
+  });
+  const obs::Report r = obs::collect();
+  EXPECT_FALSE(r.enabled);
+  EXPECT_TRUE(r.spans.empty());
+  EXPECT_TRUE(r.counters.empty());
+  EXPECT_EQ(r.droppedEvents, 0u);
+  EXPECT_TRUE(obs::traceEvents().empty());
+  // The JSON export still works so OFF-build tooling degrades gracefully.
+  const std::string json = obs::toJson(r);
+  EXPECT_NE(json.find("\"lisi-obs-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"enabled\": false"), std::string::npos);
+}
+
+TEST(Obs, JsonSchemaIsStable) {
+  SKIP_IF_DISABLED();
+  obs::reset();
+  World::run(2, [](Comm& c) {
+    obs::Span span("obs_test.schema", 128);
+    obs::count("obs_test.schema_counter", 2);
+    c.barrier();
+  });
+  const std::string json = obs::toJson(obs::collect());
+  // Top-level schema: versioned, with the four fixed keys in order.
+  const std::vector<std::string> keysInOrder = {
+      "\"schema\": \"lisi-obs-v1\"", "\"enabled\": true",
+      "\"dropped_events\":",         "\"spans\":",
+      "\"counters\":",
+  };
+  std::size_t pos = 0;
+  for (const std::string& key : keysInOrder) {
+    const std::size_t at = json.find(key, pos);
+    ASSERT_NE(at, std::string::npos) << "missing or out of order: " << key
+                                     << "\n" << json;
+    pos = at;
+  }
+  // Per-span and per-counter rows carry the documented fields.
+  for (const char* field :
+       {"\"count\":", "\"total_s\":", "\"min_s\":", "\"max_s\":",
+        "\"mean_s\":", "\"detail_total\":", "\"ranks\":",
+        "\"rank_total_min_s\":", "\"rank_total_max_s\":",
+        "\"rank_total_mean_s\":", "\"imbalance\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << "missing " << field;
+  }
+  for (const char* field :
+       {"\"total\":", "\"rank_min\":", "\"rank_max\":", "\"rank_mean\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << "missing " << field;
+  }
+  // Two ranks each opened the span with detail=128, so the merged sum is 256.
+  EXPECT_NE(json.find("\"detail_total\": 256"), std::string::npos);
+}
+
+TEST(Obs, ChromeTraceExportContainsRankEvents) {
+  SKIP_IF_DISABLED();
+  obs::reset();
+  World::run(2, [](Comm& c) {
+    obs::Span span("obs_test.trace_me");
+    c.barrier();
+  });
+  const std::string path = ::testing::TempDir() + "lisi_obs_trace.json";
+  ASSERT_TRUE(obs::writeChromeTrace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string trace = buf.str();
+  std::remove(path.c_str());
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("obs_test.trace_me"), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+  // Events carry the rank as tid so the viewer shows one row per rank.
+  EXPECT_NE(trace.find("\"tid\": 0"), std::string::npos);
+  EXPECT_NE(trace.find("\"tid\": 1"), std::string::npos);
+}
+
+TEST(Obs, ResetClearsEverything) {
+  SKIP_IF_DISABLED();
+  obs::reset();
+  World::run(1, [](Comm&) { obs::count("obs_test.reset_me"); });
+  ASSERT_NE(findCounter(obs::collect(), "obs_test.reset_me"), nullptr);
+  obs::reset();
+  const obs::Report r = obs::collect();
+  EXPECT_EQ(findCounter(r, "obs_test.reset_me"), nullptr);
+  EXPECT_TRUE(obs::traceEvents().empty());
+}
+
+}  // namespace
+}  // namespace lisi
