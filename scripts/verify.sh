@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Repo verify flow:
 #   1. tier-1: configure, build, run the full ctest suite;
+#   1b. tuner:  run the full suite again with LISI_TUNE=on (probing forced
+#              for every structure) and once with LISI_TUNE=off (tuner
+#              compiled in but bypassed) — tuning decisions may change
+#              kernels and schedules, never results;
 #   2. checker: rebuild with -DLISI_COMM_CHECK=ON and run the full suite
 #              again — the MiniMPI verifier (lockstep collective signatures,
 #              wait-for-graph deadlock detection, tag/handle lint) must stay
@@ -57,6 +61,12 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+# ---- 1b. autotuner forced on / forced off ------------------------------
+# Every test must hold under both extremes of the tuning policy: probes on
+# every assembled structure (on), and the exact pre-tuner code path (off).
+(cd build && LISI_TUNE=on ctest --output-on-failure -j)
+(cd build && LISI_TUNE=off ctest --output-on-failure -j)
+
 # ---- 2. LISI_COMM_CHECK ------------------------------------------------
 # The checked library must pass the *entire* suite (no false positives on
 # correct code) and the seeded-violation tests flip from SKIPPED to active.
@@ -99,6 +109,23 @@ doc_sanity() {
       echo "verify: doc sanity: ${flag} exists in CMakeLists.txt"
     else
       echo "verify: FATAL: docs name -D${flag} but CMakeLists.txt defines no such option" >&2
+      fail=1
+    fi
+  done
+  # Environment knobs (LISI_FOO=..., not -D flags) named in the docs must
+  # be read somewhere via getenv: a documented knob nothing reads is the
+  # same drift in another spelling.
+  local knobs
+  knobs=$(grep -rhoE '\bLISI_[A-Z_]+=' README.md DESIGN.md EXPERIMENTS.md docs/*.md 2>/dev/null \
+    | sed 's/=$//' | sort -u)
+  for knob in $knobs; do
+    if grep -qE "(option|set)\(${knob}([^A-Z_]|\$)" CMakeLists.txt; then
+      continue  # a CMake cache variable spelled without -D; checked above
+    fi
+    if grep -rq "getenv(\"${knob}\")" src bench tests; then
+      echo "verify: doc sanity: env knob ${knob} is read in the sources"
+    else
+      echo "verify: FATAL: docs name env knob ${knob} but no source reads it" >&2
       fail=1
     fi
   done

@@ -307,6 +307,28 @@ class WorldContext {
   }
   [[nodiscard]] int firstFailedRank() const { return firstFailedRank_.load(); }
 
+  /// Per-context collective-schedule pins (ctx id -> family).  The atomic
+  /// count keeps the unpinned fast path lock-free: every collective checks
+  /// it, but only worlds that actually pin ever take the mutex.
+  [[nodiscard]] CollectiveSchedule contextSchedule(std::uint64_t ctx) const {
+    if (pinCount_.load(std::memory_order_acquire) == 0) {
+      return CollectiveSchedule::kAuto;
+    }
+    std::lock_guard<std::mutex> lock(pinMutex_);
+    const auto it = schedulePins_.find(ctx);
+    return it == schedulePins_.end() ? CollectiveSchedule::kAuto : it->second;
+  }
+  void setContextSchedule(std::uint64_t ctx, CollectiveSchedule schedule) {
+    std::lock_guard<std::mutex> lock(pinMutex_);
+    if (schedule == CollectiveSchedule::kAuto) {
+      schedulePins_.erase(ctx);
+    } else {
+      schedulePins_[ctx] = schedule;
+    }
+    pinCount_.store(static_cast<int>(schedulePins_.size()),
+                    std::memory_order_release);
+  }
+
  private:
   int nranks_;
   int collectiveTagWindow_;
@@ -318,6 +340,10 @@ class WorldContext {
   std::mutex splitMutex_;
   std::map<std::tuple<std::uint64_t, std::uint64_t, int>, std::uint64_t> splitIds_;
   std::uint64_t nextCtxId_ = 1;  // 0 is the world context
+
+  mutable std::mutex pinMutex_;
+  std::map<std::uint64_t, CollectiveSchedule> schedulePins_;
+  std::atomic<int> pinCount_{0};
 
   std::atomic<int> firstFailedRank_{-1};
 
@@ -610,7 +636,7 @@ int Comm::nextCollectiveTag(check::CollKind kind, int root, std::uint64_t bytes,
     sig.root = root;
     sig.bytes = bytes;
     sig.reduceOp = reduceOp;
-    sig.treeFamily = detail::useTreeSchedule(size());
+    sig.treeFamily = detail::useTreeSchedule(*state_, size());
     checker->onCollectiveStart(state_->ctx, state_->myLocalRank, seq, tag, 1,
                                sig);
   }
@@ -653,6 +679,33 @@ bool detail::useTreeSchedule(int p) {
   return hw == 0 || static_cast<int>(hw) >= p;
 }
 
+bool detail::useTreeSchedule(const CommState& state, int p) {
+  if (state.world != nullptr) {
+    switch (state.world->contextSchedule(state.ctx)) {
+      case CollectiveSchedule::kTree: return true;
+      case CollectiveSchedule::kStar: return false;
+      case CollectiveSchedule::kAuto: break;
+    }
+  }
+  return useTreeSchedule(p);
+}
+
+void Comm::pinCollectiveSchedule(CollectiveSchedule schedule) const {
+  LISI_CHECK(valid(), "pinCollectiveSchedule on an invalid communicator");
+  // Barrier-then-set: a rank enters the barrier only after completing its
+  // previous collective, and the barrier completes only once every rank
+  // entered it — so by the time any rank flips the pin, no rank can still
+  // be about to resolve the OLD family for an earlier collective.  Each
+  // rank then records the same value before its own next collective.
+  barrier();
+  state_->world->setContextSchedule(state_->ctx, schedule);
+}
+
+CollectiveSchedule Comm::pinnedCollectiveSchedule() const {
+  LISI_CHECK(valid(), "pinnedCollectiveSchedule on an invalid communicator");
+  return state_->world->contextSchedule(state_->ctx);
+}
+
 std::vector<int> Comm::reserveCollectiveTags(int count) const {
   LISI_CHECK(valid(), "reserveCollectiveTags on an invalid communicator");
   LISI_CHECK(count > 0, "reserveCollectiveTags: count must be positive");
@@ -671,7 +724,7 @@ std::vector<int> Comm::reserveCollectiveTags(int count) const {
     check::CollSignature sig;
     sig.kind = check::CollKind::kReserveTags;
     sig.bytes = static_cast<std::uint64_t>(count);
-    sig.treeFamily = detail::useTreeSchedule(size());
+    sig.treeFamily = detail::useTreeSchedule(*state_, size());
     checker->onCollectiveStart(state_->ctx, state_->myLocalRank, seq,
                                tags.front(), count, sig);
   }
@@ -686,12 +739,12 @@ void Comm::barrier() const {
   // Star family: gather tokens at rank 0, then release everyone.
   const int tag = nextCollectiveTag(check::CollKind::kBarrier, -1, 0);
   const int p = size();
-  obs::Span span(detail::useTreeSchedule(p) ? "coll.barrier.tree"
+  obs::Span span(detail::useTreeSchedule(*state_, p) ? "coll.barrier.tree"
                                             : "coll.barrier.star");
   if (p == 1) return;
   const int r = rank();
   const char token = 0;
-  if (!detail::useTreeSchedule(p)) {
+  if (!detail::useTreeSchedule(*state_, p)) {
     if (r == 0) {
       for (int q = 1; q < p; ++q) (void)recvValue<char>(q, tag);
       for (int q = 1; q < p; ++q) sendValue(token, q, tag);
@@ -715,12 +768,12 @@ void Comm::bcastBytes(void* data, std::size_t n, int root) const {
   const int tag = nextCollectiveTag(check::CollKind::kBcast, root,
                                     static_cast<std::uint64_t>(n));
   const int p = size();
-  obs::Span span(detail::useTreeSchedule(p) ? "coll.bcast.tree"
+  obs::Span span(detail::useTreeSchedule(*state_, p) ? "coll.bcast.tree"
                                             : "coll.bcast.star",
                  static_cast<std::uint64_t>(n));
   LISI_CHECK(root >= 0 && root < p, "bcast: root out of range");
   if (p == 1) return;
-  if (!detail::useTreeSchedule(p)) {
+  if (!detail::useTreeSchedule(*state_, p)) {
     if (rank() == root) {
       for (int r = 0; r < p; ++r) {
         if (r != root) sendBytes(data, n, r, tag);
@@ -760,14 +813,14 @@ void Comm::reduceBytes(const void* in, void* out, std::size_t count,
                                     static_cast<std::uint64_t>(count * elemSize),
                                     static_cast<int>(op));
   const int p = size();
-  obs::Span span(detail::useTreeSchedule(p) ? "coll.reduce.tree"
+  obs::Span span(detail::useTreeSchedule(*state_, p) ? "coll.reduce.tree"
                                             : "coll.reduce.star",
                  static_cast<std::uint64_t>(count * elemSize));
   LISI_CHECK(root >= 0 && root < p, "reduce: root out of range");
   const std::size_t bytes = count * elemSize;
   if (rank() == root && bytes != 0 && out != in) std::memcpy(out, in, bytes);
   if (p == 1 || bytes == 0) return;
-  if (!detail::useTreeSchedule(p)) {
+  if (!detail::useTreeSchedule(*state_, p)) {
     if (rank() == root) {
       std::vector<std::byte> contrib(bytes);
       for (int r = 0; r < p; ++r) {
@@ -820,12 +873,12 @@ void Comm::allreduceBytes(const void* in, void* out, std::size_t count,
   // rank 0's bytes, so results are identical across ranks here too).
   const int p = size();
   const std::size_t bytes = count * elemSize;
-  obs::Span span(detail::useTreeSchedule(p) ? "coll.allreduce.tree"
+  obs::Span span(detail::useTreeSchedule(*state_, p) ? "coll.allreduce.tree"
                                             : "coll.allreduce.star",
                  static_cast<std::uint64_t>(bytes));
   if (bytes != 0 && out != in) std::memcpy(out, in, bytes);
   if (p == 1 || bytes == 0) return;
-  if (!detail::useTreeSchedule(p)) {
+  if (!detail::useTreeSchedule(*state_, p)) {
     reduceBytes(out, out, count, elemSize, op, 0, combine);
     bcastBytes(out, bytes, 0);
     return;
@@ -892,7 +945,7 @@ CollHandle Comm::iallreduceBytes(
   std::vector<Step> steps;
   if (p > 1 && bytes != 0) {
     const int r = rank();
-    if (!detail::useTreeSchedule(p)) {
+    if (!detail::useTreeSchedule(*state_, p)) {
       if (r == 0) {
         for (int q = 1; q < p; ++q) steps.push_back({K::kRecvCombine, q});
         for (int q = 1; q < p; ++q) steps.push_back({K::kSend, q});
@@ -949,7 +1002,7 @@ CollHandle Comm::ibarrier() const {
   std::vector<Step> steps;
   if (p > 1) {
     const int r = rank();
-    if (!detail::useTreeSchedule(p)) {
+    if (!detail::useTreeSchedule(*state_, p)) {
       if (r == 0) {
         for (int q = 1; q < p; ++q) steps.push_back({K::kRecvDiscard, q});
         for (int q = 1; q < p; ++q) steps.push_back({K::kSend, q});

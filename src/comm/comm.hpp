@@ -67,7 +67,9 @@ enum class ReduceOp { kSum, kProd, kMax, kMin };
 /// used by tests and benchmarks to exercise both regardless of host shape.
 enum class CollectiveSchedule { kAuto, kTree, kStar };
 
-/// Set the global schedule family.  Affects every communicator; must not
+/// Set the global schedule family — the process-wide *default*, layered
+/// under any per-communicator pin (Comm::pinCollectiveSchedule); a pinned
+/// communicator ignores it.  Affects every unpinned communicator; must not
 /// change while a world is running (all ranks of a collective must resolve
 /// the same family or their tag sequences diverge).
 void setCollectiveSchedule(CollectiveSchedule schedule);
@@ -76,9 +78,13 @@ void setCollectiveSchedule(CollectiveSchedule schedule);
 [[nodiscard]] CollectiveSchedule collectiveSchedule();
 
 namespace detail {
+struct CommState;
 /// True if collectives over `p` ranks should run the tree family under the
-/// current policy.
+/// global policy alone (no communicator context).
 [[nodiscard]] bool useTreeSchedule(int p);
+/// Full resolution for one communicator: its context pin if set, else the
+/// global override, else the kAuto host heuristic.
+[[nodiscard]] bool useTreeSchedule(const CommState& state, int p);
 }  // namespace detail
 
 /// Completion information for a receive.
@@ -312,6 +318,18 @@ class Comm {
   /// of its collective sequence so all ranks receive identical tags.
   [[nodiscard]] std::vector<int> reserveCollectiveTags(int count) const;
 
+  /// Pin the collective schedule family for THIS communicator's context
+  /// (split/dup siblings and the parent keep their own resolution).  The
+  /// pin overrides the process-global setCollectiveSchedule default;
+  /// kAuto removes the pin.  Collective: internally barriers first so no
+  /// rank can still be inside a collective that resolved the old family,
+  /// then every rank records the same value — call it at the same point of
+  /// the collective sequence on all ranks, like any collective.
+  void pinCollectiveSchedule(CollectiveSchedule schedule) const;
+
+  /// This communicator's context pin (kAuto when unpinned).  Purely local.
+  [[nodiscard]] CollectiveSchedule pinnedCollectiveSchedule() const;
+
  private:
   friend class World;
   friend struct detail::CommState;
@@ -456,10 +474,10 @@ std::vector<T> Comm::allgatherv(std::span<const T> in,
   static_assert(std::is_trivially_copyable_v<T>);
   const int p = size();
   const int r = rank();
-  obs::Span span(detail::useTreeSchedule(p) ? "coll.allgatherv.tree"
-                                            : "coll.allgatherv.star",
+  const bool tree = detail::useTreeSchedule(*state_, p);
+  obs::Span span(tree ? "coll.allgatherv.tree" : "coll.allgatherv.star",
                  in.size_bytes());
-  if (!detail::useTreeSchedule(p)) {
+  if (!tree) {
     // Star: gatherv to rank 0, then broadcast counts and concatenation.
     std::vector<int> localCounts;
     std::vector<T> all = gatherv(in, 0, &localCounts);

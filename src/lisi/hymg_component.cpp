@@ -67,6 +67,10 @@ class HymgSolverPort final : public detail::SolverComponentBase {
       const int rc = validateFineLevel(ctx);
       if (rc != 0) return rc;
     }
+    // HyMG rediscretizes its own fine-level DistCsrMatrix, so the tuned
+    // kernel configuration on ctx.matrix does not carry over — forward it
+    // to the finest level (cheap no-op when unchanged).
+    (void)mg_->setFineSpmvConfig(ctx.spmvConfig);
     const hymg::SolveInfo info =
         mg_->solve(b, x, paramDouble("tol", 1e-6), paramInt("maxits", 100));
     stats.iterations = info.cycles;

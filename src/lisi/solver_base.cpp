@@ -352,6 +352,41 @@ int SolverComponentBase::solve(RArray<double> solution, RArray<double> status,
       } else {
         ctx.change = OperatorChange::kSameOperator;
       }
+
+      // Structure-fingerprint-keyed autotuning (DESIGN.md).  Replay is
+      // free: once this structure epoch has been tuned under the current
+      // mode, later solves skip even the cache lookup — no communication,
+      // no locks, just the already-applied configuration.
+      const tune::Mode tuneMode =
+          tune::modeFromString(paramString("tune", ""), tune::modeFromEnv());
+      if (tuneMode != tune::Mode::kOff) {
+        if (tunedStructEpoch_ == structEpoch_ && tunedMode_ == tuneMode) {
+          tune::noteReplayHit();
+        } else {
+          tune::TuneInput in;
+          in.comm = comm_;
+          in.matrix = &*distA_;
+          in.mode = tuneMode;
+          // One fused two-lane allreduce agrees on the operator key and on
+          // its global weight (the kAuto size gate).
+          const std::uint64_t lanes[2] = {
+              structFingerprint_, static_cast<std::uint64_t>(localA_.nnz())};
+          std::uint64_t sums[2] = {0, 0};
+          comm_.allreduce(std::span<const std::uint64_t>(lanes),
+                          std::span<std::uint64_t>(sums),
+                          comm::ReduceOp::kSum);
+          in.key = {sums[0], comm_.size()};
+          in.globalNnz = static_cast<long long>(sums[1]);
+          in.structureChanged = tunedStructEpoch_ != 0;
+          in.retunesSoFar = tuneRetunes_;
+          in.retuneBudget = paramInt("tune_retune_budget", 4);
+          const tune::Decision d = tune::tuneOperator(in);
+          if (d.probed && in.structureChanged) ++tuneRetunes_;
+          tunedStructEpoch_ = structEpoch_;
+          tunedMode_ = tuneMode;
+        }
+        ctx.spmvConfig = distA_->spmvConfig();
+      }
     }
   } catch (const Error&) {
     return code(ErrorCode::kInternal);
@@ -407,7 +442,8 @@ int SolverComponentBase::solve(RArray<double> solution, RArray<double> status,
 bool SolverComponentBase::isCommonParam(const std::string& key) {
   return key == "solver" || key == "preconditioner" || key == "tol" ||
          key == "atol" || key == "maxits" || key == "matrix_free" ||
-         key == "use_initial_guess" || key == "reuse_preconditioner";
+         key == "use_initial_guess" || key == "reuse_preconditioner" ||
+         key == "tune" || key == "tune_retune_budget";
 }
 
 bool SolverComponentBase::acceptsParam(const std::string& key) const {

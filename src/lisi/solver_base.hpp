@@ -23,6 +23,7 @@
 #include "comm/comm_handle.hpp"
 #include "lisi/sparse_solver.hpp"
 #include "sparse/dist_csr.hpp"
+#include "tune/tune.hpp"
 
 namespace lisi::detail {
 
@@ -58,6 +59,11 @@ struct SolveContext {
   /// Operator relation to the previous backendSolve; identical on every
   /// rank (the structural fingerprint is agreed by allreduce).
   OperatorChange change = OperatorChange::kNewStructure;
+  /// Tuned local-kernel configuration (default when tuning is off).
+  /// ctx.matrix already carries it; backends that build their OWN
+  /// DistCsrMatrix from the local block (Aztec's CrsMatrix, HyMG's fine
+  /// level) forward it there so every spmv in the solve runs tuned.
+  sparse::SpmvConfig spmvConfig;
 };
 
 /// Per-solve results a backend reports back.
@@ -169,6 +175,14 @@ class SolverComponentBase : public SparseSolver {
   /// assembled and matrix-free always reports kNewStructure.
   enum class OperatorKind { kNone, kAssembled, kMatrixFree };
   OperatorKind lastSolvedKind_ = OperatorKind::kNone;
+
+  /// Autotuner bookkeeping (src/tune): which structure epoch was last tuned
+  /// under which mode — when both are current the solve replays the tuned
+  /// configuration with zero communication — and how many kNewStructure
+  /// retunes this component has spent against its budget.
+  std::uint64_t tunedStructEpoch_ = 0;  ///< 0: never tuned
+  tune::Mode tunedMode_ = tune::Mode::kOff;
+  int tuneRetunes_ = 0;
 
   std::vector<double> rhs_;
   int nRhs_ = 0;

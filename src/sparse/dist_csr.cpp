@@ -7,6 +7,8 @@
 
 #include "comm/tags.hpp"
 #include "obs/obs.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
 
 namespace lisi::sparse {
 
@@ -16,6 +18,17 @@ namespace {
 constexpr int kScatterTag = comm::tags::kMatrixScatter;
 constexpr int kPlanTag = comm::tags::kHaloPlan;
 constexpr int kSpmvTagRounds = comm::tags::kSpmvTagRounds;
+
+// SELL-C-σ build parameters: chunks of 8 lanes keep the padded storage
+// small on CPU (SELL-C-σ targets SIMD widths, not GPU warps) and σ = 64
+// localizes the length sort so y scatter stays cache-friendly.
+constexpr int kSellChunk = 8;
+constexpr int kSellSigma = 64;
+
+// kBlock eligibility: padded block storage may exceed the true nonzeros by
+// at most this factor.  Beyond it the dense-block sweep pays more bandwidth
+// on fill zeros than it saves on index loads.
+constexpr double kBlockMaxFill = 1.25;
 
 // Reuse observability: MiniMPI ranks are threads of one process, so the
 // counters are process-wide atomics (tests look at deltas, which is exactly
@@ -32,6 +45,16 @@ long long valueUpdates() {
   return gValueUpdates.load(std::memory_order_relaxed);
 }
 
+const char* localKernelName(LocalKernel k) {
+  switch (k) {
+    case LocalKernel::kCsr: return "csr";
+    case LocalKernel::kCsrPrefetch: return "csr_prefetch";
+    case LocalKernel::kSellC: return "sell_c";
+    case LocalKernel::kBlock: return "block";
+  }
+  return "?";
+}
+
 void DistCsrMatrix::updateValues(const CsrMatrix& local) {
   LISI_CHECK(local.rows == local_.rows && local.cols == local_.cols,
              "updateValues: dimensions differ from the built operator");
@@ -45,8 +68,114 @@ void DistCsrMatrix::updateValues(const CsrMatrix& local) {
     std::copy(local.values.begin(), local.values.end(),
               mapped_.values.begin());
   }
+  refreshKernelAux();
   gValueUpdates.fetch_add(1, std::memory_order_relaxed);
   obs::count("sparse.value_updates");
+}
+
+void DistCsrMatrix::refreshKernelAux() {
+  const auto replay = [this](std::vector<double>& vals,
+                             const std::vector<int>& src) {
+    for (std::size_t s = 0; s < src.size(); ++s) {
+      if (src[s] >= 0) {
+        vals[s] = mapped_.values[static_cast<std::size_t>(src[s])];
+      }
+    }
+  };
+  if (sellBuilt_) {
+    replay(sellInterior_.values, sellInteriorSrc_);
+    replay(sellBoundary_.values, sellBoundarySrc_);
+  }
+  if (vbrBlockSize_ > 0) replay(vbr_.val, vbrSrc_);
+}
+
+void DistCsrMatrix::buildSellAux() {
+  sellInterior_ = csrRowsToSellC(mapped_, interiorRows_, kSellChunk,
+                                 kSellSigma, &sellInteriorSrc_);
+  sellBoundary_ = csrRowsToSellC(mapped_, boundaryRows_, kSellChunk,
+                                 kSellSigma, &sellBoundarySrc_);
+  sellBuilt_ = true;
+}
+
+bool DistCsrMatrix::blockKernelEligible(int blockSize) const {
+  if (colStarts_.empty() || blockSize < 2 || mapped_.rows < blockSize) {
+    return false;
+  }
+  // Padded size if every touched (rowBlock, colBlock) pair went dense.
+  const auto blockOf = [blockSize](int i) { return i / blockSize; };
+  long long padded = 0;
+  std::vector<int> lastCol;  // last counted col block per row block lane
+  for (int i = 0; i < mapped_.rows; i += blockSize) {
+    const int rdim = std::min(blockSize, mapped_.rows - i);
+    std::vector<int> touched;
+    for (int r = i; r < std::min(i + blockSize, mapped_.rows); ++r) {
+      for (int k = mapped_.rowPtr[static_cast<std::size_t>(r)];
+           k < mapped_.rowPtr[static_cast<std::size_t>(r) + 1]; ++k) {
+        touched.push_back(blockOf(mapped_.colIdx[static_cast<std::size_t>(k)]));
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    for (const int bc : touched) {
+      const int c0 = bc * blockSize;
+      const int cdim = std::min(blockSize, mapped_.cols - c0);
+      padded += static_cast<long long>(rdim) * cdim;
+    }
+  }
+  const long long nnz = mapped_.nnz();
+  return nnz > 0 &&
+         static_cast<double>(padded) <= kBlockMaxFill * static_cast<double>(nnz);
+}
+
+void DistCsrMatrix::buildBlockAux(int blockSize) {
+  vbr_ = csrToVbrUniform(mapped_, blockSize);
+  vbrSrc_.assign(vbr_.val.size(), -1);
+  // Map every CSR entry of mapped_ to its dense slot so value refreshes
+  // replay positionally.  bindx is sorted ascending within each block row
+  // (csrToVbr emits block columns in ascending order).
+  for (int i = 0; i < mapped_.rows; ++i) {
+    const int br = i / blockSize;
+    const int r0 = vbr_.rpntr[static_cast<std::size_t>(br)];
+    const int rdim = vbr_.rpntr[static_cast<std::size_t>(br) + 1] - r0;
+    for (int k = mapped_.rowPtr[static_cast<std::size_t>(i)];
+         k < mapped_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int c = mapped_.colIdx[static_cast<std::size_t>(k)];
+      const int bc = c / blockSize;
+      const auto first = vbr_.bindx.begin() + vbr_.bpntr[static_cast<std::size_t>(br)];
+      const auto last = vbr_.bindx.begin() + vbr_.bpntr[static_cast<std::size_t>(br) + 1];
+      const auto it = std::lower_bound(first, last, bc);
+      LISI_ASSERT(it != last && *it == bc);
+      const auto b = static_cast<std::size_t>(it - vbr_.bindx.begin());
+      const int c0 = vbr_.cpntr[static_cast<std::size_t>(bc)];
+      vbrSrc_[static_cast<std::size_t>(vbr_.indx[b] + (c - c0) * rdim +
+                                       (i - r0))] = k;
+    }
+  }
+  vbrBlockSize_ = blockSize;
+}
+
+SpmvConfig DistCsrMatrix::setSpmvConfig(const SpmvConfig& config) {
+  LISI_CHECK(!colStarts_.empty(),
+             "setSpmvConfig: rectangular operator constructed without "
+             "colStarts has no spmv to tune");
+  SpmvConfig applied = config;
+  if (applied.kernel == LocalKernel::kBlock &&
+      (vbrBlockSize_ != applied.blockSize &&
+       !blockKernelEligible(applied.blockSize))) {
+    applied.kernel = LocalKernel::kCsr;
+    applied.blockSize = 0;
+  }
+  if (applied.kernel == LocalKernel::kSellC && !sellBuilt_) buildSellAux();
+  if (applied.kernel == LocalKernel::kBlock &&
+      vbrBlockSize_ != applied.blockSize) {
+    buildBlockAux(applied.blockSize);
+  }
+  if (applied.kernel != LocalKernel::kCsr) {
+    // Aux kernels read x through one contiguous owned+ghost vector.
+    xExt_.resize(static_cast<std::size_t>(mapped_.cols));
+  }
+  spmvConfig_ = applied;
+  return applied;
 }
 
 DistCsrMatrix::DistCsrMatrix(comm::Comm comm, int globalRows, int globalCols,
@@ -341,11 +470,7 @@ void DistCsrMatrix::spmv(std::span<const double> xLocal,
     }
     yLocal[static_cast<std::size_t>(i)] = acc;
   };
-  {
-    obs::Span phase("sparse.spmv.interior");
-    for (const int i : interiorRows_) rowProduct(i);
-  }
-  {
+  const auto recvGhosts = [&] {
     obs::Span phase("sparse.spmv.halo_recv");
     for (std::size_t r = 0; r < recvFromRanks_.size(); ++r) {
       comm_.recv(
@@ -354,10 +479,119 @@ void DistCsrMatrix::spmv(std::span<const double> xLocal,
                             static_cast<std::size_t>(recvCounts_[r])),
           recvFromRanks_[r], tag);
     }
+  };
+
+  if (spmvConfig_.kernel == LocalKernel::kCsr) {
+    if (spmvConfig_.overlapHalo) {
+      // Reference path: interior rows hide the ghost exchange.
+      {
+        obs::Span phase("sparse.spmv.interior");
+        for (const int i : interiorRows_) rowProduct(i);
+      }
+      recvGhosts();
+      obs::Span phase("sparse.spmv.boundary");
+      for (const int i : boundaryRows_) rowProduct(i);
+    } else {
+      // Eager: complete the exchange, then one natural-order row sweep
+      // (bitwise identical per row to the overlapped path).
+      recvGhosts();
+      obs::Span phase("sparse.spmv.local");
+      for (int i = 0; i < mapped_.rows; ++i) rowProduct(i);
+    }
+    return;
   }
-  {
-    obs::Span phase("sparse.spmv.boundary");
-    for (const int i : boundaryRows_) rowProduct(i);
+
+  // Aux kernels read x through the contiguous owned+ghost vector; the
+  // owned prefix is filled up front, the ghost tail after the receive.
+  std::copy(xLocal.begin(), xLocal.end(), xExt_.begin());
+  const auto fillGhostTail = [&] {
+    std::copy(xGhost_.begin(), xGhost_.end(),
+              xExt_.begin() + static_cast<std::ptrdiff_t>(nloc));
+  };
+  const std::span<const double> xExt(xExt_);
+
+  switch (spmvConfig_.kernel) {
+    case LocalKernel::kCsr:
+      break;  // handled above
+    case LocalKernel::kCsrPrefetch: {
+      // Branch-free gather through xExt_ plus one-row-ahead software
+      // prefetch of the next row's x targets.  Same accumulation order as
+      // kCsr, so results stay bitwise identical.
+      const auto rowProductExt = [&](int i) {
+        double acc = 0.0;
+        for (int k = mapped_.rowPtr[static_cast<std::size_t>(i)];
+             k < mapped_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+          acc += mapped_.values[static_cast<std::size_t>(k)] *
+                 xExt[static_cast<std::size_t>(
+                     mapped_.colIdx[static_cast<std::size_t>(k)])];
+        }
+        yLocal[static_cast<std::size_t>(i)] = acc;
+      };
+      const auto prefetchRow = [&](int i) {
+#if defined(__GNUC__) || defined(__clang__)
+        for (int k = mapped_.rowPtr[static_cast<std::size_t>(i)];
+             k < mapped_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+          __builtin_prefetch(
+              &xExt_[static_cast<std::size_t>(
+                  mapped_.colIdx[static_cast<std::size_t>(k)])],
+              0, 1);
+        }
+#else
+        (void)i;
+#endif
+      };
+      const auto sweep = [&](const std::vector<int>& rowsList) {
+        for (std::size_t n = 0; n < rowsList.size(); ++n) {
+          if (n + 1 < rowsList.size()) prefetchRow(rowsList[n + 1]);
+          rowProductExt(rowsList[n]);
+        }
+      };
+      if (spmvConfig_.overlapHalo) {
+        {
+          obs::Span phase("sparse.spmv.interior");
+          sweep(interiorRows_);
+        }
+        recvGhosts();
+        fillGhostTail();
+        obs::Span phase("sparse.spmv.boundary");
+        sweep(boundaryRows_);
+      } else {
+        recvGhosts();
+        fillGhostTail();
+        obs::Span phase("sparse.spmv.local");
+        sweep(interiorRows_);
+        sweep(boundaryRows_);
+      }
+      break;
+    }
+    case LocalKernel::kSellC: {
+      if (spmvConfig_.overlapHalo) {
+        {
+          obs::Span phase("sparse.spmv.interior");
+          sparse::spmv(sellInterior_, xExt, yLocal);
+        }
+        recvGhosts();
+        fillGhostTail();
+        obs::Span phase("sparse.spmv.boundary");
+        sparse::spmv(sellBoundary_, xExt, yLocal);
+      } else {
+        recvGhosts();
+        fillGhostTail();
+        obs::Span phase("sparse.spmv.local");
+        sparse::spmv(sellInterior_, xExt, yLocal);
+        sparse::spmv(sellBoundary_, xExt, yLocal);
+      }
+      break;
+    }
+    case LocalKernel::kBlock: {
+      // The dense-block sweep has no interior/boundary split; the exchange
+      // always completes first (overlapHalo is ignored).
+      recvGhosts();
+      fillGhostTail();
+      obs::Span phase("sparse.spmv.local");
+      sparse::spmv(vbr_, xExt, yLocal);
+      break;
+    }
   }
 }
 

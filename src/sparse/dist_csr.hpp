@@ -24,6 +24,29 @@
 
 namespace lisi::sparse {
 
+/// Local SpMV kernel family for the owned block — the autotuner's
+/// per-structure decision (DESIGN.md "Structure-fingerprint-keyed
+/// autotuner").  kCsr is byte-for-byte the original reference path.
+enum class LocalKernel {
+  kCsr,          ///< reference CSR row loop (the default)
+  kCsrPrefetch,  ///< CSR with one-row-ahead software prefetch of x gathers
+  kSellC,        ///< SELL-C-σ storage over the interior/boundary row lists
+  kBlock,        ///< uniform dense blocks on the VBR substrate
+};
+
+/// Human-readable kernel name ("csr", "csr_prefetch", ...).
+const char* localKernelName(LocalKernel k);
+
+/// A complete tuned SpMV configuration: which local kernel runs the owned
+/// block and whether the ghost exchange overlaps the interior computation
+/// (true) or completes eagerly before one natural-order sweep (false).
+struct SpmvConfig {
+  LocalKernel kernel = LocalKernel::kCsr;
+  bool overlapHalo = true;
+  int blockSize = 0;  ///< kBlock only: uniform block edge (>= 2)
+  friend bool operator==(const SpmvConfig&, const SpmvConfig&) = default;
+};
+
 /// Distributed CSR matrix (square operators distribute x like rows; spmv
 /// requires globalRows == globalCols).
 class DistCsrMatrix {
@@ -64,7 +87,9 @@ class DistCsrMatrix {
   /// columns, merged duplicates) and carry exactly the sparsity structure of
   /// localBlock(); anything else throws.  Purely local: no communication and
   /// no allocation — this is the same-pattern fast path of the operator
-  /// change contract (DESIGN.md "Operator change contract").
+  /// change contract (DESIGN.md "Operator change contract").  Any tuned
+  /// kernel aux storage (SELL/block) is refreshed positionally in the same
+  /// pass.
   void updateValues(const CsrMatrix& local);
 
   /// y = A*x; x is this rank's piece under colStarts(), y under rowStarts().
@@ -101,8 +126,30 @@ class DistCsrMatrix {
     return static_cast<int>(boundaryRows_.size());
   }
 
+  // ---- Tuned local kernel (the autotuner's plug) -----------------------
+
+  /// Select the local kernel + halo strategy for subsequent spmv() calls.
+  /// Purely local, no communication; auxiliary storage (SELL-C-σ lanes,
+  /// VBR blocks) is built on first selection and refreshed positionally by
+  /// updateValues afterwards.  A kBlock request whose structure fails
+  /// blockKernelEligible falls back to kCsr; the returned config is the one
+  /// actually applied.  The default (kCsr, overlapped) is exactly the
+  /// original spmv path and builds nothing.
+  SpmvConfig setSpmvConfig(const SpmvConfig& config);
+
+  /// The configuration spmv() currently runs.
+  [[nodiscard]] const SpmvConfig& spmvConfig() const { return spmvConfig_; }
+
+  /// True if the owned block stays within the fill budget when carved into
+  /// uniform blockSize-sized dense blocks (kBlock eligibility).  Purely
+  /// local — tuners agree across ranks with a min-reduction.
+  [[nodiscard]] bool blockKernelEligible(int blockSize) const;
+
  private:
   void buildHaloPlan();
+  void buildSellAux();
+  void buildBlockAux(int blockSize);
+  void refreshKernelAux();
 
   comm::Comm comm_;
   int globalRows_ = 0;
@@ -133,6 +180,20 @@ class DistCsrMatrix {
   mutable std::vector<double> sendBuf_;     ///< packed outgoing x entries
   mutable std::vector<double> xGhost_;      ///< received ghost values, by slot
   mutable std::size_t spmvRound_ = 0;       ///< rotates through spmvTags_
+
+  // Tuned-kernel state (setSpmvConfig).  Aux storage mirrors mapped_'s
+  // values through the *Src_ index maps, so updateValues refreshes it
+  // without rebuilding (-1 slots are padding/fill and stay 0.0).
+  SpmvConfig spmvConfig_;
+  SellCMatrix sellInterior_;                ///< kSellC lanes, interior rows
+  SellCMatrix sellBoundary_;                ///< kSellC lanes, boundary rows
+  std::vector<int> sellInteriorSrc_;
+  std::vector<int> sellBoundarySrc_;
+  bool sellBuilt_ = false;
+  VbrMatrix vbr_;                           ///< kBlock substrate over mapped_
+  std::vector<int> vbrSrc_;
+  int vbrBlockSize_ = 0;
+  mutable std::vector<double> xExt_;        ///< owned+ghost x, aux kernels only
 };
 
 // ---- Reuse observability (process-wide, across MiniMPI rank-threads) ----

@@ -126,4 +126,37 @@ struct VbrMatrix {
   void check() const;
 };
 
+/// Sliced ELLPACK (SELL-C-σ).  Rows are grouped into chunks of `chunk`
+/// consecutive slots; within each sorting window of `sigma` rows the rows
+/// are ordered by descending length so chunk-mates have similar lengths.
+/// Each chunk stores its entries column-major, padded to the chunk's widest
+/// row:
+///   slot (c, j, k) for chunk c, lane j, entry k lives at
+///   chunkPtr[c] + k*chunk + j.
+/// Padding slots carry colIdx 0 / value 0 and are never dereferenced by the
+/// kernel (it bounds each lane by rowLen).  `rowIds[c*chunk + j]` is the
+/// original row stored in lane j of chunk c, so kernels scatter results
+/// back without a separate permutation pass.  This is internal tuned
+/// storage, not a setupMatrix input format — SparseStruct is unchanged.
+struct SellCMatrix {
+  int rows = 0;             ///< logical rows (before chunk padding)
+  int cols = 0;
+  int chunk = 0;            ///< C: rows per chunk (slot count, >= 1)
+  int sigma = 0;            ///< σ: sorting-window size used at build time
+  std::vector<int> chunkPtr;  ///< size numChunks+1, offsets into colIdx/values
+  std::vector<int> rowIds;    ///< size numChunks*chunk, original row per lane
+  std::vector<int> rowLen;    ///< size numChunks*chunk, entries per lane
+  std::vector<int> colIdx;    ///< padded column-major chunk storage
+  std::vector<double> values;
+
+  [[nodiscard]] int numChunks() const {
+    return chunkPtr.empty() ? 0 : static_cast<int>(chunkPtr.size()) - 1;
+  }
+  /// Stored slots including padding (colIdx/values length).
+  [[nodiscard]] int paddedSize() const {
+    return chunkPtr.empty() ? 0 : chunkPtr.back();
+  }
+  void check() const;
+};
+
 }  // namespace lisi::sparse

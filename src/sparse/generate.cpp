@@ -1,6 +1,7 @@
 #include "sparse/generate.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "sparse/convert.hpp"
 #include "sparse/ops.hpp"
@@ -126,6 +127,85 @@ CsrMatrix laplacian2d(int nx, int ny) {
         coo.colIdx.push_back(id(nb[0], nb[1]));
         coo.values.push_back(-1.0);
       }
+    }
+  }
+  return cooToCsr(coo);
+}
+
+CsrMatrix laplacian2d9(int nx, int ny) {
+  LISI_CHECK(nx >= 1 && ny >= 1, "laplacian2d9: grid must be >= 1x1");
+  const int n = nx * ny;
+  CooMatrix coo;
+  coo.rows = n;
+  coo.cols = n;
+  auto id = [nx](int ix, int iy) { return iy * nx + ix; };
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      const int row = id(ix, iy);
+      coo.rowIdx.push_back(row);
+      coo.colIdx.push_back(row);
+      coo.values.push_back(8.0 / 3.0);
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const int jx = ix + dx;
+          const int jy = iy + dy;
+          if (jx < 0 || jx >= nx || jy < 0 || jy >= ny) continue;
+          coo.rowIdx.push_back(row);
+          coo.colIdx.push_back(id(jx, jy));
+          coo.values.push_back(-1.0 / 3.0);
+        }
+      }
+    }
+  }
+  return cooToCsr(coo);
+}
+
+CsrMatrix blockLaplacian2d(int nx, int ny, int bs) {
+  LISI_CHECK(bs >= 1, "blockLaplacian2d: block size must be >= 1");
+  const CsrMatrix l = laplacian2d(nx, ny);
+  // Dense SPD coupling block D = I + 0.1 * ones: eigenvalues {1, 1 + bs/10},
+  // so kron(L, D) inherits positive definiteness from L.
+  CooMatrix coo;
+  coo.rows = l.rows * bs;
+  coo.cols = l.cols * bs;
+  for (int i = 0; i < l.rows; ++i) {
+    for (int k = l.rowPtr[static_cast<std::size_t>(i)];
+         k < l.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int j = l.colIdx[static_cast<std::size_t>(k)];
+      const double lij = l.values[static_cast<std::size_t>(k)];
+      for (int bi = 0; bi < bs; ++bi) {
+        for (int bj = 0; bj < bs; ++bj) {
+          const double d = (bi == bj ? 1.1 : 0.1);
+          coo.rowIdx.push_back(i * bs + bi);
+          coo.colIdx.push_back(j * bs + bj);
+          coo.values.push_back(lij * d);
+        }
+      }
+    }
+  }
+  return cooToCsr(coo);
+}
+
+CsrMatrix permuteSymmetric(const CsrMatrix& a, Rng& rng) {
+  a.check();
+  LISI_CHECK(a.rows == a.cols, "permuteSymmetric: matrix must be square");
+  std::vector<int> perm(static_cast<std::size_t>(a.rows));
+  for (int i = 0; i < a.rows; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (int i = a.rows - 1; i > 0; --i) {  // Fisher-Yates with the repo Rng
+    const int j = static_cast<int>(rng.below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(j)]);
+  }
+  CooMatrix coo;
+  coo.rows = a.rows;
+  coo.cols = a.cols;
+  for (int i = 0; i < a.rows; ++i) {
+    for (int k = a.rowPtr[static_cast<std::size_t>(i)];
+         k < a.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+      coo.rowIdx.push_back(perm[static_cast<std::size_t>(i)]);
+      coo.colIdx.push_back(
+          perm[static_cast<std::size_t>(a.colIdx[static_cast<std::size_t>(k)])]);
+      coo.values.push_back(a.values[static_cast<std::size_t>(k)]);
     }
   }
   return cooToCsr(coo);

@@ -26,4 +26,20 @@ namespace lisi::sparse {
 /// Standard 2-D 5-point Laplacian on an nx-by-ny grid (SPD).
 [[nodiscard]] CsrMatrix laplacian2d(int nx, int ny);
 
+/// 2-D 9-point Laplacian on an nx-by-ny grid (SPD): diagonal 8/3, edge
+/// neighbours -1/3, corner neighbours -1/3 (the standard compact stencil
+/// scaled so the row sum vanishes in the interior).
+[[nodiscard]] CsrMatrix laplacian2d9(int nx, int ny);
+
+/// Kronecker product of laplacian2d(nx, ny) with a dense SPD bs-by-bs
+/// coupling block: every scalar stencil entry becomes a dense bs×bs block,
+/// giving a uniformly block-sparse SPD matrix of order nx*ny*bs (the
+/// block-kernel tuning target; multi-dof-per-node FEM shape).
+[[nodiscard]] CsrMatrix blockLaplacian2d(int nx, int ny, int bs);
+
+/// Symmetric permutation P*A*P' under a deterministic pseudo-random
+/// permutation drawn from `rng` (models FEM node reordering: same spectrum
+/// and row lengths, scattered locality).  Canonical output.
+[[nodiscard]] CsrMatrix permuteSymmetric(const CsrMatrix& a, Rng& rng);
+
 }  // namespace lisi::sparse

@@ -100,6 +100,32 @@ void spmv(const VbrMatrix& a, std::span<const double> x, std::span<double> y) {
   }
 }
 
+void spmv(const SellCMatrix& a, std::span<const double> x,
+          std::span<double> y) {
+  LISI_CHECK(static_cast<int>(x.size()) == a.cols,
+             "spmv(SELL): x size mismatch");
+  LISI_CHECK(static_cast<int>(y.size()) == a.rows,
+             "spmv(SELL): y size mismatch");
+  const int chunk = a.chunk;
+  for (int c = 0; c < a.numChunks(); ++c) {
+    const int begin = a.chunkPtr[static_cast<std::size_t>(c)];
+    for (int j = 0; j < chunk; ++j) {
+      const std::size_t lane = static_cast<std::size_t>(c) * chunk + j;
+      const int r = a.rowIds[lane];
+      if (r < 0) continue;
+      // Bounding by rowLen (not chunk width) keeps padding slots out of the
+      // sum entirely — even +0.0 terms would flip signed zeros.
+      double acc = 0.0;
+      for (int k = 0; k < a.rowLen[lane]; ++k) {
+        const std::size_t slot = static_cast<std::size_t>(begin + k * chunk + j);
+        acc += a.values[slot] *
+               x[static_cast<std::size_t>(a.colIdx[slot])];
+      }
+      y[static_cast<std::size_t>(r)] = acc;
+    }
+  }
+}
+
 CsrMatrix transpose(const CsrMatrix& a) {
   CscMatrix csc = csrToCsc(a);
   CsrMatrix t;

@@ -1,0 +1,110 @@
+// lisi::tune — structure-fingerprint-keyed autotuner.
+//
+// On the first solve for a structural fingerprint the tuner micro-benchmarks
+// the candidate SpMV configurations (local kernel: CSR / prefetch-CSR /
+// SELL-C-σ / uniform-block VBR; halo exchange: overlapped vs eager) and the
+// collective schedule family (kTree vs kStar, pinned per-World through
+// Comm::pinCollectiveSchedule), then records the winner in a process-wide
+// cache keyed by the *global* operator structure.  Every later solve that
+// presents the same fingerprint — kSameOperator or kSameStructure under the
+// operator change contract — replays the cached decision with zero probe
+// measurements; kNewStructure invalidates and retunes, bounded per solver
+// component by a retune budget so time-stepping loops with evolving meshes
+// cannot stall on endless probing.
+//
+// The cache is process-wide on purpose: MiniMPI ranks are threads of one
+// process and every rank executes tuneOperator() at the same point of its
+// program, so hit/miss outcomes agree by program order.  The key includes a
+// sum-reduction of the per-rank fingerprints, making it a property of the
+// distributed operator, not of one rank's block.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "comm/comm.hpp"
+#include "sparse/dist_csr.hpp"
+
+namespace lisi::tune {
+
+/// Tuning policy.  kOff: never probe, never touch configs (pre-tuner
+/// behavior).  kOn: probe every structure regardless of size.  kAuto:
+/// probe only operators big enough for the decision to matter (small ones
+/// keep the default config; the probe would cost more than it ever saves).
+enum class Mode { kOff, kOn, kAuto };
+
+/// Parse "off"/"on"/"auto" (case-insensitive); anything else -> fallback.
+[[nodiscard]] Mode modeFromString(const std::string& s, Mode fallback);
+
+/// Policy from the LISI_TUNE environment variable (default kAuto).
+[[nodiscard]] Mode modeFromEnv();
+
+[[nodiscard]] const char* modeName(Mode m);
+
+/// Global operator identity: the kSum-allreduce of the per-rank structural
+/// fingerprints (PR 3's FNV-1a structureHash) plus the communicator size.
+struct OperatorKey {
+  std::uint64_t fingerprint = 0;
+  int ranks = 0;
+  friend bool operator==(const OperatorKey&, const OperatorKey&) = default;
+  friend bool operator<(const OperatorKey& a, const OperatorKey& b) {
+    return a.fingerprint != b.fingerprint ? a.fingerprint < b.fingerprint
+                                          : a.ranks < b.ranks;
+  }
+};
+
+/// A complete tuning decision.
+struct Decision {
+  sparse::SpmvConfig spmv;
+  comm::CollectiveSchedule schedule = comm::CollectiveSchedule::kAuto;
+  bool probed = false;  ///< measured now (false: cache replay or fallback)
+};
+
+/// Process-wide tuner counters.  Always maintained (unlike obs counters,
+/// which compile out when LISI_OBS=OFF) so tests can assert exact values in
+/// every build flavor.  Mirrored into obs as tune.cache_hit / tune.cache_miss
+/// / tune.retune / tune.probe_measurements when obs is enabled.
+struct Stats {
+  long long cacheHits = 0;          ///< decision replayed from the cache
+  long long cacheMisses = 0;        ///< fingerprint not in the cache
+  long long retunes = 0;            ///< probe triggered by kNewStructure
+  long long probeMeasurements = 0;  ///< individual timed probe repetitions
+  long long budgetSkips = 0;        ///< retune suppressed by the budget
+  long long autoSkips = 0;          ///< kAuto left a small operator untuned
+};
+[[nodiscard]] Stats stats();
+
+/// Test hooks: zero the counters / drop every cached decision.
+void resetStatsForTest();
+void clearCacheForTest();
+
+/// Everything tuneOperator needs.  `matrix` must be the assembled distributed
+/// operator (probes run real spmv calls on it); `key` the collectively agreed
+/// OperatorKey; `structureChanged` true when this component had already tuned
+/// an earlier structure (the kNewStructure path, charged against the budget).
+struct TuneInput {
+  comm::Comm comm;
+  sparse::DistCsrMatrix* matrix = nullptr;
+  OperatorKey key;
+  long long globalNnz = 0;
+  Mode mode = Mode::kAuto;
+  bool structureChanged = false;
+  int retunesSoFar = 0;
+  int retuneBudget = 4;
+};
+
+/// kAuto probes only operators with at least this many global nonzeros.
+inline constexpr long long kAutoMinGlobalNnz = 1 << 15;
+
+/// Look up or measure the decision for `in.key` and apply it to the matrix
+/// (and, for the schedule, to the communicator's context pin).  Collective:
+/// every rank of in.comm must call together with the same key.  Never
+/// probes on a cache hit; honors mode and the retune budget as documented
+/// on Mode/TuneInput.
+Decision tuneOperator(const TuneInput& in);
+
+/// Record a replay on the solver fast path (structure epoch unchanged, no
+/// cache lookup or communication needed).  Purely local.
+void noteReplayHit();
+
+}  // namespace lisi::tune
