@@ -1,0 +1,277 @@
+// Mixed-precision ablation: precision=mixed (float32 error-correction side
+// under float64 outer iteration) vs precision=double (the historical
+// all-float64 path) time-to-rtol across backends, at 1 and 4 ranks.
+//
+// Protocol per (entry, procs, arm): one untimed warmup solve — the
+// preconditioner factors / MG hierarchy mirrors build there, outside the
+// timed region, identically for both arms — then repeated FULL solves of
+// the same system from a zero guess (each one is a complete time-to-rtol
+// run; kSameOperator keeps the preconditioner), timed as one region.  Arms
+// alternate order every rep so warmup and host-speed drift hit both
+// equally.  The lisi::prec byte counters are sampled around the timed
+// region: the mixed arm must move fewer value bytes (float32 halves the
+// error-correction side's traffic), and both arms must converge — mixed is
+// a speed path, never an accuracy downgrade.
+//
+// The entries are sized ABOVE per-core cache so the halved value bandwidth
+// is visible: float32 only pays when the working set streams.  Results go
+// to stdout and BENCH_precision.json.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sparse/ops.hpp"
+
+namespace {
+
+using lisi::comm::Comm;
+using lisi::comm::World;
+
+struct Entry {
+  std::string name;
+  std::string cls;       ///< component class
+  std::string solver;    ///< pksp only
+  std::string pc;        ///< pksp only
+  int gridN = 0;         ///< paper PDE grid (hymg: must be 2^k - 1)
+  std::string smoother;  ///< hymg only ("" = component default)
+  /// Full solves per timed region: each is a complete Krylov/MG run, sized
+  /// per entry so every timed region lasts seconds — a sub-second region
+  /// drowns in scheduler noise on an oversubscribed host.
+  int timedSolves = 3;
+};
+
+std::vector<Entry> buildZoo() {
+  return {
+      // GMRES(30)+ILU(0): the float32 path is the ILU triangular sweeps.
+      {"pksp_ilu_240", lisi::kPkspComponentClass, "gmres", "ilu", 240, ""},
+      // GMRES(30)+SOR: the float32 path is the SOR sweeps.  (GMRES, not
+      // BiCGStab: BiCGStab's short recurrences amplify preconditioner
+      // perturbation into extra iterations; GMRES keeps the count stable.)
+      {"pksp_sor_200", lisi::kPkspComponentClass, "gmres", "sor", 200, ""},
+      // HyMG: the whole cycle (smoothers, transfers, coarse LU) runs
+      // float32 inside the float64 defect-correction loop.  gs exercises
+      // the sequential hybrid-GS sweeps; jacobi the vectorizable path.
+      {"hymg_gs_511", lisi::kHymgComponentClass, "", "", 511, "gs", 12},
+      {"hymg_jac_511", lisi::kHymgComponentClass, "", "", 511, "jacobi", 12},
+  };
+}
+
+struct ArmResult {
+  double seconds = 0.0;  ///< timed region (kTimedSolves solves), rank 0
+  int iterations = 0;
+  double relResidual = 0.0;
+  long long bytesLow = 0;
+  long long bytesHigh = 0;
+  bool ok = true;
+};
+
+/// One arm: fresh component, feed the operator, warm solve, then the timed
+/// full solves from a zero guess.
+ArmResult runArm(const Comm& c, const Entry& e, bool mixed) {
+  lisi::registerSolverComponents();
+  cca::Framework fw;
+  const long h = lisi::comm::registerHandle(c);
+  ArmResult res;
+  const bench::LocalSystem ls = bench::assembleFor(c, e.gridN);
+  const auto& sys = ls.sys;
+  const int m = sys.localA.rows;
+
+  static int counter = 0;
+  const std::string name = "prec" + std::to_string(counter++);
+  fw.instantiate(name, e.cls);
+  auto s = fw.getProvidesPortAs<lisi::SparseSolver>(
+      name, lisi::kSparseSolverPortName);
+  int rc = s->initialize(h);
+  if (rc == 0) rc = s->setStartRow(sys.startRow);
+  if (rc == 0) rc = s->setLocalRows(m);
+  if (rc == 0) rc = s->setGlobalCols(sys.globalN);
+  if (rc == 0) rc = s->set("tune", "off");  // isolate the precision effect
+  if (rc == 0) rc = s->set("precision", mixed ? "mixed" : "double");
+  if (e.cls == std::string(lisi::kHymgComponentClass)) {
+    if (rc == 0) rc = s->setInt("mg_grid_n", e.gridN);
+    if (rc == 0) rc = s->setDouble("mg_bx", 3.0);
+    if (rc == 0) rc = s->setDouble("tol", bench::kTol);
+    if (rc == 0) rc = s->setInt("maxits", 200);
+    if (rc == 0 && !e.smoother.empty()) rc = s->set("mg_smoother", e.smoother);
+  } else {
+    if (rc == 0) rc = s->set("solver", e.solver);
+    if (rc == 0) rc = s->set("preconditioner", e.pc);
+    if (rc == 0) rc = s->setDouble("tol", bench::kTol);
+    if (rc == 0) rc = s->setInt("maxits", bench::kMaxIts);
+    if (rc == 0) rc = s->setInt("restart", bench::kRestart);
+  }
+  if (rc == 0) {
+    rc = s->setupMatrix(
+        lisi::RArray<const double>(sys.localA.values.data(), sys.localA.nnz()),
+        lisi::RArray<const int>(sys.localA.rowPtr.data(), m + 1),
+        lisi::RArray<const int>(sys.localA.colIdx.data(), sys.localA.nnz()),
+        lisi::SparseStruct::kCsr, m + 1, sys.localA.nnz());
+  }
+  if (rc == 0) {
+    rc = s->setupRHS(lisi::RArray<const double>(sys.localB.data(), m), m, 1);
+  }
+  std::vector<double> x(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> st(lisi::kStatusLength, 0.0);
+  const auto solveOnce = [&] {
+    std::fill(x.begin(), x.end(), 0.0);  // every solve is a full run
+    return s->solve(lisi::RArray<double>(x.data(), m),
+                    lisi::RArray<double>(st.data(), lisi::kStatusLength), m,
+                    lisi::kStatusLength);
+  };
+  // Warmup: preconditioner factors / float32 mirrors build here.
+  if (rc == 0) rc = solveOnce();
+
+  c.barrier();
+  const lisi::prec::Stats bytes0 = lisi::prec::stats();
+  c.barrier();
+  lisi::WallTimer timer;
+  for (int rep = 0; rep < e.timedSolves && rc == 0; ++rep) rc = solveOnce();
+  c.barrier();
+  res.seconds = timer.seconds();
+  const lisi::prec::Stats bytes1 = lisi::prec::stats();
+  c.barrier();
+  res.bytesLow = bytes1.bytesLow - bytes0.bytesLow;
+  res.bytesHigh = bytes1.bytesHigh - bytes0.bytesHigh;
+  res.iterations = static_cast<int>(st[lisi::kStatusIterations]);
+  const double bnorm =
+      lisi::sparse::distNorm2(c, std::span<const double>(sys.localB));
+  res.relResidual = st[lisi::kStatusResidualNorm] / bnorm;
+  res.ok = rc == 0 && st[lisi::kStatusConverged] == 1.0;
+  lisi::comm::releaseHandle(h);
+  return res;
+}
+
+struct Row {
+  std::string name;
+  int procs = 0;
+  long long nnz = 0;
+  int timedSolves = 0;
+  double doubleSec = 0.0;
+  double mixedSec = 0.0;
+  int doubleIters = 0;
+  int mixedIters = 0;
+  double doubleRel = 0.0;
+  double mixedRel = 0.0;
+  long long mixedBytesLow = 0;
+  long long mixedBytesHigh = 0;
+  long long doubleBytesHigh = 0;
+  bool ok = true;
+  [[nodiscard]] double speedup() const {
+    return mixedSec > 0 ? doubleSec / mixedSec : 0.0;
+  }
+  /// Total value bytes, mixed over double: < 1 means the float32 side
+  /// measurably cut the traffic.
+  [[nodiscard]] double bytesRatio() const {
+    return doubleBytesHigh > 0 ? static_cast<double>(mixedBytesLow +
+                                                     mixedBytesHigh) /
+                                     static_cast<double>(doubleBytesHigh)
+                               : 0.0;
+  }
+};
+
+Row runCase(const Entry& e, int procs, int reps) {
+  Row row;
+  row.name = e.name;
+  row.procs = procs;
+  row.timedSolves = e.timedSolves;
+  lisi::RunStats dblStats, mixStats;
+  for (int rep = 0; rep < reps; ++rep) {
+    World::run(procs, [&](Comm& c) {
+      ArmResult dbl, mix;
+      if (rep % 2 == 0) {
+        dbl = runArm(c, e, /*mixed=*/false);
+        mix = runArm(c, e, /*mixed=*/true);
+      } else {
+        mix = runArm(c, e, /*mixed=*/true);
+        dbl = runArm(c, e, /*mixed=*/false);
+      }
+      if (c.rank() == 0) {
+        dblStats.add(dbl.seconds);
+        mixStats.add(mix.seconds);
+        row.doubleIters = dbl.iterations;
+        row.mixedIters = mix.iterations;
+        row.doubleRel = dbl.relResidual;
+        row.mixedRel = mix.relResidual;
+        row.mixedBytesLow = mix.bytesLow;
+        row.mixedBytesHigh = mix.bytesHigh;
+        row.doubleBytesHigh = dbl.bytesHigh;
+        row.ok = row.ok && dbl.ok && mix.ok;
+      }
+    });
+    if (row.nnz == 0) {
+      // nnz of the global operator, once (gridN^2 interior 5-point rows).
+      const long long n = e.gridN;
+      row.nnz = 5 * n * n - 4 * n;
+    }
+  }
+  // Best-of-reps: both arms run identical work per region, so the minimum
+  // is the least-scheduler-noise estimate on an oversubscribed host.
+  row.doubleSec = dblStats.min();
+  row.mixedSec = mixStats.min();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const int reps = bench::repetitions();
+  const std::vector<Entry> zoo = buildZoo();
+  std::printf(
+      "# Mixed-precision ablation: precision=mixed vs precision=double\n"
+      "# time-to-rtol (full solves per timed region sized per entry, best\n"
+      "# of %d reps, rtol %g).  bytes = value bytes moved in the timed\n"
+      "# region (process-wide, all ranks); ratio = mixed / double total.\n",
+      reps, bench::kTol);
+  std::printf("%-14s %6s %9s %11s %11s %8s %6s %6s %7s\n", "entry", "procs",
+              "nnz", "double(s)", "mixed(s)", "speedup", "itsD", "itsM",
+              "bytes");
+
+  std::vector<Row> rows;
+  for (const Entry& e : zoo) {
+    for (const int procs : {1, 4}) {
+      rows.push_back(runCase(e, procs, reps));
+    }
+  }
+
+  bool allOk = true;
+  for (const Row& r : rows) {
+    allOk = allOk && r.ok;
+    std::printf("%-14s %6d %9lld %11.6f %11.6f %7.3fx %6d %6d %6.3fx%s\n",
+                r.name.c_str(), r.procs, r.nnz, r.doubleSec, r.mixedSec,
+                r.speedup(), r.doubleIters, r.mixedIters, r.bytesRatio(),
+                r.ok ? "" : "  SOLVE FAILED");
+  }
+
+  std::FILE* f = std::fopen("BENCH_precision.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_precision.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ablation_precision\",\n");
+  std::fprintf(f, "  \"rtol\": %g,\n  \"reps\": %d,\n", bench::kTol, reps);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"entry\": \"%s\", \"procs\": %d, \"nnz\": %lld, "
+        "\"timed_solves\": %d, "
+        "\"double_s\": %.6f, \"mixed_s\": %.6f, \"speedup\": %.3f, "
+        "\"double_iters\": %d, \"mixed_iters\": %d, "
+        "\"double_rel_residual\": %.3e, \"mixed_rel_residual\": %.3e, "
+        "\"mixed_bytes_low\": %lld, \"mixed_bytes_high\": %lld, "
+        "\"double_bytes_high\": %lld, \"bytes_ratio\": %.3f, "
+        "\"ok\": %s}%s\n",
+        r.name.c_str(), r.procs, r.nnz, r.timedSolves, r.doubleSec, r.mixedSec,
+        r.speedup(),
+        r.doubleIters, r.mixedIters, r.doubleRel, r.mixedRel, r.mixedBytesLow,
+        r.mixedBytesHigh, r.doubleBytesHigh, r.bytesRatio(),
+        r.ok ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("# wrote BENCH_precision.json\n");
+  return allOk ? 0 : 1;
+}

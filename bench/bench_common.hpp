@@ -29,6 +29,7 @@
 #include "slu/slu.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/dist_csr.hpp"
+#include "support/prec.hpp"
 #include "support/stats.hpp"
 #include "support/timer.hpp"
 
@@ -42,12 +43,32 @@ inline int repetitions(int fallback = 10) {
   return fallback;
 }
 
-/// Outcome of one timed solve.
+/// Outcome of one timed solve.  The bytes fields are deltas of the
+/// process-wide lisi::prec counters over the timed region: MiniMPI ranks
+/// are threads of one process, so they aggregate value traffic across all
+/// ranks of the world (the right denominator for a bytes-moved ratio —
+/// both arms of an ablation run the same world size).
 struct SolveSample {
   double seconds = 0.0;  ///< timed region on rank 0
   int iterations = 0;
   double residualNorm = 0.0;
   bool ok = false;
+  long long bytesLow = 0;   ///< float32 value bytes moved in the region
+  long long bytesHigh = 0;  ///< float64 value bytes moved in the region
+};
+
+/// Capture a lisi::prec byte-counter delta around a timed region.
+class PrecBytesProbe {
+ public:
+  PrecBytesProbe() : start_(lisi::prec::stats()) {}
+  void finish(SolveSample& sample) const {
+    const lisi::prec::Stats now = lisi::prec::stats();
+    sample.bytesLow = now.bytesLow - start_.bytesLow;
+    sample.bytesHigh = now.bytesHigh - start_.bytesHigh;
+  }
+
+ private:
+  lisi::prec::Stats start_;
 };
 
 /// Iterative-solver configuration shared by the experiments: GMRES(30) with
@@ -77,6 +98,7 @@ inline SolveSample ccaSolve(const lisi::comm::Comm& comm,
   const auto& sys = ls.sys;
   const int m = sys.localA.rows;
   SolveSample sample;
+  const PrecBytesProbe bytes;
   lisi::WallTimer timer;
 
   const long handle = lisi::comm::registerHandle(comm);
@@ -122,6 +144,7 @@ inline SolveSample ccaSolve(const lisi::comm::Comm& comm,
   lisi::comm::releaseHandle(handle);
 
   sample.seconds = timer.seconds();
+  bytes.finish(sample);
   sample.ok = (rc == 0);
   sample.iterations = static_cast<int>(status[lisi::kStatusIterations]);
   sample.residualNorm = status[lisi::kStatusResidualNorm];

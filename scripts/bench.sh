@@ -7,15 +7,17 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S .
 cmake --build build -j --target ablation_pipeline ablation_reuse \
-  ablation_autotune ablation_overhead ablation_collectives ablation_rarray \
-  ablation_params ablation_formats ablation_matfree ablation_mg
+  ablation_autotune ablation_precision ablation_overhead \
+  ablation_collectives ablation_rarray ablation_params ablation_formats \
+  ablation_matfree ablation_mg
 
 # Fail loudly, by name, if any expected harness binary is missing — a
 # renamed target would otherwise surface as a confusing "no such file"
 # halfway through the collection loop below.
 for bin in ablation_pipeline ablation_reuse ablation_autotune \
-    ablation_overhead ablation_collectives ablation_rarray ablation_params \
-    ablation_formats ablation_matfree ablation_mg; do
+    ablation_precision ablation_overhead ablation_collectives \
+    ablation_rarray ablation_params ablation_formats ablation_matfree \
+    ablation_mg; do
   if [ ! -x "./build/bench/$bin" ]; then
     echo "bench: FATAL: expected binary build/bench/$bin is missing" >&2
     exit 1
@@ -38,6 +40,12 @@ mkdir -p "$ART"
 # explicitly.
 (cd "$ART" && env -u LISI_TUNE "$OLDPWD"/build/bench/ablation_autotune \
   | tee BENCH_autotune.txt)
+
+# Mixed-precision ablation writes BENCH_precision.json into its cwd.
+# LISI_PRECISION must not leak into the run: both arms set the "precision"
+# parameter explicitly, and tuning is pinned off inside the harness.
+(cd "$ART" && env -u LISI_PRECISION "$OLDPWD"/build/bench/ablation_precision \
+  | tee BENCH_precision.txt)
 
 # Componentization-overhead ablation writes BENCH_overhead.json into its
 # cwd (plus BENCH_overhead_obs.json / BENCH_overhead_trace.json when the

@@ -24,8 +24,15 @@
 #              observability spans/counters on the comm and solver hot
 #              paths must not change any result, and the allocation-free
 #              guarantees must survive the instrumentation;
+#   1c. precision: run the full suite with LISI_PRECISION=mixed (float32
+#              speed paths forced wherever a backend has one) and with
+#              LISI_PRECISION=double (pure-float64 paths pinned) — the
+#              precision policy may change speed, never correctness;
 #   6. docs:   every -DLISI_* CMake option named in README/DESIGN/docs must
-#              actually exist in CMakeLists.txt (no doc drift).
+#              actually exist in CMakeLists.txt (no doc drift);
+#   7. lint:   when clang-tidy is on PATH, rebuild with -DLISI_LINT=ON so
+#              the dormant tidy gate actually runs; skipped loudly (not
+#              silently) on toolchains without clang-tidy.
 #
 # Sanitizer availability is probed loudly up front: a toolchain without
 # libtsan/libasan would otherwise fail mid-flow with an obscure linker error,
@@ -66,6 +73,15 @@ cmake --build build -j
 # every assembled structure (on), and the exact pre-tuner code path (off).
 (cd build && LISI_TUNE=on ctest --output-on-failure -j)
 (cd build && LISI_TUNE=off ctest --output-on-failure -j)
+
+# ---- 1c. mixed precision forced on / forced off ------------------------
+# Same contract as 1b for the precision policy: the whole suite must hold
+# with float32 speed paths forced on everywhere a backend has one (mixed)
+# and with the policy pinned to the pure-float64 paths (double).  The env
+# knob loses to explicit "precision" parameters; tests whose semantics
+# need a clean environment clear the variable for their own scope.
+(cd build && LISI_PRECISION=mixed ctest --output-on-failure -j)
+(cd build && LISI_PRECISION=double ctest --output-on-failure -j)
 
 # ---- 2. LISI_COMM_CHECK ------------------------------------------------
 # The checked library must pass the *entire* suite (no false positives on
@@ -132,5 +148,20 @@ doc_sanity() {
   return "${fail}"
 }
 doc_sanity
+
+# ---- 7. lint (clang-tidy, when available) ------------------------------
+# The LISI_LINT gate (CMake + .clang-tidy) is wired but dormant on
+# toolchains without clang-tidy.  Probe for the binary the same way the
+# sanitizer probes work: run the gate when it can run, and say so by name
+# when it cannot — a skip must never look like a pass.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "verify: lint probe: clang-tidy available ($(command -v clang-tidy))"
+  cmake -B build-lint -S . -DLISI_LINT=ON
+  cmake --build build-lint -j
+  echo "verify: lint: clang-tidy gate passed"
+else
+  echo "verify: lint: SKIPPED — clang-tidy not on PATH; the LISI_LINT" \
+       "gate did not run (install clang-tidy to enable it)"
+fi
 
 echo "verify: OK"

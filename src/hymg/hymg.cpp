@@ -9,6 +9,7 @@
 
 #include "sparse/matmul.hpp"
 #include "sparse/partition.hpp"
+#include "support/prec.hpp"
 
 namespace hymg {
 
@@ -168,6 +169,8 @@ class DenseLu {
         for (int j = k + 1; j < n; ++j) at(i, j) -= lik * at(k, j);
       }
     }
+    // Keep an existing float32 mirror in sync with the refreshed factors.
+    if (!aF_.empty()) mirrorToFloat();
   }
 
   void solve(std::vector<double>& b) const {
@@ -186,6 +189,27 @@ class DenseLu {
     }
   }
 
+  /// Mirror the factored matrix into float32 for the low-precision cycle
+  /// (pivoting already happened in float64; only the application rounds).
+  void mirrorToFloat() { aF_.assign(a_.begin(), a_.end()); }
+  void dropFloatMirror() { aF_.clear(); }
+
+  void solveF(std::vector<float>& b) const {
+    for (int k = 0; k < n_; ++k) {
+      std::swap(b[static_cast<std::size_t>(k)],
+                b[static_cast<std::size_t>(piv_[static_cast<std::size_t>(k)])]);
+      for (int i = k + 1; i < n_; ++i) {
+        b[static_cast<std::size_t>(i)] -= atF(i, k) * b[static_cast<std::size_t>(k)];
+      }
+    }
+    for (int k = n_ - 1; k >= 0; --k) {
+      for (int j = k + 1; j < n_; ++j) {
+        b[static_cast<std::size_t>(k)] -= atF(k, j) * b[static_cast<std::size_t>(j)];
+      }
+      b[static_cast<std::size_t>(k)] /= atF(k, k);
+    }
+  }
+
  private:
   double& at(int i, int j) {
     return a_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
@@ -195,8 +219,13 @@ class DenseLu {
     return a_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
               static_cast<std::size_t>(j)];
   }
+  [[nodiscard]] float atF(int i, int j) const {
+    return aF_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+               static_cast<std::size_t>(j)];
+  }
   int n_ = 0;
   std::vector<double> a_;
+  std::vector<float> aF_;
   std::vector<int> piv_;
 };
 
@@ -217,6 +246,16 @@ struct Level {
   mutable std::vector<double> cycPe;    ///< prolongated correction, fine size
   mutable std::vector<double> cycRc;    ///< restricted residual, coarse size
   mutable std::vector<double> cycEc;    ///< coarse correction, coarse size
+  // Float32 mirrors of the smoother data and the cycle scratch for the
+  // low-precision cycle (Solver::setLowPrecision); empty in float64 mode.
+  // Operator/transfer values are mirrored inside DistCsrMatrix (spmvFloat).
+  std::vector<float> invDiagF;
+  std::vector<float> gsValsF;
+  mutable std::vector<float> smoothRF;
+  mutable std::vector<float> cycRF;
+  mutable std::vector<float> cycPeF;
+  mutable std::vector<float> cycRcF;
+  mutable std::vector<float> cycEcF;
 };
 
 }  // namespace
@@ -227,15 +266,24 @@ struct Solver::Impl {
   StencilFn stencil;
   std::vector<Level> levels;
   DenseLu coarseLu;  ///< valid on rank 0 only
+  bool lowPrecision = false;
+  // Finest-level defect/correction buffers for the float32 cycle.
+  mutable std::vector<float> fineBF, fineXF;
 
   void build(int gridN);
   void refreshValues();
   void factorCoarse();
+  void mirrorLowPrecision();
   void smooth(const Level& lvl, std::span<const double> b,
               std::span<double> x, int sweeps) const;
   void cycle(std::size_t l, std::span<const double> b,
              std::span<double> x) const;
   void coarseSolve(std::span<const double> b, std::span<double> x) const;
+  void smoothF(const Level& lvl, std::span<const float> b,
+               std::span<float> x, int sweeps) const;
+  void cycleF(std::size_t l, std::span<const float> b,
+              std::span<float> x) const;
+  void coarseSolveF(std::span<const float> b, std::span<float> x) const;
 };
 
 void Solver::Impl::build(int gridN) {
@@ -416,6 +464,32 @@ void Solver::Impl::refreshValues() {
     }
   }
   factorCoarse();
+  if (lowPrecision) mirrorLowPrecision();
+}
+
+// Build (or refresh) every float32 mirror the low-precision cycle reads:
+// smoother diagonals, hybrid-GS block values, the coarse dense factors, and
+// the float scratch.  The DistCsrMatrix value mirrors refresh themselves
+// lazily (spmvFloat tracks updateValues).
+void Solver::Impl::mirrorLowPrecision() {
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    Level& lvl = levels[l];
+    lvl.invDiagF.assign(lvl.invDiag.begin(), lvl.invDiag.end());
+    lvl.gsValsF.assign(lvl.gsBlock.values.begin(), lvl.gsBlock.values.end());
+    const auto m = static_cast<std::size_t>(lvl.a->localRows());
+    lvl.smoothRF.assign(m, 0.0f);
+    if (l + 1 < levels.size()) {
+      const auto mc = static_cast<std::size_t>(levels[l + 1].a->localRows());
+      lvl.cycRF.assign(m, 0.0f);
+      lvl.cycPeF.assign(m, 0.0f);
+      lvl.cycRcF.assign(mc, 0.0f);
+      lvl.cycEcF.assign(mc, 0.0f);
+    }
+  }
+  const auto m0 = static_cast<std::size_t>(levels.front().a->localRows());
+  fineBF.assign(m0, 0.0f);
+  fineXF.assign(m0, 0.0f);
+  coarseLu.mirrorToFloat();  // no-op off rank 0 (factors live there only)
 }
 
 void Solver::Impl::smooth(const Level& lvl, std::span<const double> b,
@@ -491,6 +565,91 @@ void Solver::Impl::cycle(std::size_t l, std::span<const double> b,
   smooth(lvl, b, x, options.postSmooth);
 }
 
+// ---- float32 cycle (setLowPrecision) -----------------------------------
+// Structure-identical to smooth()/cycle()/coarseSolve() above, reading the
+// float32 mirrors; see Solver::setLowPrecision for the precision contract.
+
+void Solver::Impl::smoothF(const Level& lvl, std::span<const float> b,
+                           std::span<float> x, int sweeps) const {
+  const auto m = static_cast<std::size_t>(lvl.a->localRows());
+  std::vector<float>& r = lvl.smoothRF;
+  const auto w = static_cast<float>(options.jacobiWeight);
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    lvl.a->spmvFloat(x, std::span<float>(r));
+    for (std::size_t i = 0; i < m; ++i) r[i] = b[i] - r[i];
+    if (options.smoother == Smoother::kJacobi) {
+      for (std::size_t i = 0; i < m; ++i) {
+        x[i] += w * lvl.invDiagF[i] * r[i];
+      }
+    } else {
+      const CsrMatrix& blk = lvl.gsBlock;
+      for (int i = 0; i < blk.rows; ++i) {
+        float acc = r[static_cast<std::size_t>(i)];
+        for (int k = blk.rowPtr[static_cast<std::size_t>(i)];
+             k < lvl.gsDiagPos[static_cast<std::size_t>(i)]; ++k) {
+          acc -= lvl.gsValsF[static_cast<std::size_t>(k)] *
+                 r[static_cast<std::size_t>(
+                     blk.colIdx[static_cast<std::size_t>(k)])];
+        }
+        r[static_cast<std::size_t>(i)] =
+            acc / lvl.gsValsF[static_cast<std::size_t>(
+                      lvl.gsDiagPos[static_cast<std::size_t>(i)])];
+      }
+      for (std::size_t i = 0; i < m; ++i) x[i] += r[i];
+      lisi::prec::noteBytesLow(
+          4LL * static_cast<long long>(lvl.gsValsF.size()));
+    }
+  }
+}
+
+void Solver::Impl::coarseSolveF(std::span<const float> b,
+                                std::span<float> x) const {
+  const Level& coarse = levels.back();
+  // The coarsest grid is a handful of rows; gather/scatter stay float64
+  // (negligible traffic), only the dense triangular solves run in float32.
+  std::vector<double> bd(b.begin(), b.end());
+  std::vector<double> bg =
+      coarse.a->gatherVectorToRoot(std::span<const double>(bd), 0);
+  if (comm.rank() == 0) {
+    std::vector<float> bf(bg.begin(), bg.end());
+    coarseLu.solveF(bf);
+    std::copy(bf.begin(), bf.end(), bg.begin());
+  }
+  const std::vector<double> xl = coarse.a->scatterVectorFromRoot(
+      comm.rank() == 0 ? std::span<const double>(bg)
+                       : std::span<const double>(),
+      0);
+  for (std::size_t i = 0; i < xl.size(); ++i) {
+    x[i] = static_cast<float>(xl[i]);
+  }
+}
+
+void Solver::Impl::cycleF(std::size_t l, std::span<const float> b,
+                          std::span<float> x) const {
+  const Level& lvl = levels[l];
+  if (l + 1 == levels.size()) {
+    coarseSolveF(b, x);
+    return;
+  }
+  smoothF(lvl, b, x, options.preSmooth);
+  const auto m = static_cast<std::size_t>(lvl.a->localRows());
+  std::vector<float>& r = lvl.cycRF;
+  std::vector<float>& rc = lvl.cycRcF;
+  std::vector<float>& ec = lvl.cycEcF;
+  std::vector<float>& pe = lvl.cycPeF;
+  for (int g = 0; g < options.gamma; ++g) {
+    lvl.a->spmvFloat(x, std::span<float>(r));
+    for (std::size_t i = 0; i < m; ++i) r[i] = b[i] - r[i];
+    lvl.r->spmvFloat(std::span<const float>(r), std::span<float>(rc));
+    std::fill(ec.begin(), ec.end(), 0.0f);
+    cycleF(l + 1, std::span<const float>(rc), std::span<float>(ec));
+    lvl.p->spmvFloat(std::span<const float>(ec), std::span<float>(pe));
+    for (std::size_t i = 0; i < m; ++i) x[i] += pe[i];
+    if (g + 1 < options.gamma) smoothF(lvl, b, x, options.postSmooth);
+  }
+  smoothF(lvl, b, x, options.postSmooth);
+}
+
 Solver::Solver(Comm comm, int gridN, StencilFn stencil, Options options)
     : impl_(new Impl) {
   LISI_CHECK(comm.valid(), "HyMG: invalid communicator");
@@ -538,12 +697,48 @@ int Solver::fineLocalRows() const {
   return impl_->levels.front().a->localRows();
 }
 
+void Solver::setLowPrecision(bool enable) {
+  if (impl_->lowPrecision == enable) return;
+  impl_->lowPrecision = enable;
+  if (enable) {
+    impl_->mirrorLowPrecision();
+    return;
+  }
+  for (auto& lvl : impl_->levels) {
+    lvl.invDiagF.clear();
+    lvl.gsValsF.clear();
+    lvl.smoothRF.clear();
+    lvl.cycRF.clear();
+    lvl.cycPeF.clear();
+    lvl.cycRcF.clear();
+    lvl.cycEcF.clear();
+  }
+  impl_->fineBF.clear();
+  impl_->fineXF.clear();
+  impl_->coarseLu.dropFloatMirror();
+}
+
 void Solver::applyCycle(std::span<const double> b, std::span<double> x) const {
   LISI_CHECK(static_cast<int>(b.size()) == fineLocalRows() &&
                  b.size() == x.size(),
              "HyMG::applyCycle: size mismatch");
   std::fill(x.begin(), x.end(), 0.0);
   lisi::obs::Span span("hymg.cycle");
+  if (impl_->lowPrecision) {
+    // Zero initial guess makes b itself the defect: one float32 cycle.
+    std::vector<float>& bf = impl_->fineBF;
+    std::vector<float>& xf = impl_->fineXF;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      bf[i] = static_cast<float>(b[i]);
+    }
+    std::fill(xf.begin(), xf.end(), 0.0f);
+    impl_->cycleF(0, std::span<const float>(bf), std::span<float>(xf));
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = static_cast<double>(xf[i]);
+    }
+    lisi::prec::noteLowApply();
+    return;
+  }
   impl_->cycle(0, b, x);
 }
 
@@ -561,6 +756,41 @@ SolveInfo Solver::solve(std::span<const double> b, std::span<double> x,
     return info;
   }
   std::vector<double> r(b.size());
+  if (impl_->lowPrecision) {
+    // Defect correction: the float64 residual of the current iterate is the
+    // right-hand side of one float32 cycle, whose correction is added back
+    // in float64.  The residual computed for the convergence test doubles
+    // as the next iteration's defect, so the per-cycle float64 work is one
+    // fine-level SpMV — the same as the float64 path.
+    std::vector<float>& bf = impl_->fineBF;
+    std::vector<float>& xf = impl_->fineXF;
+    a.spmv(x, std::span<double>(r));
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+    for (int c = 0; c < maxCycles; ++c) {
+      {
+        lisi::obs::Span span("hymg.cycle");
+        for (std::size_t i = 0; i < r.size(); ++i) {
+          bf[i] = static_cast<float>(r[i]);
+        }
+        std::fill(xf.begin(), xf.end(), 0.0f);
+        impl_->cycleF(0, std::span<const float>(bf), std::span<float>(xf));
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          x[i] += static_cast<double>(xf[i]);
+        }
+        lisi::prec::noteLowApply();
+        lisi::prec::noteRefineSweeps(1);
+      }
+      info.cycles = c + 1;
+      a.spmv(x, std::span<double>(r));
+      for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+      info.relResidual = lisi::sparse::distNorm2(impl_->comm, r) / bnorm;
+      if (info.relResidual <= rtol) {
+        info.converged = true;
+        return info;
+      }
+    }
+    return info;
+  }
   for (int c = 0; c < maxCycles; ++c) {
     {
       lisi::obs::Span span("hymg.cycle");

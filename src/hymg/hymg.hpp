@@ -105,6 +105,18 @@ class Solver {
   /// This rank's share of the finest grid.
   [[nodiscard]] int fineLocalRows() const;
 
+  /// Run the multigrid cycle in float32 (defect correction).  The operator
+  /// hierarchy, smoother diagonals, hybrid-GS blocks, transfer operators,
+  /// and the coarsest-grid dense LU are all mirrored into float32, and
+  /// applyCycle/solve apply them in float32 arithmetic; solve() wraps the
+  /// float32 cycle in a float64 defect-correction loop (residuals and the
+  /// convergence test stay float64 against the float64 fine operator), so
+  /// it reaches the same tolerances as the all-float64 cycle at half the
+  /// value bandwidth per cycle.  Collective agreement required: all ranks
+  /// must select the same precision.  Mirrors follow refreshOperator
+  /// automatically.
+  void setLowPrecision(bool enable);
+
   /// Value-only refresh of the operator across the fixed hierarchy.
   /// The grid hierarchy, transfer operators, halo plans, and solve scratch
   /// are all kept; only operator values are recomputed: each level's

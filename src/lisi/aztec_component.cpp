@@ -40,6 +40,9 @@ class AztecSolverPort final : public detail::SolverComponentBase {
   int backendSolve(const detail::SolveContext& ctx, std::span<const double> b,
                    std::span<double> x, detail::BackendStats& stats) override {
     using namespace aztec;
+    // Aztec accepts the common "precision" parameter (LISI contract: a
+    // backend without a low-precision path must still take the knob) but
+    // runs entirely in float64 — ctx.precision is intentionally unused.
     // Operator change contract: kSameOperator keeps everything;
     // kSameStructure keeps the Map and the CrsMatrix (importer/halo state)
     // and rewrites only the wrapped values; kNewStructure rebuilds.

@@ -71,6 +71,10 @@ class HymgSolverPort final : public detail::SolverComponentBase {
     // kernel configuration on ctx.matrix does not carry over — forward it
     // to the finest level (cheap no-op when unchanged).
     (void)mg_->setFineSpmvConfig(ctx.spmvConfig);
+    // Mixed precision: float32 hierarchy/smoother/coarse-LU cycle inside a
+    // float64 defect-correction outer loop (cheap no-op when unchanged;
+    // collective agreement guaranteed by ctx.precision).
+    mg_->setLowPrecision(ctx.precision == prec::Mode::kMixed);
     const hymg::SolveInfo info =
         mg_->solve(b, x, paramDouble("tol", 1e-6), paramInt("maxits", 100));
     stats.iterations = info.cycles;

@@ -73,6 +73,13 @@ class PkspSolverPort final : public detail::SolverComponentBase {
     else return static_cast<int>(ErrorCode::kInvalidArgument);
     KSPSetPipeline(ksp_, pipeMode);
 
+    // Mixed precision (solver_base resolved the "precision" parameter /
+    // LISI_PRECISION): float32 SOR/ILU(0) preconditioner application under
+    // the float64 Krylov iteration.
+    KSPSetPrecision(ksp_, ctx.precision == prec::Mode::kMixed
+                              ? PKSP_PRECISION_MIXED
+                              : PKSP_PRECISION_DOUBLE);
+
     if (ctx.matrixFree != nullptr) {
       KSPSetOperatorShell(ksp_, &shellApply, ctx.matrixFree, ctx.localRows);
     } else {

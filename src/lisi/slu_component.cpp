@@ -9,6 +9,7 @@
 // unchanged (§5.2 use case b); a same-pattern value update reuses the
 // symbolic analysis and replays only the numeric factorization.
 #include "lisi/solver_base.hpp"
+#include "obs/obs.hpp"
 #include "slu/slu.hpp"
 #include "sparse/convert.hpp"
 
@@ -31,7 +32,14 @@ class SluSolverPort final : public detail::SolverComponentBase {
     const sparse::DistCsrMatrix& a = *ctx.matrix;
     const bool isRoot = ctx.comm->rank() == 0;
 
-    if (ctx.change != detail::OperatorChange::kSameOperator || !haveFactor_) {
+    // Mixed precision: factor into float32 storage and wrap the float32
+    // triangular solves in float64 iterative refinement against the kept
+    // CSC operator.  A precision flip invalidates the cached factorization
+    // (its storage precision no longer matches the request).
+    const bool mixed = ctx.precision == prec::Mode::kMixed;
+
+    if (ctx.change != detail::OperatorChange::kSameOperator || !haveFactor_ ||
+        factorLow_ != mixed) {
       const sparse::CsrMatrix global = a.gatherToRoot(0);
       int failed = 0;
       if (isRoot) {
@@ -43,15 +51,18 @@ class SluSolverPort final : public detail::SolverComponentBase {
         else failed = static_cast<int>(ErrorCode::kInvalidArgument);
         opts.diagPivotThresh = paramDouble("pivot_threshold", 1.0);
         opts.equilibrate = paramBool("equilibrate", false);
+        opts.lowPrecision = mixed;
         if (failed == 0) {
           try {
-            const sparse::CscMatrix csc = sparse::csrToCsc(global);
+            sparse::CscMatrix csc = sparse::csrToCsc(global);
             // Same nonzero pattern: skip the symbolic phase and replay the
             // numeric factorization in the frozen ordering
             // (SamePattern_SameRowPerm).  Any defect — pattern drift, a
             // pivot that became zero — falls back to a full factorize.
+            // A precision flip also forces the full path: the stored
+            // factorization's options no longer match the request.
             bool refactored = false;
-            if (haveFactor_ &&
+            if (haveFactor_ && factorLow_ == mixed &&
                 ctx.change == detail::OperatorChange::kSameStructure) {
               try {
                 factor_->refactorize(csc);
@@ -63,6 +74,12 @@ class SluSolverPort final : public detail::SolverComponentBase {
             if (!refactored) {
               factor_ = slu::Factorization::factorize(csc, opts);
             }
+            // Iterative refinement needs the operator at every solve.
+            if (mixed) {
+              csc_ = std::move(csc);
+            } else {
+              csc_ = sparse::CscMatrix{};
+            }
           } catch (const Error&) {
             failed = static_cast<int>(ErrorCode::kNumericFailure);
           }
@@ -71,6 +88,7 @@ class SluSolverPort final : public detail::SolverComponentBase {
       failed = ctx.comm->bcastValue(failed, 0);
       if (failed != 0) return failed;
       haveFactor_ = true;
+      factorLow_ = mixed;
     }
 
     // Gather b, solve on root, scatter x.
@@ -78,7 +96,14 @@ class SluSolverPort final : public detail::SolverComponentBase {
     std::vector<double> xGlobal;
     if (isRoot) {
       xGlobal.resize(bGlobal.size());
-      factor_->solve(bGlobal, xGlobal);
+      if (mixed) {
+        // Float32 triangular solves corrected by float64 refinement sweeps
+        // (each sweep: one SpMV residual + one low-precision solve).
+        const int sweeps = factor_->solveRefined(csc_, bGlobal, xGlobal, 10);
+        obs::count("prec.refine_sweeps", sweeps);
+      } else {
+        factor_->solve(bGlobal, xGlobal);
+      }
     }
     const std::vector<double> xLocal = a.scatterVectorFromRoot(
         isRoot ? std::span<const double>(xGlobal) : std::span<const double>(),
@@ -97,7 +122,9 @@ class SluSolverPort final : public detail::SolverComponentBase {
 
  private:
   std::optional<slu::Factorization> factor_;  ///< rank 0 only
+  sparse::CscMatrix csc_;  ///< rank 0, mixed mode only (refinement operator)
   bool haveFactor_ = false;
+  bool factorLow_ = false;  ///< precision the cached factorization holds
 };
 
 class SluSolverComponent final : public cca::Component {

@@ -313,6 +313,12 @@ int SolverComponentBase::solve(RArray<double> solution, RArray<double> status,
       // The application operator is opaque — it may change arbitrarily
       // between calls — so matrix-free solves always report kNewStructure.
       ctx.change = OperatorChange::kNewStructure;
+      // No assembled operator means no nnz to weigh "auto" against, so it
+      // resolves to the safe default (double).
+      ctx.precision = prec::resolveAuto(
+          prec::modeFromString(paramString("precision", ""),
+                               prec::modeFromEnv()),
+          0);
     } else {
       WallTimer setup;
       if (matrixDirty_ || !distA_) {
@@ -353,6 +359,21 @@ int SolverComponentBase::solve(RArray<double> solution, RArray<double> status,
         ctx.change = OperatorChange::kSameOperator;
       }
 
+      // Mixed-precision mode: parameter beats environment (LISI_PRECISION),
+      // default double.  "auto" weighs the global operator size against the
+      // bandwidth-win threshold with one allreduce — collective, so every
+      // rank resolves the same mode.
+      {
+        prec::Mode pm = prec::modeFromString(paramString("precision", ""),
+                                             prec::modeFromEnv());
+        if (pm == prec::Mode::kAuto) {
+          const long long globalNnz = comm_.allreduceValue(
+              static_cast<long long>(localA_.nnz()), comm::ReduceOp::kSum);
+          pm = prec::resolveAuto(pm, globalNnz);
+        }
+        ctx.precision = pm;
+      }
+
       // Structure-fingerprint-keyed autotuning (DESIGN.md).  Replay is
       // free: once this structure epoch has been tuned under the current
       // mode, later solves skip even the cache lookup — no communication,
@@ -360,7 +381,8 @@ int SolverComponentBase::solve(RArray<double> solution, RArray<double> status,
       const tune::Mode tuneMode =
           tune::modeFromString(paramString("tune", ""), tune::modeFromEnv());
       if (tuneMode != tune::Mode::kOff) {
-        if (tunedStructEpoch_ == structEpoch_ && tunedMode_ == tuneMode) {
+        if (tunedStructEpoch_ == structEpoch_ && tunedMode_ == tuneMode &&
+            tunedPrec_ == ctx.precision) {
           tune::noteReplayHit();
         } else {
           tune::TuneInput in;
@@ -375,7 +397,7 @@ int SolverComponentBase::solve(RArray<double> solution, RArray<double> status,
           comm_.allreduce(std::span<const std::uint64_t>(lanes),
                           std::span<std::uint64_t>(sums),
                           comm::ReduceOp::kSum);
-          in.key = {sums[0], comm_.size()};
+          in.key = {sums[0], comm_.size(), static_cast<int>(ctx.precision)};
           in.globalNnz = static_cast<long long>(sums[1]);
           in.structureChanged = tunedStructEpoch_ != 0;
           in.retunesSoFar = tuneRetunes_;
@@ -384,6 +406,7 @@ int SolverComponentBase::solve(RArray<double> solution, RArray<double> status,
           if (d.probed && in.structureChanged) ++tuneRetunes_;
           tunedStructEpoch_ = structEpoch_;
           tunedMode_ = tuneMode;
+          tunedPrec_ = ctx.precision;
         }
         ctx.spmvConfig = distA_->spmvConfig();
       }
@@ -393,6 +416,10 @@ int SolverComponentBase::solve(RArray<double> solution, RArray<double> status,
   }
 
   obs::count("lisi.solve.calls");
+  if (ctx.precision == prec::Mode::kMixed) {
+    prec::noteMixedSolve();
+    obs::count("prec.mixed_solves");
+  }
   switch (ctx.change) {
     case OperatorChange::kSameOperator:
       obs::count("lisi.change.same_operator");
@@ -443,7 +470,7 @@ bool SolverComponentBase::isCommonParam(const std::string& key) {
   return key == "solver" || key == "preconditioner" || key == "tol" ||
          key == "atol" || key == "maxits" || key == "matrix_free" ||
          key == "use_initial_guess" || key == "reuse_preconditioner" ||
-         key == "tune" || key == "tune_retune_budget";
+         key == "tune" || key == "tune_retune_budget" || key == "precision";
 }
 
 bool SolverComponentBase::acceptsParam(const std::string& key) const {

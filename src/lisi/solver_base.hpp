@@ -23,6 +23,7 @@
 #include "comm/comm_handle.hpp"
 #include "lisi/sparse_solver.hpp"
 #include "sparse/dist_csr.hpp"
+#include "support/prec.hpp"
 #include "tune/tune.hpp"
 
 namespace lisi::detail {
@@ -64,6 +65,15 @@ struct SolveContext {
   /// DistCsrMatrix from the local block (Aztec's CrsMatrix, HyMG's fine
   /// level) forward it there so every spmv in the solve runs tuned.
   sparse::SpmvConfig spmvConfig;
+  /// Resolved precision mode for this solve (never kAuto: solver_base
+  /// resolves "auto" against the global nnz before calling the backend).
+  /// kMixed asks the backend to run its preconditioner/factor speed path in
+  /// float32 under the float64 outer iteration; backends without a float32
+  /// path (Aztec) accept the request and stay float64.  Identical on every
+  /// rank: the mode comes from the parameter table / environment, which the
+  /// LISI contract requires to agree across ranks, and the auto threshold
+  /// is evaluated against the same allreduced nnz everywhere.
+  prec::Mode precision = prec::Mode::kDouble;
 };
 
 /// Per-solve results a backend reports back.
@@ -182,6 +192,7 @@ class SolverComponentBase : public SparseSolver {
   /// retunes this component has spent against its budget.
   std::uint64_t tunedStructEpoch_ = 0;  ///< 0: never tuned
   tune::Mode tunedMode_ = tune::Mode::kOff;
+  prec::Mode tunedPrec_ = prec::Mode::kDouble;
   int tuneRetunes_ = 0;
 
   std::vector<double> rhs_;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "pksp/pksp_internal.hpp"
+#include "support/prec.hpp"
 #include "support/string_util.hpp"
 
 namespace pksp {
@@ -29,6 +30,7 @@ struct PkspSolver {
   bool nonzeroGuess = false;
   bool reusePc = false;
   PkspPipelineMode pipeline = PKSP_PIPELINE_OFF;
+  PkspPrecision precision = PKSP_PRECISION_DOUBLE;
 
   // Built lazily at solve time (the operator may change between solves).
   std::unique_ptr<Preconditioner> pc;
@@ -78,6 +80,7 @@ int buildPc(KSP ksp) {
   } catch (const lisi::Error&) {
     return PKSP_ERR_NUMERIC;
   }
+  ksp->pc->setLowPrecision(ksp->precision == PKSP_PRECISION_MIXED);
   ksp->pcStale = false;
   ksp->pcRefreshPending = false;
   ++ksp->pcBuilds;
@@ -251,6 +254,20 @@ int KSPSetPipeline(KSP ksp, PkspPipelineMode mode) {
   return PKSP_ERR_ARG;
 }
 
+int KSPSetPrecision(KSP ksp, PkspPrecision precision) {
+  if (guard(ksp) != PKSP_SUCCESS) return PKSP_ERR_ARG;
+  switch (precision) {
+    case PKSP_PRECISION_DOUBLE:
+    case PKSP_PRECISION_MIXED:
+      if (ksp->precision != precision) {
+        ksp->precision = precision;
+        ksp->pcStale = true;
+      }
+      return PKSP_SUCCESS;
+  }
+  return PKSP_ERR_ARG;
+}
+
 int KSPSetFromString(KSP ksp, const char* options) {
   if (guard(ksp) != PKSP_SUCCESS || options == nullptr) return PKSP_ERR_ARG;
   std::istringstream tokens{std::string(options)};
@@ -302,6 +319,15 @@ int KSPSetFromString(KSP ksp, const char* options) {
       const auto v = lisi::parseBool(value());
       if (!v) return PKSP_ERR_ARG;
       KSPSetInitialGuessNonzero(ksp, *v);
+    } else if (key == "-ksp_precision") {
+      const std::string v = lisi::toLower(value());
+      if (v == "double" || v == "fp64" || v == "float64") {
+        KSPSetPrecision(ksp, PKSP_PRECISION_DOUBLE);
+      } else if (v == "mixed" || v == "fp32" || v == "float32") {
+        KSPSetPrecision(ksp, PKSP_PRECISION_MIXED);
+      } else {
+        return PKSP_ERR_UNSUPPORTED;
+      }
     } else if (key == "-ksp_pipeline") {
       const std::string v = lisi::toLower(value());
       if (v == "auto") {
@@ -374,51 +400,95 @@ int KSPSolve(KSP ksp, std::span<const double> bLocal,
   const bool pipelined = usePipelined(*ksp);
   try {
     lisi::obs::Span iterSpan("pksp.iterate");
-    switch (ksp->type) {
-      case PKSP_CG:
-        ksp->lastReport =
-            pipelined ? detail::runPipelinedCg(ksp->comm, *ksp->op, *ksp->pc,
-                                               bLocal, xLocal, tol)
-                      : detail::runCg(ksp->comm, *ksp->op, *ksp->pc, bLocal,
-                                      xLocal, tol);
-        break;
-      case PKSP_GMRES:
-        ksp->lastReport = detail::runGmres(ksp->comm, *ksp->op, *ksp->pc,
-                                           bLocal, xLocal, tol, ksp->restart);
-        break;
-      case PKSP_BICGSTAB:
-        ksp->lastReport =
-            pipelined ? detail::runPipelinedBiCgStab(ksp->comm, *ksp->op,
-                                                     *ksp->pc, bLocal, xLocal,
-                                                     tol)
-                      : detail::runBiCgStab(ksp->comm, *ksp->op, *ksp->pc,
-                                            bLocal, xLocal, tol);
-        break;
-      case PKSP_RICHARDSON:
-        ksp->lastReport = detail::runRichardson(ksp->comm, *ksp->op, *ksp->pc,
-                                                bLocal, xLocal, tol);
-        break;
-      default:
-        return PKSP_ERR_ARG;
+    // Mixed precision: the float32 preconditioner apply is not exactly
+    // linear (rounding), which perturbs the Krylov recurrences — the
+    // method's tracked norm can declare convergence while the true residual
+    // stalls near the float32 perturbation floor.  The float64 convergence
+    // decision therefore lives HERE: compute the float64 target
+    // max(rtol*||z_0||, atol) up front, and after the method reports
+    // convergence verify the recomputed preconditioned residual against it,
+    // re-entering the method with the current iterate as the guess (defect
+    // correction — each round renormalizes, so the float32 floor is
+    // relative to the shrinking defect) until the criterion truly holds.
+    const bool mixedRefine = ksp->precision == PKSP_PRECISION_MIXED;
+    constexpr int kMaxRefineRounds = 4;
+    double target = 0.0;
+    if (mixedRefine) {
+      std::vector<double> r0(n);
+      std::vector<double> z0(n);
+      ksp->op->apply(xLocal, std::span<double>(r0));
+      for (std::size_t i = 0; i < n; ++i) r0[i] = bLocal[i] - r0[i];
+      ksp->pc->apply(std::span<const double>(r0), std::span<double>(z0));
+      target = std::max(
+          tol.rtol * lisi::sparse::distNorm2(ksp->comm,
+                                             std::span<const double>(z0)),
+          tol.atol);
     }
-    // Recompute both diagnostic residuals against the iterate actually
-    // returned in x.  The norm tracked inside the Krylov loops is carried by
-    // recurrences (and, in the pipelined variants, evaluated one reduction
-    // early), so at convergence it can be slightly stale relative to the
-    // final iterate; recomputing keeps KSPGetResidualNorm and the recorded
-    // report consistent with x.  Both lanes share one fused reduction, and
-    // the unpreconditioned lane is bitwise identical to the distNorm2 it
-    // replaces (reductions are elementwise).
-    std::vector<double> r(n);
-    std::vector<double> z(n);
-    ksp->op->apply(xLocal, std::span<double>(r));
-    for (std::size_t i = 0; i < n; ++i) r[i] = bLocal[i] - r[i];
-    ksp->pc->apply(std::span<const double>(r), std::span<double>(z));
-    const auto [rr, zz] = lisi::sparse::distDot2(
-        ksp->comm, std::span<const double>(r), std::span<const double>(r),
-        std::span<const double>(z), std::span<const double>(z));
-    ksp->lastTrueResidual = std::sqrt(rr);
-    ksp->lastReport.residualNorm = std::sqrt(zz);
+    Tolerances roundTol = tol;
+    int totalIters = 0;
+    for (int round = 0;; ++round) {
+      switch (ksp->type) {
+        case PKSP_CG:
+          ksp->lastReport =
+              pipelined ? detail::runPipelinedCg(ksp->comm, *ksp->op, *ksp->pc,
+                                                 bLocal, xLocal, roundTol)
+                        : detail::runCg(ksp->comm, *ksp->op, *ksp->pc, bLocal,
+                                        xLocal, roundTol);
+          break;
+        case PKSP_GMRES:
+          ksp->lastReport =
+              detail::runGmres(ksp->comm, *ksp->op, *ksp->pc, bLocal, xLocal,
+                               roundTol, ksp->restart);
+          break;
+        case PKSP_BICGSTAB:
+          ksp->lastReport =
+              pipelined ? detail::runPipelinedBiCgStab(ksp->comm, *ksp->op,
+                                                       *ksp->pc, bLocal,
+                                                       xLocal, roundTol)
+                        : detail::runBiCgStab(ksp->comm, *ksp->op, *ksp->pc,
+                                              bLocal, xLocal, roundTol);
+          break;
+        case PKSP_RICHARDSON:
+          ksp->lastReport = detail::runRichardson(ksp->comm, *ksp->op,
+                                                  *ksp->pc, bLocal, xLocal,
+                                                  roundTol);
+          break;
+        default:
+          return PKSP_ERR_ARG;
+      }
+      totalIters += ksp->lastReport.iterations;
+      // Recompute both diagnostic residuals against the iterate actually
+      // returned in x.  The norm tracked inside the Krylov loops is carried
+      // by recurrences (and, in the pipelined variants, evaluated one
+      // reduction early), so at convergence it can be slightly stale
+      // relative to the final iterate; recomputing keeps KSPGetResidualNorm
+      // and the recorded report consistent with x.  Both lanes share one
+      // fused reduction, and the unpreconditioned lane is bitwise identical
+      // to the distNorm2 it replaces (reductions are elementwise).
+      std::vector<double> r(n);
+      std::vector<double> z(n);
+      ksp->op->apply(xLocal, std::span<double>(r));
+      for (std::size_t i = 0; i < n; ++i) r[i] = bLocal[i] - r[i];
+      ksp->pc->apply(std::span<const double>(r), std::span<double>(z));
+      const auto [rr, zz] = lisi::sparse::distDot2(
+          ksp->comm, std::span<const double>(r), std::span<const double>(r),
+          std::span<const double>(z), std::span<const double>(z));
+      ksp->lastTrueResidual = std::sqrt(rr);
+      ksp->lastReport.residualNorm = std::sqrt(zz);
+      if (!mixedRefine || ksp->lastReport.reason <= 0) break;
+      const double znorm = std::sqrt(zz);
+      if (znorm <= target || round >= kMaxRefineRounds ||
+          totalIters >= tol.maxits) {
+        break;
+      }
+      // Only the remaining reduction is asked of the next round (its own
+      // relative criterion restarts at the current defect).
+      roundTol.rtol = std::min(0.5, 0.5 * target / znorm);
+      roundTol.maxits = tol.maxits - totalIters;
+      lisi::prec::noteRefineSweeps(1);
+      lisi::obs::count("prec.refine_sweeps");
+    }
+    ksp->lastReport.iterations = totalIters;
   } catch (const lisi::Error&) {
     return PKSP_ERR_NUMERIC;
   }
@@ -476,7 +546,9 @@ int KSPGetDescription(KSP ksp, std::string* description) {
     os << "[pipelined" << (ksp->pipeline == PKSP_PIPELINE_AUTO ? ":auto" : "")
        << ']';
   }
-  os << '+' << pcName(ksp->pcType) << " rtol=" << ksp->tol.rtol
+  os << '+' << pcName(ksp->pcType);
+  if (ksp->precision == PKSP_PRECISION_MIXED) os << "[fp32]";
+  os << " rtol=" << ksp->tol.rtol
      << " atol=" << ksp->tol.atol << " maxits=" << ksp->tol.maxits;
   *description = os.str();
   return PKSP_SUCCESS;

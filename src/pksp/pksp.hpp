@@ -58,6 +58,18 @@ enum PkspPipelineMode : int {
   PKSP_PIPELINE_AUTO = 2,
 };
 
+/// Preconditioner application precision.  MIXED stores the preconditioner
+/// operators (SOR block values, ILU(0) factors) in float32 and applies them
+/// in float32 arithmetic, halving the value bytes each apply streams; the
+/// Krylov iteration itself — SpMV, orthogonalization, reductions,
+/// convergence tests — stays float64, so the preconditioner's rounding only
+/// perturbs the (already approximate) M^{-1} and the methods converge to
+/// the same tolerance.  Jacobi and identity are O(n) and stay float64.
+enum PkspPrecision : int {
+  PKSP_PRECISION_DOUBLE = 0,
+  PKSP_PRECISION_MIXED = 1,
+};
+
 /// Preconditioner selection.
 enum PkspPcType : int {
   PKSP_PC_NONE = 0,
@@ -153,6 +165,11 @@ int KSPSetReusePreconditioner(KSP ksp, bool flag);
 /// Select pipelined (communication-hiding) Krylov loops for CG/BiCGSTAB
 /// (default: off).  See PkspPipelineMode.
 int KSPSetPipeline(KSP ksp, PkspPipelineMode mode);
+
+/// Select the preconditioner application precision (default: double).
+/// Marks the preconditioner stale: the next solve rebuilds it with the
+/// requested storage.  See PkspPrecision.
+int KSPSetPrecision(KSP ksp, PkspPrecision precision);
 
 /// PETSc-options-style configuration string, e.g.
 ///   "-ksp_type gmres -pc_type ilu -ksp_rtol 1e-8 -ksp_max_it 500

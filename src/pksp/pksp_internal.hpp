@@ -73,6 +73,11 @@ class Preconditioner {
     (void)a;
     return false;
   }
+
+  /// Switch the apply path to float32 storage/arithmetic (PKSP_PRECISION_
+  /// MIXED).  Default: no-op — preconditioners without a float32 path
+  /// (identity, Jacobi) simply keep applying in float64.
+  virtual void setLowPrecision(bool enable) { (void)enable; }
 };
 
 /// Identity (PC_NONE).

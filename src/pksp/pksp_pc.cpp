@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "pksp/pksp_internal.hpp"
+#include "support/prec.hpp"
 
 namespace pksp::detail {
 namespace {
@@ -102,10 +103,26 @@ class LocalSorPc final : public Preconditioner {
       LISI_CHECK(d != 0.0, "SOR preconditioner: zero diagonal entry");
       diag_[static_cast<std::size_t>(i)] = d;
     }
+    if (low_) mirrorToFloat();
     return true;
   }
 
+  void setLowPrecision(bool enable) override {
+    low_ = enable;
+    if (enable) {
+      mirrorToFloat();
+    } else {
+      valsF_.clear();
+      diagF_.clear();
+      zF_.clear();
+    }
+  }
+
   void apply(std::span<const double> r, std::span<double> z) const override {
+    if (low_) {
+      applyLow(r, z);
+      return;
+    }
     std::fill(z.begin(), z.end(), 0.0);
     for (int sweep = 0; sweep < sweeps_; ++sweep) {
       for (int i = 0; i < blk_.rows; ++i) {
@@ -125,13 +142,56 @@ class LocalSorPc final : public Preconditioner {
             (1.0 - omega_) * z[static_cast<std::size_t>(i)] + omega_ * gs;
       }
     }
+    lisi::prec::noteBytesHigh(8LL * static_cast<long long>(blk_.values.size()) *
+                              sweeps_);
   }
 
  private:
+  void mirrorToFloat() {
+    valsF_.assign(blk_.values.begin(), blk_.values.end());
+    diagF_.assign(diag_.begin(), diag_.end());
+    zF_.resize(static_cast<std::size_t>(blk_.rows));
+  }
+
+  /// Float32 sweeps over the float32 block mirror.  The residual is cast on
+  /// read and the result on write; z is only an M^{-1} direction, so its
+  /// float32 rounding perturbs the preconditioner, not the Krylov recurrence.
+  void applyLow(std::span<const double> r, std::span<double> z) const {
+    std::fill(zF_.begin(), zF_.end(), 0.0f);
+    const float omega = static_cast<float>(omega_);
+    for (int sweep = 0; sweep < sweeps_; ++sweep) {
+      for (int i = 0; i < blk_.rows; ++i) {
+        float sigma = 0.0f;
+        for (int k = blk_.rowPtr[static_cast<std::size_t>(i)];
+             k < blk_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+          const int j = blk_.colIdx[static_cast<std::size_t>(k)];
+          if (j != i) {
+            sigma += valsF_[static_cast<std::size_t>(k)] *
+                     zF_[static_cast<std::size_t>(j)];
+          }
+        }
+        const float gs =
+            (static_cast<float>(r[static_cast<std::size_t>(i)]) - sigma) /
+            diagF_[static_cast<std::size_t>(i)];
+        zF_[static_cast<std::size_t>(i)] =
+            (1.0f - omega) * zF_[static_cast<std::size_t>(i)] + omega * gs;
+      }
+    }
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      z[i] = static_cast<double>(zF_[i]);
+    }
+    lisi::prec::noteLowApply();
+    lisi::prec::noteBytesLow(4LL * static_cast<long long>(valsF_.size()) *
+                             sweeps_);
+  }
+
   CsrMatrix blk_;
   std::vector<double> diag_;
   double omega_;
   int sweeps_;
+  bool low_ = false;
+  std::vector<float> valsF_, diagF_;
+  mutable std::vector<float> zF_;
 };
 
 /// ILU(0) of the local diagonal block: incomplete LU with zero fill,
@@ -169,7 +229,21 @@ class LocalIlu0Pc final : public Preconditioner {
     return true;
   }
 
+  void setLowPrecision(bool enable) override {
+    low_ = enable;
+    if (enable) {
+      mirrorToFloat();
+    } else {
+      luValsF_.clear();
+      zF_.clear();
+    }
+  }
+
   void apply(std::span<const double> r, std::span<double> z) const override {
+    if (low_) {
+      applyLow(r, z);
+      return;
+    }
     const int n = lu_.rows;
     // Forward solve L y = r (unit lower triangular).
     for (int i = 0; i < n; ++i) {
@@ -193,6 +267,7 @@ class LocalIlu0Pc final : public Preconditioner {
           acc / lu_.values[static_cast<std::size_t>(
                     diagPos_[static_cast<std::size_t>(i)])];
     }
+    lisi::prec::noteBytesHigh(8LL * static_cast<long long>(lu_.values.size()));
   }
 
  private:
@@ -235,10 +310,52 @@ class LocalIlu0Pc final : public Preconditioner {
               diagPos_[static_cast<std::size_t>(i)])] != 0.0,
           "ILU(0): zero pivot");
     }
+    if (low_) mirrorToFloat();
+  }
+
+  void mirrorToFloat() {
+    luValsF_.assign(lu_.values.begin(), lu_.values.end());
+    zF_.resize(static_cast<std::size_t>(lu_.rows));
+  }
+
+  /// Float32 triangular solves over the float32 factor mirror; see
+  /// LocalSorPc::applyLow for the precision rationale.
+  void applyLow(std::span<const double> r, std::span<double> z) const {
+    const int n = lu_.rows;
+    for (int i = 0; i < n; ++i) {
+      float acc = static_cast<float>(r[static_cast<std::size_t>(i)]);
+      for (int k = lu_.rowPtr[static_cast<std::size_t>(i)];
+           k < diagPos_[static_cast<std::size_t>(i)]; ++k) {
+        acc -= luValsF_[static_cast<std::size_t>(k)] *
+               zF_[static_cast<std::size_t>(
+                   lu_.colIdx[static_cast<std::size_t>(k)])];
+      }
+      zF_[static_cast<std::size_t>(i)] = acc;
+    }
+    for (int i = n - 1; i >= 0; --i) {
+      float acc = zF_[static_cast<std::size_t>(i)];
+      for (int k = diagPos_[static_cast<std::size_t>(i)] + 1;
+           k < lu_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+        acc -= luValsF_[static_cast<std::size_t>(k)] *
+               zF_[static_cast<std::size_t>(
+                   lu_.colIdx[static_cast<std::size_t>(k)])];
+      }
+      zF_[static_cast<std::size_t>(i)] =
+          acc / luValsF_[static_cast<std::size_t>(
+                    diagPos_[static_cast<std::size_t>(i)])];
+    }
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      z[i] = static_cast<double>(zF_[i]);
+    }
+    lisi::prec::noteLowApply();
+    lisi::prec::noteBytesLow(4LL * static_cast<long long>(luValsF_.size()));
   }
 
   CsrMatrix lu_;
   std::vector<int> diagPos_;
+  bool low_ = false;
+  std::vector<float> luValsF_;
+  mutable std::vector<float> zF_;
 };
 
 }  // namespace

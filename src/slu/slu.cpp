@@ -10,6 +10,7 @@
 
 #include "obs/obs.hpp"
 #include "sparse/ops.hpp"
+#include "support/prec.hpp"
 
 namespace slu {
 
@@ -54,6 +55,25 @@ struct Factorization::Impl {
   std::vector<int> uPtr, uRow;
   std::vector<double> uVal;
   std::vector<double> uDiag;
+
+  // Options::lowPrecision float32 mirrors of the factor values.  The double
+  // arrays above are retained (refactorize() replays its left-looking
+  // updates through them), but the triangular solves read only these, so
+  // each solve moves half the factor-value bytes.  Empty in double mode.
+  std::vector<float> lValF, uValF, uDiagF;
+
+  void mirrorFactorsToFloat() {
+    lValF.assign(lVal.begin(), lVal.end());
+    uValF.assign(uVal.begin(), uVal.end());
+    uDiagF.assign(uDiag.begin(), uDiag.end());
+  }
+
+  /// Factor-value bytes one triangular-solve pass reads (L + U + diagonal).
+  [[nodiscard]] long long factorValueCount() const {
+    return static_cast<long long>(lVal.size()) +
+           static_cast<long long>(uVal.size()) +
+           static_cast<long long>(uDiag.size());
+  }
 };
 
 Factorization::Factorization() : impl_(new Impl) {}
@@ -296,6 +316,7 @@ Factorization Factorization::factorize(const CscMatrix& a,
       f.stats.nnzA > 0
           ? static_cast<double>(nnzL + nnzU - n) / static_cast<double>(f.stats.nnzA)
           : 0.0;
+  if (options.lowPrecision) f.mirrorFactorsToFloat();
   return fact;
 }
 
@@ -383,6 +404,7 @@ void Factorization::refactorize(const CscMatrix& a) {
   for (double v : f.uDiag) maxU = std::max(maxU, std::abs(v));
   for (double v : f.uVal) maxU = std::max(maxU, std::abs(v));
   f.stats.pivotGrowth = maxA > 0.0 ? maxU / maxA : 0.0;
+  if (f.options.lowPrecision) f.mirrorFactorsToFloat();
   gNumericRefactorizations.fetch_add(1, std::memory_order_relaxed);
   lisi::obs::count("slu.factor.numeric_refresh");
 }
@@ -441,6 +463,50 @@ void Factorization::solveMany(std::span<const double> b, std::span<double> x,
              "SLU solve: b size mismatch");
   LISI_CHECK(x.size() == b.size(), "SLU solve: x size mismatch");
 
+  if (!f.uDiagF.empty()) {
+    // Low-precision path: identical solve structure, but factor values and
+    // the work vector are float32 (the float32 rounding of the solution is
+    // what iterative refinement corrects).  The right-hand side is cast on
+    // entry and the solution on exit.
+    std::vector<float> c(n);
+    for (int rhs = 0; rhs < numRhs; ++rhs) {
+      std::span<const double> bk =
+          b.subspan(n * static_cast<std::size_t>(rhs), n);
+      std::span<double> xk = x.subspan(n * static_cast<std::size_t>(rhs), n);
+      for (std::size_t r = 0; r < n; ++r) {
+        const double scale = f.rowScale.empty() ? 1.0 : f.rowScale[r];
+        c[static_cast<std::size_t>(f.pinv[r])] =
+            static_cast<float>(bk[r] * scale);
+      }
+      for (std::size_t k = 0; k < n; ++k) {
+        const float yk = c[k];
+        if (yk == 0.0f) continue;
+        for (int t = f.lPtr[k]; t < f.lPtr[k + 1]; ++t) {
+          c[static_cast<std::size_t>(f.lRow[static_cast<std::size_t>(t)])] -=
+              yk * f.lValF[static_cast<std::size_t>(t)];
+        }
+      }
+      for (int k = static_cast<int>(n) - 1; k >= 0; --k) {
+        const float zk = c[static_cast<std::size_t>(k)] /
+                         f.uDiagF[static_cast<std::size_t>(k)];
+        c[static_cast<std::size_t>(k)] = zk;
+        if (zk == 0.0f) continue;
+        for (int t = f.uPtr[static_cast<std::size_t>(k)];
+             t < f.uPtr[static_cast<std::size_t>(k) + 1]; ++t) {
+          c[static_cast<std::size_t>(f.uRow[static_cast<std::size_t>(t)])] -=
+              zk * f.uValF[static_cast<std::size_t>(t)];
+        }
+      }
+      for (std::size_t k = 0; k < n; ++k) {
+        xk[static_cast<std::size_t>(f.q[k])] =
+            static_cast<double>(c[k]);
+      }
+      lisi::prec::noteLowApply();
+    }
+    lisi::prec::noteBytesLow(4LL * f.factorValueCount() * numRhs);
+    return;
+  }
+
   std::vector<double> c(n);
   for (int rhs = 0; rhs < numRhs; ++rhs) {
     std::span<const double> bk = b.subspan(n * static_cast<std::size_t>(rhs), n);
@@ -476,6 +542,7 @@ void Factorization::solveMany(std::span<const double> b, std::span<double> x,
       xk[static_cast<std::size_t>(f.q[k])] = c[k];
     }
   }
+  lisi::prec::noteBytesHigh(8LL * f.factorValueCount() * numRhs);
 }
 
 int Factorization::solveRefined(const CscMatrix& a, std::span<const double> b,
@@ -500,6 +567,7 @@ int Factorization::solveRefined(const CscMatrix& a, std::span<const double> b,
     solve(std::span<const double>(r), std::span<double>(d));
     for (std::size_t i = 0; i < n; ++i) x[i] += d[i];
   }
+  lisi::prec::noteRefineSweeps(steps);
   return steps;
 }
 

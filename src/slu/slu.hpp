@@ -40,6 +40,14 @@ struct Options {
   double diagPivotThresh = 1.0;
   /// Scale rows to unit infinity norm before factoring.
   bool equilibrate = false;
+  /// Mixed-precision factors: the numeric factorization still pivots and
+  /// eliminates in float64 (pivot choices must not depend on the storage
+  /// precision), but the triangular factors are mirrored into float32 and
+  /// every solve applies them from the float storage — half the value
+  /// bandwidth per triangular solve.  The resulting solutions carry
+  /// float32-level error; wrap them in solveRefined (float64 residuals
+  /// against the original matrix) to recover float64 accuracy.
+  bool lowPrecision = false;
 };
 
 /// Factorization statistics (SuperLUStat_t analogue).

@@ -9,6 +9,7 @@
 #include "obs/obs.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/ops.hpp"
+#include "support/prec.hpp"
 
 namespace lisi::sparse {
 
@@ -69,6 +70,7 @@ void DistCsrMatrix::updateValues(const CsrMatrix& local) {
               mapped_.values.begin());
   }
   refreshKernelAux();
+  floatMirrorFresh_ = false;  // spmvFloat re-mirrors on next use
   gValueUpdates.fetch_add(1, std::memory_order_relaxed);
   obs::count("sparse.value_updates");
 }
@@ -444,6 +446,14 @@ void DistCsrMatrix::spmv(std::span<const double> xLocal,
   const int tag = spmvTags_[spmvRound_ % spmvTags_.size()];
   ++spmvRound_;
   obs::Span spmvSpan("sparse.spmv");
+  // Precision accounting: value bytes this product moves in float64 —
+  // stored matrix values plus the packed/received halo payload.
+  const long long bytesHigh =
+      8LL * (static_cast<long long>(mapped_.nnz()) +
+             static_cast<long long>(sendIdx_.size()) +
+             static_cast<long long>(ghostCols_.size()));
+  prec::noteBytesHigh(bytesHigh);
+  obs::count("prec.bytes_high", bytesHigh);
   {
     obs::Span phase("sparse.spmv.halo_send");
     for (std::size_t s = 0; s < sendToRanks_.size(); ++s) {
@@ -593,6 +603,82 @@ void DistCsrMatrix::spmv(std::span<const double> xLocal,
       break;
     }
   }
+}
+
+void DistCsrMatrix::spmvFloat(std::span<const float> xLocal,
+                              std::span<float> yLocal) const {
+  LISI_CHECK(!colStarts_.empty(),
+             "DistCsrMatrix::spmvFloat: rectangular operator constructed "
+             "without colStarts");
+  LISI_CHECK(static_cast<int>(xLocal.size()) == localCols(),
+             "DistCsrMatrix::spmvFloat: x size mismatch");
+  LISI_CHECK(static_cast<int>(yLocal.size()) == localRows(),
+             "DistCsrMatrix::spmvFloat: y size mismatch");
+
+  if (!floatMirrorFresh_) {
+    // Lazy mirror: cast the current values once; the halo plan, index
+    // arrays, and interior/boundary split are shared with the double path.
+    mappedValsF_.resize(mapped_.values.size());
+    std::copy(mapped_.values.begin(), mapped_.values.end(),
+              mappedValsF_.begin());
+    sendBufF_.assign(sendIdx_.size(), 0.0F);
+    xGhostF_.assign(ghostCols_.size(), 0.0F);
+    floatMirrorFresh_ = true;
+  }
+
+  // Same overlapped exchange as spmv(), on the float scratch.  The tuned
+  // aux kernels are double-only; this path always runs the reference CSR
+  // loop — it is the error-correction inner product, where the bandwidth
+  // halving, not the kernel shape, is the lever.
+  const int tag = spmvTags_[spmvRound_ % spmvTags_.size()];
+  ++spmvRound_;
+  obs::Span spmvSpan("sparse.spmv_f32");
+  const long long bytesLow =
+      4LL * (static_cast<long long>(mapped_.nnz()) +
+             static_cast<long long>(sendIdx_.size()) +
+             static_cast<long long>(ghostCols_.size()));
+  prec::noteBytesLow(bytesLow);
+  obs::count("prec.bytes_low", bytesLow);
+  {
+    obs::Span phase("sparse.spmv.halo_send");
+    for (std::size_t s = 0; s < sendToRanks_.size(); ++s) {
+      const auto b = static_cast<std::size_t>(sendOffsets_[s]);
+      const auto e = static_cast<std::size_t>(sendOffsets_[s + 1]);
+      for (std::size_t k = b; k < e; ++k) {
+        sendBufF_[k] = xLocal[static_cast<std::size_t>(sendIdx_[k])];
+      }
+      comm_.send(std::span<const float>(sendBufF_.data() + b, e - b),
+                 sendToRanks_[s], tag);
+    }
+  }
+  const int nloc = static_cast<int>(xLocal.size());
+  const auto rowProduct = [&](int i) {
+    float acc = 0.0F;
+    for (int k = mapped_.rowPtr[static_cast<std::size_t>(i)];
+         k < mapped_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int c = mapped_.colIdx[static_cast<std::size_t>(k)];
+      acc += mappedValsF_[static_cast<std::size_t>(k)] *
+             (c < nloc ? xLocal[static_cast<std::size_t>(c)]
+                       : xGhostF_[static_cast<std::size_t>(c - nloc)]);
+    }
+    yLocal[static_cast<std::size_t>(i)] = acc;
+  };
+  {
+    obs::Span phase("sparse.spmv.interior");
+    for (const int i : interiorRows_) rowProduct(i);
+  }
+  {
+    obs::Span phase("sparse.spmv.halo_recv");
+    for (std::size_t r = 0; r < recvFromRanks_.size(); ++r) {
+      comm_.recv(
+          std::span<float>(xGhostF_.data() +
+                               static_cast<std::size_t>(recvOffsets_[r]),
+                           static_cast<std::size_t>(recvCounts_[r])),
+          recvFromRanks_[r], tag);
+    }
+  }
+  obs::Span phase("sparse.spmv.boundary");
+  for (const int i : boundaryRows_) rowProduct(i);
 }
 
 CsrMatrix DistCsrMatrix::gatherToRoot(int root) const {

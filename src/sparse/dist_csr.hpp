@@ -96,6 +96,17 @@ class DistCsrMatrix {
   /// Collective.
   void spmv(std::span<const double> xLocal, std::span<double> yLocal) const;
 
+  /// y = A*x through the float32 value mirror: the same halo plan, tag
+  /// rotation, and interior/boundary overlap as spmv(), but the matrix
+  /// values, the packed halo payload, and the accumulation all run in
+  /// float32 — half the value bandwidth.  The mirror (values + float
+  /// scratch) is built lazily on first use and invalidated by updateValues;
+  /// the index structure is shared with the double path.  Intended for the
+  /// error-correction inner kernels of the mixed-precision backends, always
+  /// wrapped in float64 refinement.  Collective: all ranks must call the
+  /// same variant (spmv vs spmvFloat) together.
+  void spmvFloat(std::span<const float> xLocal, std::span<float> yLocal) const;
+
   /// Gather the whole matrix onto `root` (empty matrix elsewhere).
   /// Used by the direct-solver package.  Collective.
   [[nodiscard]] CsrMatrix gatherToRoot(int root = 0) const;
@@ -180,6 +191,13 @@ class DistCsrMatrix {
   mutable std::vector<double> sendBuf_;     ///< packed outgoing x entries
   mutable std::vector<double> xGhost_;      ///< received ghost values, by slot
   mutable std::size_t spmvRound_ = 0;       ///< rotates through spmvTags_
+
+  // Float32 value mirror for spmvFloat(), built lazily from mapped_ on
+  // first use (the index structure is shared); updateValues marks it stale.
+  mutable std::vector<float> mappedValsF_;  ///< float copy of mapped_.values
+  mutable std::vector<float> sendBufF_;     ///< float halo pack buffer
+  mutable std::vector<float> xGhostF_;      ///< float ghost receive buffer
+  mutable bool floatMirrorFresh_ = false;
 
   // Tuned-kernel state (setSpmvConfig).  Aux storage mirrors mapped_'s
   // values through the *Src_ index maps, so updateValues refreshes it

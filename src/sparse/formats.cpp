@@ -40,7 +40,8 @@ void CooMatrix::check() const {
   }
 }
 
-void CsrMatrix::check() const {
+template <class V>
+void CsrMatrixT<V>::check() const {
   LISI_CHECK(rows >= 0 && cols >= 0, "CSR: negative dimensions");
   LISI_CHECK(rowPtr.size() == static_cast<std::size_t>(rows) + 1,
              "CSR: rowPtr length != rows+1");
@@ -58,13 +59,14 @@ void CsrMatrix::check() const {
   }
 }
 
-void CsrMatrix::canonicalize() {
+template <class V>
+void CsrMatrixT<V>::canonicalize() {
   std::vector<int> newPtr(static_cast<std::size_t>(rows) + 1, 0);
   std::vector<int> newCol;
-  std::vector<double> newVal;
+  std::vector<V> newVal;
   newCol.reserve(colIdx.size());
   newVal.reserve(values.size());
-  std::vector<std::pair<int, double>> row;
+  std::vector<std::pair<int, V>> row;
   for (int i = 0; i < rows; ++i) {
     row.clear();
     for (int k = rowPtr[static_cast<std::size_t>(i)];
@@ -91,7 +93,8 @@ void CsrMatrix::canonicalize() {
   values = std::move(newVal);
 }
 
-bool CsrMatrix::isCanonical() const {
+template <class V>
+bool CsrMatrixT<V>::isCanonical() const {
   for (int i = 0; i < rows; ++i) {
     for (int k = rowPtr[static_cast<std::size_t>(i)] + 1;
          k < rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
@@ -104,7 +107,8 @@ bool CsrMatrix::isCanonical() const {
   return true;
 }
 
-void CscMatrix::check() const {
+template <class V>
+void CscMatrixT<V>::check() const {
   LISI_CHECK(rows >= 0 && cols >= 0, "CSC: negative dimensions");
   LISI_CHECK(colPtr.size() == static_cast<std::size_t>(cols) + 1,
              "CSC: colPtr length != cols+1");
@@ -141,7 +145,8 @@ void MsrMatrix::check() const {
   }
 }
 
-void VbrMatrix::check() const {
+template <class V>
+void VbrMatrixT<V>::check() const {
   const int nrb = numRowBlocks();
   const int ncb = numColBlocks();
   LISI_CHECK(nrb >= 0 && ncb >= 0, "VBR: negative block counts");
@@ -186,7 +191,8 @@ void VbrMatrix::check() const {
   }
 }
 
-void SellCMatrix::check() const {
+template <class V>
+void SellCMatrixT<V>::check() const {
   LISI_CHECK(rows >= 0 && cols >= 0, "SELL: negative dimensions");
   LISI_CHECK(chunk >= 1, "SELL: chunk must be >= 1");
   LISI_CHECK(sigma >= 1, "SELL: sigma must be >= 1");
@@ -230,5 +236,14 @@ void SellCMatrix::check() const {
   // Note: not every row in [0, rows) need appear — csrRowsToSellC builds
   // SELL storage over a row subset (e.g. a halo plan's boundary rows).
 }
+
+template struct CsrMatrixT<double>;
+template struct CsrMatrixT<float>;
+template struct CscMatrixT<double>;
+template struct CscMatrixT<float>;
+template struct VbrMatrixT<double>;
+template struct VbrMatrixT<float>;
+template struct SellCMatrixT<double>;
+template struct SellCMatrixT<float>;
 
 }  // namespace lisi::sparse

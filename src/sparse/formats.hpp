@@ -50,14 +50,19 @@ struct CooMatrix {
   void check() const;
 };
 
-/// Compressed sparse row.  Column indices within a row need not be sorted
-/// unless stated; canonicalize() sorts them and merges duplicates.
-struct CsrMatrix {
+/// Compressed sparse row, templated on the stored value type (the kernel
+/// formats carry their scalar as a template parameter so the mixed-precision
+/// paths can keep float32 copies with identical index structure; `double` is
+/// the canonical interface type and keeps its historical alias below).
+/// Column indices within a row need not be sorted unless stated;
+/// canonicalize() sorts them and merges duplicates.
+template <class V>
+struct CsrMatrixT {
   int rows = 0;
   int cols = 0;
   std::vector<int> rowPtr;   ///< size rows+1
   std::vector<int> colIdx;   ///< size nnz
-  std::vector<double> values;
+  std::vector<V> values;
 
   [[nodiscard]] int nnz() const { return static_cast<int>(values.size()); }
   void check() const;
@@ -66,18 +71,23 @@ struct CsrMatrix {
   /// True if every row's column indices are strictly increasing.
   [[nodiscard]] bool isCanonical() const;
 };
+using CsrMatrix = CsrMatrixT<double>;
+using CsrMatrixF = CsrMatrixT<float>;
 
 /// Compressed sparse column.
-struct CscMatrix {
+template <class V>
+struct CscMatrixT {
   int rows = 0;
   int cols = 0;
   std::vector<int> colPtr;   ///< size cols+1
   std::vector<int> rowIdx;   ///< size nnz
-  std::vector<double> values;
+  std::vector<V> values;
 
   [[nodiscard]] int nnz() const { return static_cast<int>(values.size()); }
   void check() const;
 };
+using CscMatrix = CscMatrixT<double>;
+using CscMatrixF = CscMatrixT<float>;
 
 /// Modified sparse row (SPARSKIT/Aztec style), square matrices only:
 ///   val[0..n-1]   diagonal entries,
@@ -103,13 +113,14 @@ struct MsrMatrix {
 ///   bindx[..]             block column indices,
 ///   indx[..]              offset of each block's values in val,
 ///   val                   dense column-major storage of each block.
-struct VbrMatrix {
+template <class V>
+struct VbrMatrixT {
   std::vector<int> rpntr;
   std::vector<int> cpntr;
   std::vector<int> bpntr;
   std::vector<int> bindx;
   std::vector<int> indx;
-  std::vector<double> val;
+  std::vector<V> val;
 
   [[nodiscard]] int rows() const {
     return rpntr.empty() ? 0 : rpntr.back();
@@ -125,6 +136,8 @@ struct VbrMatrix {
   }
   void check() const;
 };
+using VbrMatrix = VbrMatrixT<double>;
+using VbrMatrixF = VbrMatrixT<float>;
 
 /// Sliced ELLPACK (SELL-C-σ).  Rows are grouped into chunks of `chunk`
 /// consecutive slots; within each sorting window of `sigma` rows the rows
@@ -138,7 +151,8 @@ struct VbrMatrix {
 /// original row stored in lane j of chunk c, so kernels scatter results
 /// back without a separate permutation pass.  This is internal tuned
 /// storage, not a setupMatrix input format — SparseStruct is unchanged.
-struct SellCMatrix {
+template <class V>
+struct SellCMatrixT {
   int rows = 0;             ///< logical rows (before chunk padding)
   int cols = 0;
   int chunk = 0;            ///< C: rows per chunk (slot count, >= 1)
@@ -147,7 +161,7 @@ struct SellCMatrix {
   std::vector<int> rowIds;    ///< size numChunks*chunk, original row per lane
   std::vector<int> rowLen;    ///< size numChunks*chunk, entries per lane
   std::vector<int> colIdx;    ///< padded column-major chunk storage
-  std::vector<double> values;
+  std::vector<V> values;
 
   [[nodiscard]] int numChunks() const {
     return chunkPtr.empty() ? 0 : static_cast<int>(chunkPtr.size()) - 1;
@@ -158,5 +172,18 @@ struct SellCMatrix {
   }
   void check() const;
 };
+using SellCMatrix = SellCMatrixT<double>;
+using SellCMatrixF = SellCMatrixT<float>;
+
+// The templated member functions are defined in formats.cpp and explicitly
+// instantiated for double and float — the only scalars the kernels use.
+extern template struct CsrMatrixT<double>;
+extern template struct CsrMatrixT<float>;
+extern template struct CscMatrixT<double>;
+extern template struct CscMatrixT<float>;
+extern template struct VbrMatrixT<double>;
+extern template struct VbrMatrixT<float>;
+extern template struct SellCMatrixT<double>;
+extern template struct SellCMatrixT<float>;
 
 }  // namespace lisi::sparse

@@ -7,11 +7,20 @@
 
 namespace lisi::sparse {
 
-void spmv(const CsrMatrix& a, std::span<const double> x, std::span<double> y) {
+namespace {
+
+// The kernels are templates over the stored scalar; the public double and
+// float overloads below instantiate them.  Each kernel accumulates in its
+// own scalar (the float paths are bandwidth plays wrapped in float64
+// refinement; reductions that feed convergence checks accumulate in double
+// regardless — see norm2/dot).
+template <class V>
+void spmvCsrImpl(const CsrMatrixT<V>& a, std::span<const V> x,
+                 std::span<V> y) {
   LISI_CHECK(static_cast<int>(x.size()) == a.cols, "spmv(CSR): x size mismatch");
   LISI_CHECK(static_cast<int>(y.size()) == a.rows, "spmv(CSR): y size mismatch");
   for (int i = 0; i < a.rows; ++i) {
-    double acc = 0.0;
+    V acc = V(0);
     for (int k = a.rowPtr[static_cast<std::size_t>(i)];
          k < a.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
       acc += a.values[static_cast<std::size_t>(k)] *
@@ -19,6 +28,69 @@ void spmv(const CsrMatrix& a, std::span<const double> x, std::span<double> y) {
     }
     y[static_cast<std::size_t>(i)] = acc;
   }
+}
+
+template <class V>
+void spmvSellImpl(const SellCMatrixT<V>& a, std::span<const V> x,
+                  std::span<V> y) {
+  LISI_CHECK(static_cast<int>(x.size()) == a.cols,
+             "spmv(SELL): x size mismatch");
+  LISI_CHECK(static_cast<int>(y.size()) == a.rows,
+             "spmv(SELL): y size mismatch");
+  const int chunk = a.chunk;
+  for (int c = 0; c < a.numChunks(); ++c) {
+    const int begin = a.chunkPtr[static_cast<std::size_t>(c)];
+    for (int j = 0; j < chunk; ++j) {
+      const std::size_t lane = static_cast<std::size_t>(c) * chunk + j;
+      const int r = a.rowIds[lane];
+      if (r < 0) continue;
+      // Bounding by rowLen (not chunk width) keeps padding slots out of the
+      // sum entirely — even +0.0 terms would flip signed zeros.
+      V acc = V(0);
+      for (int k = 0; k < a.rowLen[lane]; ++k) {
+        const std::size_t slot = static_cast<std::size_t>(begin + k * chunk + j);
+        acc += a.values[slot] *
+               x[static_cast<std::size_t>(a.colIdx[slot])];
+      }
+      y[static_cast<std::size_t>(r)] = acc;
+    }
+  }
+}
+
+template <class V>
+void spmvVbrImpl(const VbrMatrixT<V>& a, std::span<const V> x,
+                 std::span<V> y) {
+  LISI_CHECK(static_cast<int>(x.size()) == a.cols(), "spmv(VBR): x size mismatch");
+  LISI_CHECK(static_cast<int>(y.size()) == a.rows(), "spmv(VBR): y size mismatch");
+  std::fill(y.begin(), y.end(), V(0));
+  for (int br = 0; br < a.numRowBlocks(); ++br) {
+    const int r0 = a.rpntr[static_cast<std::size_t>(br)];
+    const int rdim = a.rpntr[static_cast<std::size_t>(br) + 1] - r0;
+    for (int b = a.bpntr[static_cast<std::size_t>(br)];
+         b < a.bpntr[static_cast<std::size_t>(br) + 1]; ++b) {
+      const int bc = a.bindx[static_cast<std::size_t>(b)];
+      const int c0 = a.cpntr[static_cast<std::size_t>(bc)];
+      const int cdim = a.cpntr[static_cast<std::size_t>(bc) + 1] - c0;
+      const int base = a.indx[static_cast<std::size_t>(b)];
+      for (int lj = 0; lj < cdim; ++lj) {
+        const V xj = x[static_cast<std::size_t>(c0 + lj)];
+        for (int li = 0; li < rdim; ++li) {
+          y[static_cast<std::size_t>(r0 + li)] +=
+              a.val[static_cast<std::size_t>(base + lj * rdim + li)] * xj;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void spmv(const CsrMatrix& a, std::span<const double> x, std::span<double> y) {
+  spmvCsrImpl<double>(a, x, y);
+}
+
+void spmv(const CsrMatrixF& a, std::span<const float> x, std::span<float> y) {
+  spmvCsrImpl<float>(a, x, y);
 }
 
 void spmvTranspose(const CsrMatrix& a, std::span<const double> x,
@@ -77,53 +149,21 @@ void spmv(const MsrMatrix& a, std::span<const double> x, std::span<double> y) {
 }
 
 void spmv(const VbrMatrix& a, std::span<const double> x, std::span<double> y) {
-  LISI_CHECK(static_cast<int>(x.size()) == a.cols(), "spmv(VBR): x size mismatch");
-  LISI_CHECK(static_cast<int>(y.size()) == a.rows(), "spmv(VBR): y size mismatch");
-  std::fill(y.begin(), y.end(), 0.0);
-  for (int br = 0; br < a.numRowBlocks(); ++br) {
-    const int r0 = a.rpntr[static_cast<std::size_t>(br)];
-    const int rdim = a.rpntr[static_cast<std::size_t>(br) + 1] - r0;
-    for (int b = a.bpntr[static_cast<std::size_t>(br)];
-         b < a.bpntr[static_cast<std::size_t>(br) + 1]; ++b) {
-      const int bc = a.bindx[static_cast<std::size_t>(b)];
-      const int c0 = a.cpntr[static_cast<std::size_t>(bc)];
-      const int cdim = a.cpntr[static_cast<std::size_t>(bc) + 1] - c0;
-      const int base = a.indx[static_cast<std::size_t>(b)];
-      for (int lj = 0; lj < cdim; ++lj) {
-        const double xj = x[static_cast<std::size_t>(c0 + lj)];
-        for (int li = 0; li < rdim; ++li) {
-          y[static_cast<std::size_t>(r0 + li)] +=
-              a.val[static_cast<std::size_t>(base + lj * rdim + li)] * xj;
-        }
-      }
-    }
-  }
+  spmvVbrImpl<double>(a, x, y);
+}
+
+void spmv(const VbrMatrixF& a, std::span<const float> x, std::span<float> y) {
+  spmvVbrImpl<float>(a, x, y);
 }
 
 void spmv(const SellCMatrix& a, std::span<const double> x,
           std::span<double> y) {
-  LISI_CHECK(static_cast<int>(x.size()) == a.cols,
-             "spmv(SELL): x size mismatch");
-  LISI_CHECK(static_cast<int>(y.size()) == a.rows,
-             "spmv(SELL): y size mismatch");
-  const int chunk = a.chunk;
-  for (int c = 0; c < a.numChunks(); ++c) {
-    const int begin = a.chunkPtr[static_cast<std::size_t>(c)];
-    for (int j = 0; j < chunk; ++j) {
-      const std::size_t lane = static_cast<std::size_t>(c) * chunk + j;
-      const int r = a.rowIds[lane];
-      if (r < 0) continue;
-      // Bounding by rowLen (not chunk width) keeps padding slots out of the
-      // sum entirely — even +0.0 terms would flip signed zeros.
-      double acc = 0.0;
-      for (int k = 0; k < a.rowLen[lane]; ++k) {
-        const std::size_t slot = static_cast<std::size_t>(begin + k * chunk + j);
-        acc += a.values[slot] *
-               x[static_cast<std::size_t>(a.colIdx[slot])];
-      }
-      y[static_cast<std::size_t>(r)] = acc;
-    }
-  }
+  spmvSellImpl<double>(a, x, y);
+}
+
+void spmv(const SellCMatrixF& a, std::span<const float> x,
+          std::span<float> y) {
+  spmvSellImpl<float>(a, x, y);
 }
 
 CsrMatrix transpose(const CsrMatrix& a) {
@@ -232,6 +272,28 @@ double dot(std::span<const double> x, std::span<const double> y) {
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  LISI_CHECK(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double norm2(std::span<const float> x) {
+  // Float data, double accumulation: these reductions feed convergence
+  // decisions, so the cheap storage must not cost accuracy in the sum.
+  double acc = 0.0;
+  for (float v : x) acc += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(acc);
+}
+
+double dot(std::span<const float> x, std::span<const float> y) {
+  LISI_CHECK(x.size() == y.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  return acc;
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   LISI_CHECK(x.size() == y.size(), "axpy: size mismatch");
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }

@@ -9,8 +9,14 @@
 
 namespace lisi::sparse {
 
-/// y = A*x for CSR.
+/// y = A*x for CSR.  The kernel formats are templated on the stored scalar
+/// (formats.hpp); each kernel ships a double and a float overload backed by
+/// one shared template, so the mixed-precision paths reuse the exact same
+/// loop structure.  Float kernels accumulate in float (they sit inside
+/// float64 refinement loops); the vector reductions below accumulate in
+/// double for both scalars because they feed convergence decisions.
 void spmv(const CsrMatrix& a, std::span<const double> x, std::span<double> y);
+void spmv(const CsrMatrixF& a, std::span<const float> x, std::span<float> y);
 
 /// y = A'*x for CSR (i.e. multiply by the transpose without forming it).
 void spmvTranspose(const CsrMatrix& a, std::span<const double> x,
@@ -27,12 +33,15 @@ void spmv(const MsrMatrix& a, std::span<const double> x, std::span<double> y);
 
 /// y = A*x for VBR.
 void spmv(const VbrMatrix& a, std::span<const double> x, std::span<double> y);
+void spmv(const VbrMatrixF& a, std::span<const float> x, std::span<float> y);
 
 /// y = A*x for SELL-C-σ.  Each lane accumulates its entries in stored (CSR)
 /// order, so the result is bitwise-identical to spmv on the source CSR.
 /// Rows without a lane (subset builds) are left untouched in y.
 void spmv(const SellCMatrix& a, std::span<const double> x,
           std::span<double> y);
+void spmv(const SellCMatrixF& a, std::span<const float> x,
+          std::span<float> y);
 
 /// Explicit transpose of a CSR matrix (canonical output).
 [[nodiscard]] CsrMatrix transpose(const CsrMatrix& a);
@@ -52,14 +61,17 @@ void spmv(const SellCMatrix& a, std::span<const double> x,
 /// Max |a_ij - b_ij| over the union pattern (canonicalizes internally).
 [[nodiscard]] double maxAbsDiff(const CsrMatrix& a, const CsrMatrix& b);
 
-/// Euclidean norm of a vector.
+/// Euclidean norm of a vector (float input accumulates in double).
 [[nodiscard]] double norm2(std::span<const double> x);
+[[nodiscard]] double norm2(std::span<const float> x);
 
-/// Dot product.
+/// Dot product (float input accumulates in double).
 [[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+[[nodiscard]] double dot(std::span<const float> x, std::span<const float> y);
 
 /// y += alpha*x.
 void axpy(double alpha, std::span<const double> x, std::span<double> y);
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
 
 /// ||b - A*x||_2 (serial reference residual).
 [[nodiscard]] double residualNorm(const CsrMatrix& a, std::span<const double> x,

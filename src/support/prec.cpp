@@ -1,0 +1,92 @@
+#include "support/prec.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+
+namespace lisi::prec {
+
+namespace {
+
+struct AtomicStats {
+  std::atomic<long long> bytesLow{0};
+  std::atomic<long long> bytesHigh{0};
+  std::atomic<long long> refineSweeps{0};
+  std::atomic<long long> lowApplies{0};
+  std::atomic<long long> mixedSolves{0};
+};
+AtomicStats g_stats;
+
+}  // namespace
+
+Mode modeFromString(const std::string& s, Mode fallback) {
+  std::string t;
+  for (const char c : s) {
+    t.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (t == "double" || t == "fp64" || t == "float64") return Mode::kDouble;
+  if (t == "mixed" || t == "fp32" || t == "float32") return Mode::kMixed;
+  if (t == "auto") return Mode::kAuto;
+  return fallback;
+}
+
+Mode modeFromEnv() {
+  if (const char* env = std::getenv("LISI_PRECISION")) {
+    return modeFromString(env, Mode::kDouble);
+  }
+  return Mode::kDouble;
+}
+
+const char* modeName(Mode m) {
+  switch (m) {
+    case Mode::kDouble: return "double";
+    case Mode::kMixed: return "mixed";
+    case Mode::kAuto: return "auto";
+  }
+  return "?";
+}
+
+Mode resolveAuto(Mode m, long long globalNnz) {
+  if (m != Mode::kAuto) return m;
+  return globalNnz >= kAutoMinGlobalNnz ? Mode::kMixed : Mode::kDouble;
+}
+
+Stats stats() {
+  Stats s;
+  s.bytesLow = g_stats.bytesLow.load(std::memory_order_relaxed);
+  s.bytesHigh = g_stats.bytesHigh.load(std::memory_order_relaxed);
+  s.refineSweeps = g_stats.refineSweeps.load(std::memory_order_relaxed);
+  s.lowApplies = g_stats.lowApplies.load(std::memory_order_relaxed);
+  s.mixedSolves = g_stats.mixedSolves.load(std::memory_order_relaxed);
+  return s;
+}
+
+void resetStatsForTest() {
+  g_stats.bytesLow.store(0);
+  g_stats.bytesHigh.store(0);
+  g_stats.refineSweeps.store(0);
+  g_stats.lowApplies.store(0);
+  g_stats.mixedSolves.store(0);
+}
+
+void noteBytesLow(long long bytes) {
+  g_stats.bytesLow.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void noteBytesHigh(long long bytes) {
+  g_stats.bytesHigh.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void noteRefineSweeps(long long n) {
+  g_stats.refineSweeps.fetch_add(n, std::memory_order_relaxed);
+}
+
+void noteLowApply() {
+  g_stats.lowApplies.fetch_add(1, std::memory_order_relaxed);
+}
+
+void noteMixedSolve() {
+  g_stats.mixedSolves.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace lisi::prec

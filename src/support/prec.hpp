@@ -1,0 +1,69 @@
+// lisi::prec — the mixed-precision policy knob and its accounting.
+//
+// The LISI parameter "precision" (and the LISI_PRECISION environment knob)
+// selects what the *backends* run internally; the interface contract is
+// unchanged — float64 in, float64 out, converged to the same tolerance:
+//   double : every kernel runs in float64 (the historical path, and the
+//            default — bitwise identical to the pre-knob code).
+//   mixed  : the error-correction side runs in float32 — hymg's cycle
+//            (smoothers, transfers, coarse LU), pksp's SOR/ILU(0)
+//            preconditioner applications, slu's LU factors — while every
+//            outer iteration, residual, and convergence decision stays
+//            float64 (iterative refinement / defect correction).
+//   auto   : mixed for operators large enough that the halved value
+//            bandwidth pays for the refinement overhead, double otherwise.
+//
+// Stats are process-wide atomics like the tune/halo counters: MiniMPI ranks
+// are threads of one process, and tests assert deltas with rank
+// multiplicity.  Always maintained; mirrored into obs as prec.* counters at
+// the instrumented call sites (this support-layer module cannot link obs).
+#pragma once
+
+#include <string>
+
+namespace lisi::prec {
+
+enum class Mode { kDouble, kMixed, kAuto };
+
+/// Parse "double"/"mixed"/"auto" (case-insensitive); anything else ->
+/// fallback.
+[[nodiscard]] Mode modeFromString(const std::string& s, Mode fallback);
+
+/// Policy from the LISI_PRECISION environment variable (default kDouble —
+/// the knob is opt-in; unset must stay bitwise the historical path).  Read
+/// fresh each call: the verify suite flips LISI_PRECISION between
+/// in-process worlds.
+[[nodiscard]] Mode modeFromEnv();
+
+[[nodiscard]] const char* modeName(Mode m);
+
+/// kAuto picks mixed only for operators with at least this many global
+/// nonzeros: below it the float32 mirrors and extra refinement sweeps cost
+/// more than the halved value traffic saves.
+inline constexpr long long kAutoMinGlobalNnz = 1 << 15;
+
+/// Resolve kAuto against the operator size; kDouble/kMixed pass through.
+/// Never returns kAuto.
+[[nodiscard]] Mode resolveAuto(Mode m, long long globalNnz);
+
+/// Process-wide mixed-precision counters.
+struct Stats {
+  long long bytesLow = 0;      ///< value bytes moved by float32 kernels
+  long long bytesHigh = 0;     ///< value bytes moved by float64 kernels
+  long long refineSweeps = 0;  ///< outer refinement / defect-correction sweeps
+  long long lowApplies = 0;    ///< float32 operator/preconditioner applies
+  long long mixedSolves = 0;   ///< solves that resolved to kMixed
+};
+[[nodiscard]] Stats stats();
+
+/// Test hook: zero the counters.
+void resetStatsForTest();
+
+// Accounting hooks (relaxed atomics; cheap enough for per-apply use).
+void noteBytesLow(long long bytes);
+void noteBytesHigh(long long bytes);
+void noteRefineSweeps(long long n);
+void noteLowApply();
+void noteMixedSolve();
+
+}  // namespace lisi::prec

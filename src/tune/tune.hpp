@@ -42,14 +42,19 @@ enum class Mode { kOff, kOn, kAuto };
 [[nodiscard]] const char* modeName(Mode m);
 
 /// Global operator identity: the kSum-allreduce of the per-rank structural
-/// fingerprints (PR 3's FNV-1a structureHash) plus the communicator size.
+/// fingerprints (PR 3's FNV-1a structureHash) plus the communicator size,
+/// plus the precision mode the solve runs under (prec::Mode as int): a
+/// decision probed under float64 kernels must not be replayed for a
+/// mixed-precision solve whose bandwidth profile differs, and vice versa.
 struct OperatorKey {
   std::uint64_t fingerprint = 0;
   int ranks = 0;
+  int precision = 0;
   friend bool operator==(const OperatorKey&, const OperatorKey&) = default;
   friend bool operator<(const OperatorKey& a, const OperatorKey& b) {
-    return a.fingerprint != b.fingerprint ? a.fingerprint < b.fingerprint
-                                          : a.ranks < b.ranks;
+    if (a.fingerprint != b.fingerprint) return a.fingerprint < b.fingerprint;
+    if (a.ranks != b.ranks) return a.ranks < b.ranks;
+    return a.precision < b.precision;
   }
 };
 

@@ -425,6 +425,64 @@ TEST_P(TuneCache, AutoSkipsSmallOperators) {
   });
 }
 
+TEST_P(TuneCache, PrecisionModeIsPartOfTheKey) {
+  // A decision probed under float64 kernels must not be replayed for a
+  // mixed-precision solve (and vice versa): the same operator structure
+  // under a different precision mode is a distinct OperatorKey, so the
+  // first mixed solve misses and probes, while flipping back to double
+  // replays the decision already cached under the double key.
+  const int p = GetParam();
+  tune::clearCacheForTest();
+  tune::resetStatsForTest();
+  const CsrMatrix a5 = sparse::laplacian2d(16, 16);
+  World::run(p, [&](Comm& c) {
+    int start = 0, m = 0;
+    myShare(a5.rows, c.rank(), c.size(), start, m);
+    cca::Framework fw;
+    const long h = comm::registerHandle(c);
+    auto s = wirePksp(fw, h, c, a5, start, m);
+    ASSERT_EQ(s->set("tune", "on"), 0);
+    // SOR has a float32 path (Jacobi intentionally does not); plain SOR is
+    // nonsymmetric, so pair it with GMRES instead of wirePksp's CG.
+    ASSERT_EQ(s->set("solver", "gmres"), 0);
+    ASSERT_EQ(s->set("preconditioner", "sor"), 0);
+    // Pin the starting mode explicitly: an ambient LISI_PRECISION (the
+    // verify flow forces it) must not collapse the two keys into one.
+    ASSERT_EQ(s->set("precision", "double"), 0);
+
+    // Double: miss + probe, caches {fingerprint, p, kDouble}.
+    const tune::Stats s0 = sampleStats(c);
+    (void)feedAndSolve(*s, a5, start, m, 1.0);
+    const tune::Stats s1 = sampleStats(c);
+    EXPECT_EQ(s1.cacheMisses - s0.cacheMisses, p);
+    EXPECT_GT(s1.probeMeasurements - s0.probeMeasurements, 0);
+
+    // Same operator under mixed: new key -> miss + probe, not a replay.
+    ASSERT_EQ(s->set("precision", "mixed"), 0);
+    (void)feedAndSolve(*s, a5, start, m, 1.0);
+    const tune::Stats s2 = sampleStats(c);
+    EXPECT_EQ(s2.cacheMisses - s1.cacheMisses, p);
+    EXPECT_EQ(s2.cacheHits - s1.cacheHits, 0);
+    EXPECT_GT(s2.probeMeasurements - s1.probeMeasurements, 0);
+
+    // Still mixed: replay of the mixed-key decision, zero probes.
+    (void)feedAndSolve(*s, a5, start, m, 1.0);
+    const tune::Stats s3 = sampleStats(c);
+    EXPECT_EQ(s3.cacheHits - s2.cacheHits, p);
+    EXPECT_EQ(s3.cacheMisses - s2.cacheMisses, 0);
+    EXPECT_EQ(s3.probeMeasurements - s2.probeMeasurements, 0);
+
+    // Back to double: the double-key decision is still cached -> hit.
+    ASSERT_EQ(s->set("precision", "double"), 0);
+    (void)feedAndSolve(*s, a5, start, m, 1.0);
+    const tune::Stats s4 = sampleStats(c);
+    EXPECT_EQ(s4.cacheHits - s3.cacheHits, p);
+    EXPECT_EQ(s4.cacheMisses - s3.cacheMisses, 0);
+    EXPECT_EQ(s4.probeMeasurements - s3.probeMeasurements, 0);
+    comm::releaseHandle(h);
+  });
+}
+
 INSTANTIATE_TEST_SUITE_P(Ranks, TuneCache, ::testing::Values(1, 4),
                          [](const ::testing::TestParamInfo<int>& info) {
                            return "ranks" + std::to_string(info.param);
