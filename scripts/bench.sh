@@ -7,7 +7,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S .
 cmake --build build -j --target ablation_pipeline ablation_reuse \
-  ablation_autotune ablation_precision ablation_overhead \
+  ablation_autotune ablation_precision ablation_overhead ablation_service \
   ablation_collectives ablation_rarray ablation_params ablation_formats \
   ablation_matfree ablation_mg
 
@@ -15,9 +15,9 @@ cmake --build build -j --target ablation_pipeline ablation_reuse \
 # renamed target would otherwise surface as a confusing "no such file"
 # halfway through the collection loop below.
 for bin in ablation_pipeline ablation_reuse ablation_autotune \
-    ablation_precision ablation_overhead ablation_collectives \
-    ablation_rarray ablation_params ablation_formats ablation_matfree \
-    ablation_mg; do
+    ablation_precision ablation_overhead ablation_service \
+    ablation_collectives ablation_rarray ablation_params ablation_formats \
+    ablation_matfree ablation_mg; do
   if [ ! -x "./build/bench/$bin" ]; then
     echo "bench: FATAL: expected binary build/bench/$bin is missing" >&2
     exit 1
@@ -52,6 +52,13 @@ mkdir -p "$ART"
 # build has LISI_OBS=ON — see docs/OBSERVABILITY.md).
 (cd "$ART" && "$OLDPWD"/build/bench/ablation_overhead \
   | tee BENCH_overhead.txt)
+
+# Session-service ablation writes BENCH_service.json into its cwd.  The
+# LISI_SERVICE_* knobs must not leak in: the harness pins its own pool
+# shape (2x2-rank sessions vs one serialized 4-rank World).
+(cd "$ART" && env -u LISI_SERVICE_SESSIONS -u LISI_SERVICE_RANKS \
+  -u LISI_SERVICE_QUEUE_DEPTH -u LISI_SERVICE_BATCH_WINDOW \
+  "$OLDPWD"/build/bench/ablation_service | tee BENCH_service.txt)
 
 # google-benchmark ablations emit JSON natively.  Note: the bundled
 # google-benchmark predates unit suffixes — min_time takes a bare double.

@@ -24,6 +24,13 @@
 #              observability spans/counters on the comm and solver hot
 #              paths must not change any result, and the allocation-free
 #              guarantees must survive the instrumentation;
+#   5b. service: the session-pool service (src/service) under both hostile
+#              configurations — the TSan build runs the full service suite
+#              (concurrent client submitters racing two solving sessions
+#              over the shared queue, tune cache, and schedule fallback)
+#              and the obs build runs it again so the per-session
+#              span/counter attribution path is exercised for real
+#              (Service.PerSessionObsAttribution skips everywhere else);
 #   1c. precision: run the full suite with LISI_PRECISION=mixed (float32
 #              speed paths forced wherever a backend has one) and with
 #              LISI_PRECISION=double (pure-float64 paths pinned) — the
@@ -92,10 +99,19 @@ cmake --build build-check -j
 
 # ---- 3. TSan -----------------------------------------------------------
 cmake -B build-tsan -S . -DLISI_SANITIZE=thread
-cmake --build build-tsan -j --target comm_test sparse_dist_test pksp_test
+cmake --build build-tsan -j --target comm_test sparse_dist_test pksp_test \
+  service_test
 ./build-tsan/tests/comm_test
 ./build-tsan/tests/sparse_dist_test
 ./build-tsan/tests/pksp_test --gtest_filter='*Pipelined*:*Pipeline*'
+
+# ---- 5b. service under TSan --------------------------------------------
+# The service layer is the one place where *client* threads race the rank
+# threads (bounded queue, promise resolution, batch slot handoff) and
+# where two sessions hit the process-wide tune cache and the global
+# schedule fallback concurrently.  The whole service suite must be
+# TSan-clean, ConcurrentSubmittersStress included.
+./build-tsan/tests/service_test
 
 # ---- 4. ASan+UBSan -----------------------------------------------------
 cmake -B build-asan -S . -DLISI_SANITIZE=address+undefined
@@ -108,6 +124,9 @@ cmake --build build-asan -j --target sparse_dist_test slu_test lisi_reuse_test
 # The instrumented build must pass the entire suite: spans/counters on the
 # hot paths may not perturb results, break the allocation-free guarantees
 # (the streams preallocate), or deadlock the checker-free collectives.
+# This is also where the service suite's per-session attribution test
+# (Service.PerSessionObsAttribution) goes live — it skips in OBS=OFF
+# builds, so the full-suite run here is its only gate.
 cmake -B build-obs -S . -DLISI_OBS=ON
 cmake --build build-obs -j
 (cd build-obs && ctest --output-on-failure -j)
@@ -138,7 +157,7 @@ doc_sanity() {
     if grep -qE "(option|set)\(${knob}([^A-Z_]|\$)" CMakeLists.txt; then
       continue  # a CMake cache variable spelled without -D; checked above
     fi
-    if grep -rq "getenv(\"${knob}\")" src bench tests; then
+    if grep -rqE "(getenv|envInt)\(\"${knob}\"[,)]" src bench tests; then
       echo "verify: doc sanity: env knob ${knob} is read in the sources"
     else
       echo "verify: FATAL: docs name env knob ${knob} but no source reads it" >&2

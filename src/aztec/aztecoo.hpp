@@ -16,6 +16,7 @@
 #include <array>
 #include <memory>
 
+#include "aztec/multi_vector.hpp"
 #include "aztec/row_matrix.hpp"
 
 namespace aztec {
@@ -69,6 +70,11 @@ class AztecOO {
   /// Bind the problem A x = b.  All three must outlive the solver.
   AztecOO(const RowMatrix& a, Vector& x, const Vector& b);
 
+  /// Bind the block problem A X = B over numVectors lanes (multi-RHS).
+  /// Solve with iterateMulti; the single-vector iterate overloads reject a
+  /// block-bound solver.
+  AztecOO(const RowMatrix& a, MultiVector& x, const MultiVector& b);
+
   /// Set one option (bounds-checked); returns *this for chaining.
   AztecOO& setOption(int index, int value);
   /// Set one double parameter.
@@ -85,6 +91,16 @@ class AztecOO {
   /// Run with the stored AZ_max_iter / AZ_tol.
   int iterate();
 
+  /// Solve every lane of a block-bound problem (multi-RHS).  The
+  /// preconditioner is built ONCE and reused across all lanes, and the
+  /// per-lane convergence scales come from one fused allreduce
+  /// (MultiVector::norms2) instead of numVectors separate ones.  Each
+  /// lane's iteration is identical to a standalone iterate() on it.  The
+  /// status array aggregates over the block: AZ_its/AZ_r/AZ_scaled_r are
+  /// the lane maxima and AZ_why the worst lane outcome.  Returns 0 only if
+  /// every lane converged.  Collective.
+  int iterateMulti(int maxIter, double tol);
+
   [[nodiscard]] int numIters() const {
     return static_cast<int>(status_[AZ_its]);
   }
@@ -99,8 +115,10 @@ class AztecOO {
 
  private:
   const RowMatrix* a_;
-  Vector* x_;
-  const Vector* b_;
+  Vector* x_ = nullptr;
+  const Vector* b_ = nullptr;
+  MultiVector* mx_ = nullptr;        ///< block bindings (multi-RHS ctor)
+  const MultiVector* mb_ = nullptr;
   std::array<int, AZ_OPTIONS_SIZE> options_;
   std::array<double, AZ_PARAMS_SIZE> params_;
   std::array<double, AZ_STATUS_SIZE> status_{};

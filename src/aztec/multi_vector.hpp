@@ -1,0 +1,57 @@
+// Aztec MultiVector: a block of distributed vectors sharing one Map (the
+// Epetra_MultiVector analogue).  Beyond holding the lanes, it fuses the
+// block-level reductions — one allreduce computes the dot products or norms
+// of every lane — which is what AztecOO::iterateMulti uses to amortize the
+// per-solve collective cost when a batch of right-hand sides shares the
+// operator.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "aztec/vector.hpp"
+
+namespace aztec {
+
+/// A block of `numVectors` distributed vectors over one Map.
+class MultiVector {
+ public:
+  /// Zero-initialized block on `map` (the map must outlive the block).
+  MultiVector(const Map& map, int numVectors);
+
+  /// Copy local values in, vector-major: lane k occupies
+  /// [k*numMyElements, (k+1)*numMyElements) of `localValues`.
+  MultiVector(const Map& map, std::span<const double> localValues,
+              int numVectors);
+
+  [[nodiscard]] const Map& map() const { return *map_; }
+  [[nodiscard]] int numVectors() const {
+    return static_cast<int>(lanes_.size());
+  }
+  [[nodiscard]] int myLength() const { return map_->numMyElements(); }
+
+  /// Lane access (0 <= k < numVectors).
+  [[nodiscard]] Vector& operator()(int k) {
+    return lanes_[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] const Vector& operator()(int k) const {
+    return lanes_[static_cast<std::size_t>(k)];
+  }
+
+  /// Per-lane global dot products <this_k, other_k>, all lanes fused into
+  /// ONE allreduce (out.size() must equal numVectors).  Collective.
+  void dots(const MultiVector& other, std::span<double> out) const;
+
+  /// Per-lane global 2-norms, fused into one allreduce.  Collective.
+  void norms2(std::span<double> out) const;
+
+  /// Copy every lane's local values out, vector-major (size must equal
+  /// numVectors * myLength).
+  void extract(std::span<double> localValues) const;
+
+ private:
+  const Map* map_;
+  std::vector<Vector> lanes_;
+};
+
+}  // namespace aztec

@@ -114,9 +114,35 @@ void WorldChecker::fail(const std::string& msg) const {
 }
 
 void WorldChecker::onCommCreated(std::uint64_t ctx,
-                                 const std::vector<int>& groupWorldRanks) {
+                                 const std::vector<int>& groupWorldRanks,
+                                 int collectiveTagWindow) {
   std::lock_guard<std::mutex> lock(mutex_);
   ctxGroups_.try_emplace(ctx, groupWorldRanks);
+  ctxWindows_.try_emplace(ctx, collectiveTagWindow);
+}
+
+void WorldChecker::onCommTagWindow(std::uint64_t ctx, int window) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ctxWindows_[ctx] = window;
+}
+
+void WorldChecker::onCommLabeled(std::uint64_t ctx, std::string label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ctxLabels_[ctx] = std::move(label);
+}
+
+int WorldChecker::windowOfLocked(std::uint64_t ctx) const {
+  const auto it = ctxWindows_.find(ctx);
+  return it == ctxWindows_.end() ? collectiveTagWindow_ : it->second;
+}
+
+std::string WorldChecker::ctxNameLocked(std::uint64_t ctx) const {
+  std::string name = "ctx=" + std::to_string(ctx);
+  const auto it = ctxLabels_.find(ctx);
+  if (it != ctxLabels_.end() && !it->second.empty()) {
+    name += " [" + it->second + "]";
+  }
+  return name;
 }
 
 int WorldChecker::worldRankOfLocked(std::uint64_t ctx, int localRank) const {
@@ -143,8 +169,8 @@ void WorldChecker::onCollectiveStart(std::uint64_t ctx, int localRank,
                             block.firstTag + block.count <= firstTag;
       if (!disjoint && block.firstTag != firstTag) {
         fail(
-            "LISI_COMM_CHECK: reserveCollectiveTags overlap on ctx=" +
-            std::to_string(ctx) + ": new block [" + std::to_string(firstTag) +
+            "LISI_COMM_CHECK: reserveCollectiveTags overlap on " +
+            ctxNameLocked(ctx) + ": new block [" + std::to_string(firstTag) +
             ", " + std::to_string(firstTag + tagCount) +
             ") collides with live block [" + std::to_string(block.firstTag) +
             ", " + std::to_string(block.firstTag + block.count) +
@@ -162,8 +188,8 @@ void WorldChecker::onCollectiveStart(std::uint64_t ctx, int localRank,
     if (tagReservedOnLocked(ctx, firstTag)) {
       fail(
           "LISI_COMM_CHECK: collective tag sequence wrapped into a reserved "
-          "block on ctx=" +
-          std::to_string(ctx) + ": " + describeSignature(sig) +
+          "block on " +
+          ctxNameLocked(ctx) + ": " + describeSignature(sig) +
           " at collective #" + std::to_string(seq) + " drew tag " +
           std::to_string(firstTag) +
           " which belongs to a live reserveCollectiveTags() block");
@@ -195,7 +221,8 @@ void WorldChecker::onCollectiveStart(std::uint64_t ctx, int localRank,
     entry.firstWorldRank = worldRank;
   } else if (entry.hash != hash) {
     std::ostringstream out;
-    out << "LISI_COMM_CHECK: lockstep collective mismatch on ctx=" << ctx
+    out << "LISI_COMM_CHECK: lockstep collective mismatch on "
+        << ctxNameLocked(ctx)
         << " at collective #" << seq << ": rank " << localRank << " (world "
         << worldRank << ") called " << describeSignature(sig)
         << " [signature 0x" << std::hex << hash << std::dec << "] but rank "
@@ -229,12 +256,17 @@ void WorldChecker::onSend(std::uint64_t ctx, int localRank, int worldRank,
                           int dest, int tag) {
   if (tag >= 0 && tag <= maxUserTag_) return;  // user tag space: always legal
   std::lock_guard<std::mutex> lock(mutex_);
-  if (tag > maxUserTag_ + collectiveTagWindow_ || tag < 0) {
+  // The collective tag window is a per-context session property, so the
+  // tag-space bound follows the sending communicator's window, not the
+  // world default.
+  const int window = windowOfLocked(ctx);
+  if (tag > maxUserTag_ + window || tag < 0) {
     fail("LISI_COMM_CHECK: send from rank " + std::to_string(localRank) +
-                " to rank " + std::to_string(dest) + " uses tag " +
-                std::to_string(tag) + " outside the tag space [0, " +
-                std::to_string(maxUserTag_ + collectiveTagWindow_) +
-                "] (user tags end at " + std::to_string(maxUserTag_) + ")");
+                " to rank " + std::to_string(dest) + " on " +
+                ctxNameLocked(ctx) + " uses tag " + std::to_string(tag) +
+                " outside the tag space [0, " +
+                std::to_string(maxUserTag_ + window) + "] (user tags end at " +
+                std::to_string(maxUserTag_) + ")");
   }
   if (tagReservedOnLocked(ctx, tag)) return;  // reserved-block protocol
   const auto& ring = recentTags_[static_cast<std::size_t>(worldRank)];
@@ -279,7 +311,7 @@ std::string WorldChecker::describeWaitLocked(int worldRank) const {
   for (std::size_t i = 0; i < w.needs.size(); ++i) {
     const WaitNeed& need = w.needs[i];
     if (i != 0) out << " | ";
-    out << "ctx=" << need.ctx << ", src=";
+    out << ctxNameLocked(need.ctx) << ", src=";
     if (need.src < 0) {
       out << "any";
     } else {

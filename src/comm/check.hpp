@@ -139,10 +139,20 @@ class WorldChecker {
 
   // ---- communicator registry ----------------------------------------
 
-  /// Record a communicator's membership (called by every member; idempotent
-  /// per ctx).  Translates local ranks for diagnostics and bounds the
-  /// lockstep board's arrival counts.
-  void onCommCreated(std::uint64_t ctx, const std::vector<int>& groupWorldRanks);
+  /// Record a communicator's membership and inherited collective tag window
+  /// (called by every member; idempotent per ctx).  Translates local ranks
+  /// for diagnostics, bounds the lockstep board's arrival counts, and seeds
+  /// the per-context tag-space bound for the send lint.
+  void onCommCreated(std::uint64_t ctx, const std::vector<int>& groupWorldRanks,
+                     int collectiveTagWindow);
+
+  /// The context's collective tag window changed (Comm::setCollectiveTagWindow):
+  /// the send lint's per-context tag-space bound follows it.
+  void onCommTagWindow(std::uint64_t ctx, int window);
+
+  /// Attach a diagnostic label to a context (Comm::setLabel); rendered next
+  /// to the ctx id in lockstep and deadlock reports.
+  void onCommLabeled(std::uint64_t ctx, std::string label);
 
   // ---- 1. lockstep collective verification ---------------------------
 
@@ -253,6 +263,10 @@ class WorldChecker {
   [[nodiscard]] std::string describeWaitLocked(int worldRank) const;
   [[nodiscard]] std::string describeHistoryLocked(int worldRank) const;
   [[nodiscard]] int worldRankOfLocked(std::uint64_t ctx, int localRank) const;
+  /// Tag window of `ctx` (the constructor's world default when unknown).
+  [[nodiscard]] int windowOfLocked(std::uint64_t ctx) const;
+  /// "ctx=3 [session 1]" — the ctx id plus its label when one is set.
+  [[nodiscard]] std::string ctxNameLocked(std::uint64_t ctx) const;
 
   const int worldSize_;
   const int maxUserTag_;
@@ -263,6 +277,8 @@ class WorldChecker {
 
   mutable std::mutex mutex_;
   std::map<std::uint64_t, std::vector<int>> ctxGroups_;
+  std::map<std::uint64_t, int> ctxWindows_;
+  std::map<std::uint64_t, std::string> ctxLabels_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, BoardEntry> board_;
   std::vector<WaitState> waits_;
   std::vector<bool> exited_;

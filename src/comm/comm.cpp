@@ -153,14 +153,29 @@ class WorldContext {
         });
     std::vector<int> identity(static_cast<std::size_t>(nranks));
     for (int i = 0; i < nranks; ++i) identity[static_cast<std::size_t>(i)] = i;
-    checker_->onCommCreated(0, identity);
+    checker_->onCommCreated(0, identity, collectiveTagWindow_);
 #endif
   }
 
   [[nodiscard]] int worldSize() const { return nranks_; }
 
-  /// Collective tag window for every communicator of this world.
+  /// Default collective tag window, inherited by every communicator of this
+  /// world at creation (each CommState then carries its own copy, so
+  /// sessions can narrow theirs without touching siblings).
   [[nodiscard]] int collectiveTagWindow() const { return collectiveTagWindow_; }
+
+  /// Per-context diagnostic labels ("session 0", ...).  Written by
+  /// Comm::setLabel from any rank thread, read by label(); the map is tiny
+  /// and off every hot path, so a plain mutex suffices.
+  void setContextLabel(std::uint64_t ctx, const std::string& label) {
+    std::lock_guard<std::mutex> lock(labelMutex_);
+    ctxLabels_[ctx] = label;
+  }
+  [[nodiscard]] std::string contextLabel(std::uint64_t ctx) const {
+    std::lock_guard<std::mutex> lock(labelMutex_);
+    const auto it = ctxLabels_.find(ctx);
+    return it == ctxLabels_.end() ? std::string() : it->second;
+  }
 
   /// The LISI_COMM_CHECK verifier; null in unchecked builds.
   [[nodiscard]] check::WorldChecker* checker() { return checker_.get(); }
@@ -345,6 +360,9 @@ class WorldContext {
   std::map<std::uint64_t, CollectiveSchedule> schedulePins_;
   std::atomic<int> pinCount_{0};
 
+  mutable std::mutex labelMutex_;
+  std::map<std::uint64_t, std::string> ctxLabels_;
+
   std::atomic<int> firstFailedRank_{-1};
 
   std::unique_ptr<check::WorldChecker> checker_;  // null unless LISI_COMM_CHECK
@@ -358,6 +376,11 @@ struct CommState {
   int myLocalRank = 0;
   std::atomic<std::uint64_t> collSeq{0};
   std::atomic<std::uint64_t> splitSeq{0};
+  /// Collective tag window of this context — a session property: seeded
+  /// from the world default at creation, inherited through split()/dup(),
+  /// and overridden per context by Comm::setCollectiveTagWindow.  Every
+  /// rank of the context holds the same value (the setter is collective).
+  int collectiveTagWindow = kDefaultCollectiveTagWindow;
 
   /// This rank's outstanding nonblocking collectives on this communicator.
   /// Rank-thread private (a CommState belongs to exactly one rank thread),
@@ -627,7 +650,7 @@ int Comm::nextCollectiveTag(check::CollKind kind, int root, std::uint64_t bytes,
   // secondary mismatch report.
   state_->world->checkAborted();
   const std::uint64_t seq = state_->collSeq.fetch_add(1);
-  const int tag = detail::tagForSeq(seq, state_->world->collectiveTagWindow());
+  const int tag = detail::tagForSeq(seq, state_->collectiveTagWindow);
 #ifdef LISI_COMM_CHECK
   detail::t_lastCollKind = check::collKindName(kind);
   if (auto* checker = state_->world->checker()) {
@@ -706,6 +729,45 @@ CollectiveSchedule Comm::pinnedCollectiveSchedule() const {
   return state_->world->contextSchedule(state_->ctx);
 }
 
+void Comm::setCollectiveTagWindow(int window) const {
+  LISI_CHECK(valid(), "setCollectiveTagWindow on an invalid communicator");
+  LISI_CHECK(window >= 16 && window <= detail::kDefaultCollectiveTagWindow,
+             "setCollectiveTagWindow: window must lie in [16, " +
+                 std::to_string(detail::kDefaultCollectiveTagWindow) + "]");
+  // Barrier-then-set (see pinCollectiveSchedule): after the barrier no rank
+  // can still be drawing a tag for an earlier collective, so every rank
+  // switches windows at the same collective-sequence position and the
+  // lockstep tag streams stay identical.  Only this CommState changes:
+  // the parent and any split/dup siblings keep their own windows.
+  barrier();
+  state_->collectiveTagWindow = window;
+#ifdef LISI_COMM_CHECK
+  if (auto* checker = state_->world->checker()) {
+    checker->onCommTagWindow(state_->ctx, window);
+  }
+#endif
+}
+
+int Comm::collectiveTagWindow() const {
+  LISI_CHECK(valid(), "collectiveTagWindow on an invalid communicator");
+  return state_->collectiveTagWindow;
+}
+
+void Comm::setLabel(const std::string& label) const {
+  LISI_CHECK(valid(), "setLabel on an invalid communicator");
+  state_->world->setContextLabel(state_->ctx, label);
+#ifdef LISI_COMM_CHECK
+  if (auto* checker = state_->world->checker()) {
+    checker->onCommLabeled(state_->ctx, label);
+  }
+#endif
+}
+
+std::string Comm::label() const {
+  LISI_CHECK(valid(), "label on an invalid communicator");
+  return state_->world->contextLabel(state_->ctx);
+}
+
 std::vector<int> Comm::reserveCollectiveTags(int count) const {
   LISI_CHECK(valid(), "reserveCollectiveTags on an invalid communicator");
   LISI_CHECK(count > 0, "reserveCollectiveTags: count must be positive");
@@ -715,8 +777,7 @@ std::vector<int> Comm::reserveCollectiveTags(int count) const {
   std::vector<int> tags(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
     tags[static_cast<std::size_t>(i)] = detail::tagForSeq(
-        seq + static_cast<std::uint64_t>(i),
-        state_->world->collectiveTagWindow());
+        seq + static_cast<std::uint64_t>(i), state_->collectiveTagWindow);
   }
 #ifdef LISI_COMM_CHECK
   detail::t_lastCollKind = "reserveCollectiveTags";
@@ -1046,6 +1107,7 @@ Comm Comm::split(int color, int key) const {
   auto newState = std::make_shared<detail::CommState>();
   newState->world = state_->world;
   newState->ctx = state_->world->splitContextId(state_->ctx, seq, color);
+  newState->collectiveTagWindow = state_->collectiveTagWindow;
   newState->groupWorldRanks.reserve(group.size());
   for (std::size_t i = 0; i < group.size(); ++i) {
     newState->groupWorldRanks.push_back(
@@ -1056,7 +1118,8 @@ Comm Comm::split(int color, int key) const {
   }
 #ifdef LISI_COMM_CHECK
   if (auto* checker = state_->world->checker()) {
-    checker->onCommCreated(newState->ctx, newState->groupWorldRanks);
+    checker->onCommCreated(newState->ctx, newState->groupWorldRanks,
+                           newState->collectiveTagWindow);
   }
 #endif
   return Comm(std::move(newState));
@@ -1081,6 +1144,7 @@ void World::run(int nranks, const std::function<void(Comm&)>& body) {
       auto state = std::make_shared<detail::CommState>();
       state->world = world;
       state->ctx = 0;
+      state->collectiveTagWindow = world->collectiveTagWindow();
       state->groupWorldRanks.resize(static_cast<std::size_t>(nranks));
       for (int i = 0; i < nranks; ++i) {
         state->groupWorldRanks[static_cast<std::size_t>(i)] = i;

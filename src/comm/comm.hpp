@@ -330,6 +330,30 @@ class Comm {
   /// This communicator's context pin (kAuto when unpinned).  Purely local.
   [[nodiscard]] CollectiveSchedule pinnedCollectiveSchedule() const;
 
+  /// Set the collective tag window for THIS communicator's context.  The
+  /// window is a per-communicator session property: split()/dup() children
+  /// inherit the parent's value at creation, and changing it here never
+  /// affects the parent or sibling sub-communicators — sessions carved out
+  /// of one World tune their tag spaces independently.  Collective with the
+  /// same barrier-then-set discipline as pinCollectiveSchedule: no rank can
+  /// still be drawing tags under the old window when any rank records the
+  /// new one.  `window` must lie in [16, 2^20] (the default).
+  void setCollectiveTagWindow(int window) const;
+
+  /// The collective tag window of this communicator's context.  Local.
+  [[nodiscard]] int collectiveTagWindow() const;
+
+  /// Attach a human-readable label to this communicator's context ("session
+  /// 2", "coarse level").  Purely diagnostic: the LISI_COMM_CHECK verifier
+  /// renders it next to the ctx id in lockstep/deadlock reports, so a
+  /// violation inside a session pool names the session, not just a number.
+  /// Not collective (the label is metadata, not schedule state); call it on
+  /// every rank with the same string for coherent reports.
+  void setLabel(const std::string& label) const;
+
+  /// This context's label ("" when unset).  Local.
+  [[nodiscard]] std::string label() const;
+
  private:
   friend class World;
   friend struct detail::CommState;

@@ -25,6 +25,29 @@ class PkspSolverPort final : public detail::SolverComponentBase {
 
   int backendSolve(const detail::SolveContext& ctx, std::span<const double> b,
                    std::span<double> x, detail::BackendStats& stats) override {
+    const int rc = configure(ctx);
+    if (rc != static_cast<int>(ErrorCode::kOk)) return rc;
+    return finish(pksp::KSPSolve(ksp_, b, x), stats);
+  }
+
+  int backendSolveMulti(const detail::SolveContext& ctx,
+                        std::span<const double> b, std::span<double> x,
+                        int nRhs, detail::BackendStats& stats) override {
+    // "multi_rhs=blocked" routes the whole batch through KSPSolveMulti's
+    // lockstep kernels (one halo exchange + fused reductions per iteration
+    // across all lanes); the default stays the sequential per-RHS loop,
+    // which is bitwise identical to pre-multi-RHS behavior.
+    if (toLower(paramString("multi_rhs", "sequential")) != "blocked") {
+      return SolverComponentBase::backendSolveMulti(ctx, b, x, nRhs, stats);
+    }
+    const int rc = configure(ctx);
+    if (rc != static_cast<int>(ErrorCode::kOk)) return rc;
+    return finish(pksp::KSPSolveMulti(ksp_, b, x, nRhs), stats);
+  }
+
+ private:
+  /// Push the parameter table and operator into the PKSP handle.
+  int configure(const detail::SolveContext& ctx) {
     using namespace pksp;
     if (ksp_ == nullptr) {
       if (KSPCreate(*ctx.comm, &ksp_) != PKSP_SUCCESS) {
@@ -96,8 +119,12 @@ class PkspSolverPort final : public detail::SolverComponentBase {
       // kernel configuration (ctx.spmvConfig) — no forwarding needed here.
       KSPSetOperator(ksp_, ctx.matrix, ms);
     }
+    return static_cast<int>(ErrorCode::kOk);
+  }
 
-    const int rc = KSPSolve(ksp_, b, x);
+  /// Translate a KSPSolve/KSPSolveMulti return code and fill the stats.
+  int finish(int rc, detail::BackendStats& stats) {
+    using namespace pksp;
     PkspConvergedReason reason = PKSP_ITERATING;
     KSPGetConvergedReason(ksp_, &reason);
     KSPGetIterationNumber(ksp_, &stats.iterations);
@@ -114,7 +141,6 @@ class PkspSolverPort final : public detail::SolverComponentBase {
     return static_cast<int>(ErrorCode::kOk);
   }
 
- private:
   static void shellApply(void* userCtx, const double* x, double* y, int n) {
     auto* mf = static_cast<MatrixFree*>(userCtx);
     const int rc =

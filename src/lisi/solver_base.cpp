@@ -435,15 +435,16 @@ int SolverComponentBase::solve(RArray<double> solution, RArray<double> status,
   WallTimer solveTimer;
   obs::Span solveSpan("lisi.backend_solve");
   const auto m = static_cast<std::size_t>(numLocalRow);
-  for (int k = 0; k < nRhs_; ++k) {
-    std::span<const double> b(rhs_.data() + m * static_cast<std::size_t>(k), m);
-    std::span<double> x(solution.data() + m * static_cast<std::size_t>(k), m);
-    if (!paramBool("use_initial_guess", false)) {
-      std::fill(x.begin(), x.end(), 0.0);
-    }
+  const auto nv = static_cast<std::size_t>(nRhs_);
+  std::span<double> xAll(solution.data(), m * nv);
+  if (!paramBool("use_initial_guess", false)) {
+    std::fill(xAll.begin(), xAll.end(), 0.0);
+  }
+  {
     int rc = code(ErrorCode::kOk);
     try {
-      rc = backendSolve(ctx, b, x, last);
+      rc = backendSolveMulti(ctx, std::span<const double>(rhs_.data(), m * nv),
+                             xAll, nRhs_, last);
     } catch (const Error&) {
       rc = code(ErrorCode::kNumericFailure);
     }
@@ -466,11 +467,26 @@ int SolverComponentBase::solve(RArray<double> solution, RArray<double> status,
                         : code(ErrorCode::kNumericFailure);
 }
 
+int SolverComponentBase::backendSolveMulti(const SolveContext& ctx,
+                                           std::span<const double> b,
+                                           std::span<double> x, int nRhs,
+                                           BackendStats& stats) {
+  const auto m = static_cast<std::size_t>(ctx.localRows);
+  for (int k = 0; k < nRhs; ++k) {
+    const auto ku = static_cast<std::size_t>(k);
+    const int rc =
+        backendSolve(ctx, b.subspan(ku * m, m), x.subspan(ku * m, m), stats);
+    if (rc != code(ErrorCode::kOk)) return rc;
+  }
+  return code(ErrorCode::kOk);
+}
+
 bool SolverComponentBase::isCommonParam(const std::string& key) {
   return key == "solver" || key == "preconditioner" || key == "tol" ||
          key == "atol" || key == "maxits" || key == "matrix_free" ||
          key == "use_initial_guess" || key == "reuse_preconditioner" ||
-         key == "tune" || key == "tune_retune_budget" || key == "precision";
+         key == "tune" || key == "tune_retune_budget" || key == "precision" ||
+         key == "multi_rhs";
 }
 
 bool SolverComponentBase::acceptsParam(const std::string& key) const {

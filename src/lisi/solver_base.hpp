@@ -126,6 +126,20 @@ class SolverComponentBase : public SparseSolver {
                            std::span<const double> b, std::span<double> x,
                            BackendStats& stats) = 0;
 
+  /// Solve A X = B for `nRhs` right-hand sides sharing the operator.
+  /// b/x are vector-major (RHS k occupies [k*localRows, (k+1)*localRows));
+  /// x carries the initial guesses in and the solutions out.  The default
+  /// implementation runs the single-RHS backendSolve hook once per lane —
+  /// bitwise identical to the caller looping over setupRHS/solve pairs.
+  /// Backends with a batched path (PKSP's blocked Krylov kernels, Aztec's
+  /// MultiVector) override this and consult the "multi_rhs" parameter
+  /// ("sequential" | "blocked", default sequential) to decide whether the
+  /// lanes advance in lockstep through one fused communication schedule.
+  virtual int backendSolveMulti(const SolveContext& ctx,
+                                std::span<const double> b,
+                                std::span<double> x, int nRhs,
+                                BackendStats& stats);
+
   /// Short name used in get_all() and error messages ("pksp", "slu", ...).
   [[nodiscard]] virtual const char* backendName() const = 0;
 

@@ -29,9 +29,13 @@ std::uint64_t processStartNs() {
   return t0;
 }
 
-/// Exact per-name aggregate on one thread.
+/// Exact per-(name, session) aggregate on one thread.  The session is
+/// captured at record time so a thread relabeled mid-stream (service rank
+/// threads record world-setup work before their session exists) attributes
+/// each event to the session current when it happened.
 struct SpanAgg {
   const char* name = nullptr;
+  int session = -1;
   std::uint64_t count = 0;
   std::uint64_t totalNs = 0;
   std::uint64_t minNs = std::numeric_limits<std::uint64_t>::max();
@@ -41,6 +45,7 @@ struct SpanAgg {
 
 struct CounterAgg {
   const char* name = nullptr;
+  int session = -1;
   long long total = 0;
 };
 
@@ -49,6 +54,7 @@ struct RawEvent {
   std::uint64_t startNs = 0;
   std::uint64_t durNs = 0;
   int depth = 0;
+  int session = -1;
 };
 
 /// One thread's private stream.  The owning thread writes without locks;
@@ -65,6 +71,7 @@ struct ThreadStream {
   }
 
   int rank = -1;
+  int session = -1;
   int depth = 0;
   std::vector<SpanAgg> spans;
   std::vector<CounterAgg> counters;
@@ -75,20 +82,27 @@ struct ThreadStream {
   SpanAgg& spanAggFor(const char* name) {
     // Pointer identity is the fast path (string literals); content equality
     // is the fallback so the same name from two TUs still merges here
-    // rather than only at collect time.
+    // rather than only at collect time.  Aggregates split per session: a
+    // thread with a stable session (the common case) still hits one entry.
     for (SpanAgg& agg : spans) {
-      if (agg.name == name || std::strcmp(agg.name, name) == 0) return agg;
+      if (agg.session == session &&
+          (agg.name == name || std::strcmp(agg.name, name) == 0)) {
+        return agg;
+      }
     }
-    spans.push_back(SpanAgg{name, 0, 0,
+    spans.push_back(SpanAgg{name, session, 0, 0,
                             std::numeric_limits<std::uint64_t>::max(), 0, 0});
     return spans.back();
   }
 
   CounterAgg& counterAggFor(const char* name) {
     for (CounterAgg& agg : counters) {
-      if (agg.name == name || std::strcmp(agg.name, name) == 0) return agg;
+      if (agg.session == session &&
+          (agg.name == name || std::strcmp(agg.name, name) == 0)) {
+        return agg;
+      }
     }
-    counters.push_back(CounterAgg{name, 0});
+    counters.push_back(CounterAgg{name, session, 0});
     return counters.back();
   }
 
@@ -179,7 +193,7 @@ void spanEnd(const char* name, std::uint64_t startNs, std::uint64_t detail) {
   agg.minNs = std::min(agg.minNs, durNs);
   agg.maxNs = std::max(agg.maxNs, durNs);
   agg.detailTotal += detail;
-  const RawEvent event{name, startNs, durNs, depth};
+  const RawEvent event{name, startNs, durNs, depth, s.session};
   if (s.ring.size() < kRingCapacity) {
     s.ring.push_back(event);
   } else {
@@ -192,6 +206,8 @@ void spanEnd(const char* name, std::uint64_t startNs, std::uint64_t detail) {
 }  // namespace detail
 
 void setThreadRank(int rank) { stream().rank = rank; }
+
+void setThreadSession(int session) { stream().session = session; }
 
 void count(const char* name, long long delta) {
   stream().counterAggFor(name).total += delta;
@@ -215,6 +231,20 @@ Report collect() {
   };
   std::map<std::string, SpanMerge> spanByName;
   std::map<std::string, std::map<int, long long>> counterByName;
+  // Session slices: (session, name) -> per-rank data, sessions >= 0 only.
+  // The global maps above deliberately merge across sessions so the
+  // whole-run stats are unchanged by session labeling.
+  struct SessionSpanMerge {
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+    std::map<int, char> ranks;
+  };
+  struct SessionCounterMerge {
+    long long total = 0;
+    std::map<int, char> ranks;
+  };
+  std::map<std::pair<int, std::string>, SessionSpanMerge> spanBySession;
+  std::map<std::pair<int, std::string>, SessionCounterMerge> counterBySession;
   {
     Registry& reg = registry();
     std::lock_guard<std::mutex> lock(reg.mutex);
@@ -228,9 +258,22 @@ Report collect() {
         m.maxNs = std::max(m.maxNs, agg.maxNs);
         m.detailTotal += agg.detailTotal;
         m.rankTotalNs[s->rank] += agg.totalNs;
+        if (agg.session >= 0) {
+          SessionSpanMerge& sm =
+              spanBySession[std::make_pair(agg.session, std::string(agg.name))];
+          sm.count += agg.count;
+          sm.totalNs += agg.totalNs;
+          sm.ranks[s->rank] = 1;
+        }
       }
       for (const CounterAgg& agg : s->counters) {
         counterByName[agg.name][s->rank] += agg.total;
+        if (agg.session >= 0) {
+          SessionCounterMerge& cm = counterBySession[std::make_pair(
+              agg.session, std::string(agg.name))];
+          cm.total += agg.total;
+          cm.ranks[s->rank] = 1;
+        }
       }
     }
   }
@@ -280,6 +323,23 @@ Report collect() {
         static_cast<double>(stat.total) / static_cast<double>(stat.ranks);
     report.counters.push_back(std::move(stat));
   }
+  for (const auto& [key, m] : spanBySession) {
+    SessionSpanStat stat;
+    stat.session = key.first;
+    stat.name = key.second;
+    stat.count = m.count;
+    stat.totalSeconds = toSeconds(m.totalNs);
+    stat.ranks = static_cast<int>(m.ranks.size());
+    report.sessionSpans.push_back(std::move(stat));
+  }
+  for (const auto& [key, m] : counterBySession) {
+    SessionCounterStat stat;
+    stat.session = key.first;
+    stat.name = key.second;
+    stat.total = m.total;
+    stat.ranks = static_cast<int>(m.ranks.size());
+    report.sessionCounters.push_back(std::move(stat));
+  }
   return report;
 }
 
@@ -293,6 +353,7 @@ std::vector<TraceEvent> traceEvents() {
       TraceEvent out;
       out.name = e.name;
       out.rank = s->rank;
+      out.session = e.session;
       out.startUs = static_cast<double>(e.startNs - t0) * 1e-3;
       out.durUs = static_cast<double>(e.durNs) * 1e-3;
       out.depth = e.depth;
@@ -314,7 +375,7 @@ void reset() {
 
 std::string toJson(const Report& report) {
   std::string out;
-  out += "{\n  \"schema\": \"lisi-obs-v1\",\n  \"enabled\": ";
+  out += "{\n  \"schema\": \"lisi-obs-v2\",\n  \"enabled\": ";
   out += report.enabled ? "true" : "false";
   out += ",\n  \"dropped_events\": " + std::to_string(report.droppedEvents);
   out += ",\n  \"spans\": [";
@@ -363,6 +424,32 @@ std::string toJson(const Report& report) {
     appendDouble(out, c.rankMean);
     out += "}";
   }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"session_spans\": [";
+  first = true;
+  for (const SessionSpanStat& s : report.sessionSpans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"session\": " + std::to_string(s.session) + ", \"name\": \"";
+    appendEscaped(out, s.name);
+    out += "\", \"count\": " + std::to_string(s.count);
+    out += ", \"total_s\": ";
+    appendDouble(out, s.totalSeconds);
+    out += ", \"ranks\": " + std::to_string(s.ranks);
+    out += "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"session_counters\": [";
+  first = true;
+  for (const SessionCounterStat& c : report.sessionCounters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"session\": " + std::to_string(c.session) + ", \"name\": \"";
+    appendEscaped(out, c.name);
+    out += "\", \"total\": " + std::to_string(c.total);
+    out += ", \"ranks\": " + std::to_string(c.ranks);
+    out += "}";
+  }
   out += first ? "]\n}\n" : "\n  ]\n}\n";
   return out;
 }
@@ -383,7 +470,11 @@ bool writeChromeTrace(const std::string& path) {
     appendDouble(line, e.startUs);
     line += ", \"dur\": ";
     appendDouble(line, e.durUs);
-    line += ", \"args\": {\"depth\": " + std::to_string(e.depth) + "}}";
+    line += ", \"args\": {\"depth\": " + std::to_string(e.depth);
+    if (e.session >= 0) {
+      line += ", \"session\": " + std::to_string(e.session);
+    }
+    line += "}}";
     std::fputs(line.c_str(), f);
   }
   std::fputs(first ? "]}\n" : "\n]}\n", f);

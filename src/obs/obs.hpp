@@ -28,10 +28,16 @@
 //
 // Rank attribution: comm::World::run tags each rank thread via
 // setThreadRank(); streams recorded outside any world (the main thread)
-// report rank -1.  collect()/reset() walk other threads' streams without
-// synchronizing against live writers, so call them only while no world is
-// running — i.e. between World::run invocations, which is the natural
-// post-run aggregation point.
+// report rank -1.  Session attribution: a layer that carves one World into
+// session sub-communicators (src/service) additionally tags each rank
+// thread via setThreadSession(); every span/counter is then attributed to
+// the (session, rank) pair current *at record time*, so per-session
+// reports separate concurrent sessions sharing one World.  Unlabeled
+// threads record session -1 and aggregate exactly as before.
+// collect()/reset() walk other threads' streams without synchronizing
+// against live writers, so call them only while no world is running —
+// i.e. between World::run invocations, which is the natural post-run
+// aggregation point.
 #pragma once
 
 #include <cstdint>
@@ -70,6 +76,25 @@ struct CounterStat {
   double rankMean = 0.0;     ///< mean over ranks of per-rank total
 };
 
+/// Per-session slice of one span name.  Only threads labeled through
+/// setThreadSession() (session >= 0) appear here; the global `spans` stats
+/// always cover every thread regardless of session.
+struct SessionSpanStat {
+  int session = -1;
+  std::string name;
+  std::uint64_t count = 0;
+  double totalSeconds = 0.0;
+  int ranks = 0;  ///< distinct ranks of this session that recorded the span
+};
+
+/// Per-session slice of one counter name (same visibility rule).
+struct SessionCounterStat {
+  int session = -1;
+  std::string name;
+  long long total = 0;
+  int ranks = 0;
+};
+
 /// Everything recorded since the last reset(), merged across threads.
 struct Report {
   bool enabled = false;              ///< obs::enabled() at collection time
@@ -77,12 +102,15 @@ struct Report {
                                      ///< stay exact; only the trace is lossy)
   std::vector<SpanStat> spans;       ///< sorted by name
   std::vector<CounterStat> counters; ///< sorted by name
+  std::vector<SessionSpanStat> sessionSpans;       ///< sorted (session, name)
+  std::vector<SessionCounterStat> sessionCounters; ///< sorted (session, name)
 };
 
 /// One raw timeline event (for trace export and tests).
 struct TraceEvent {
   std::string name;
   int rank = -1;
+  int session = -1;      ///< setThreadSession label at record time (-1 = none)
   double startUs = 0.0;  ///< microseconds since process start
   double durUs = 0.0;
   int depth = 0;         ///< span nesting depth at record time (0 = outermost)
@@ -100,8 +128,10 @@ struct TraceEvent {
 /// Quiescent-only.
 void reset();
 
-/// Render a Report as JSON (schema "lisi-obs-v1"; key order is stable and
-/// asserted by tests/obs_test.cpp).
+/// Render a Report as JSON (schema "lisi-obs-v2"; key order is stable and
+/// asserted by tests/obs_test.cpp).  v2 appends the per-session
+/// "session_spans" / "session_counters" arrays — empty unless a layer
+/// labeled rank threads through setThreadSession().
 [[nodiscard]] std::string toJson(const Report& report);
 
 /// Write the raw timeline as a Chrome trace-event file ("traceEvents"
@@ -123,6 +153,12 @@ void spanEnd(const char* name, std::uint64_t startNs, std::uint64_t detail);
 /// Tag the calling thread as `rank` (comm::World::run does this for every
 /// rank thread it spawns).
 void setThreadRank(int rank);
+
+/// Tag the calling thread as belonging to session `session` (-1 = none).
+/// Everything the thread records afterwards is attributed to this session
+/// until the next call; service layers call it right after splitting their
+/// session sub-communicator.  Threads never touched by it stay session -1.
+void setThreadSession(int session);
 
 /// Add `delta` to the named counter on this thread's stream.  `name` must
 /// be a string literal (it is stored by pointer on the hot path and only
@@ -149,6 +185,7 @@ class Span {
 #else  // LISI_OBS=OFF: everything below compiles to nothing.
 
 inline void setThreadRank(int) {}
+inline void setThreadSession(int) {}
 inline void count(const char*, long long = 1) {}
 
 class Span {

@@ -184,6 +184,28 @@ int KSPSetFromString(KSP ksp, const char* options);
 int KSPSolve(KSP ksp, std::span<const double> bLocal,
              std::span<double> xLocal);
 
+/// Solve A X = B for `nRhs` right-hand sides sharing the registered
+/// operator.  Collective; `nRhs` must agree on every rank.  bLocal/xLocal
+/// are vector-major: RHS k occupies [k*localRows, (k+1)*localRows).
+///
+/// For CG and GMRES over an assembled operator in double precision the
+/// lanes advance in lockstep through blocked kernels: one halo exchange
+/// and one fused allreduce batch per reduction point serve all nRhs
+/// systems, and each lane's iterates are bitwise identical to solving it
+/// alone with KSPSolve.  Other configurations (BiCGSTAB, Richardson,
+/// shell operators, mixed precision) fall back to an internal per-RHS
+/// KSPSolve loop with identical results.
+///
+/// Diagnostics after the call aggregate over the block:
+/// KSPGetIterationNumber reports the max lane iteration count,
+/// KSPGetResidualNorm the max lane true residual, and
+/// KSPGetConvergedReason the worst lane outcome (any divergence wins).
+/// The residual history records the max tracked norm across active lanes
+/// per lockstep iteration.  Returns PKSP_SUCCESS only if every lane
+/// converged.
+int KSPSolveMulti(KSP ksp, std::span<const double> bLocal,
+                  std::span<double> xLocal, int nRhs);
+
 int KSPGetIterationNumber(KSP ksp, int* iters);
 int KSPGetResidualNorm(KSP ksp, double* norm);  ///< final (true) residual
 int KSPGetConvergedReason(KSP ksp, PkspConvergedReason* reason);

@@ -146,4 +146,26 @@ SolveReport runPipelinedBiCgStab(const lisi::comm::Comm& comm,
                                  std::span<const double> b,
                                  std::span<double> x, const Tolerances& tol);
 
+// Blocked multi-RHS kernels (pksp_blocked.cpp): solve A X = B for nRhs
+// right-hand sides in lockstep over an assembled operator.  b/x are
+// vector-major (lane v occupies [v*n, (v+1)*n)).  One spmvMulti halo
+// exchange per iteration feeds every lane and the per-lane dot products
+// fuse into one allreduce batch per algorithmic reduction point, so the
+// collective count per iteration is that of ONE solve, not nRhs.  Each
+// lane's arithmetic is bitwise identical to the corresponding single-RHS
+// runCg/runGmres solve; finished lanes freeze without disturbing the rest.
+// tol.monitor is invoked with the max tracked norm across active lanes.
+std::vector<SolveReport> runBlockedCg(const lisi::comm::Comm& comm,
+                                      const lisi::sparse::DistCsrMatrix& a,
+                                      const Preconditioner& m,
+                                      std::span<const double> b,
+                                      std::span<double> x, int nRhs,
+                                      const Tolerances& tol);
+std::vector<SolveReport> runBlockedGmres(const lisi::comm::Comm& comm,
+                                         const lisi::sparse::DistCsrMatrix& a,
+                                         const Preconditioner& m,
+                                         std::span<const double> b,
+                                         std::span<double> x, int nRhs,
+                                         const Tolerances& tol, int restart);
+
 }  // namespace pksp::detail

@@ -681,6 +681,101 @@ void DistCsrMatrix::spmvFloat(std::span<const float> xLocal,
   for (const int i : boundaryRows_) rowProduct(i);
 }
 
+void DistCsrMatrix::spmvMulti(std::span<const double> xLocal,
+                              std::span<double> yLocal, int nVec) const {
+  LISI_CHECK(nVec >= 1, "DistCsrMatrix::spmvMulti: nVec must be >= 1");
+  if (nVec == 1) {
+    spmv(xLocal, yLocal);
+    return;
+  }
+  LISI_CHECK(!colStarts_.empty(),
+             "DistCsrMatrix::spmvMulti: rectangular operator constructed "
+             "without colStarts");
+  const auto nloc = static_cast<std::size_t>(localCols());
+  const auto mloc = static_cast<std::size_t>(localRows());
+  const auto nv = static_cast<std::size_t>(nVec);
+  LISI_CHECK(xLocal.size() == nloc * nv,
+             "DistCsrMatrix::spmvMulti: x size mismatch");
+  LISI_CHECK(yLocal.size() == mloc * nv,
+             "DistCsrMatrix::spmvMulti: y size mismatch");
+
+  // One tag, one message per neighbour — same wire schedule as spmv(), the
+  // payload just carries nVec values per ghost index (index-major), so the
+  // blocked Krylov solvers amortize the halo latency across the batch.
+  const int tag = spmvTags_[spmvRound_ % spmvTags_.size()];
+  ++spmvRound_;
+  obs::Span spmvSpan("sparse.spmv_multi");
+  const long long bytesHigh =
+      8LL * (static_cast<long long>(mapped_.nnz()) +
+             static_cast<long long>(nv) *
+                 (static_cast<long long>(sendIdx_.size()) +
+                  static_cast<long long>(ghostCols_.size())));
+  prec::noteBytesHigh(bytesHigh);
+  obs::count("prec.bytes_high", bytesHigh);
+
+  if (sendBufMulti_.size() < sendIdx_.size() * nv) {
+    sendBufMulti_.resize(sendIdx_.size() * nv);
+  }
+  if (xGhostMulti_.size() < ghostCols_.size() * nv) {
+    xGhostMulti_.resize(ghostCols_.size() * nv);
+  }
+  {
+    obs::Span phase("sparse.spmv.halo_send");
+    for (std::size_t s = 0; s < sendToRanks_.size(); ++s) {
+      const auto b = static_cast<std::size_t>(sendOffsets_[s]);
+      const auto e = static_cast<std::size_t>(sendOffsets_[s + 1]);
+      for (std::size_t k = b; k < e; ++k) {
+        const auto idx = static_cast<std::size_t>(sendIdx_[k]);
+        for (std::size_t v = 0; v < nv; ++v) {
+          sendBufMulti_[k * nv + v] = xLocal[v * nloc + idx];
+        }
+      }
+      comm_.send(
+          std::span<const double>(sendBufMulti_.data() + b * nv, (e - b) * nv),
+          sendToRanks_[s], tag);
+    }
+  }
+  // Reference kCsr accumulation per vector (bitwise identical per lane to
+  // spmv); the tuned aux kernels stay single-vector — the multi path's win
+  // is communication amortization, not local kernel shape.
+  const auto rowProduct = [&](int i, std::size_t v) {
+    double acc = 0.0;
+    const std::size_t xBase = v * nloc;
+    for (int k = mapped_.rowPtr[static_cast<std::size_t>(i)];
+         k < mapped_.rowPtr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int c = mapped_.colIdx[static_cast<std::size_t>(k)];
+      acc += mapped_.values[static_cast<std::size_t>(k)] *
+             (c < static_cast<int>(nloc)
+                  ? xLocal[xBase + static_cast<std::size_t>(c)]
+                  : xGhostMulti_[static_cast<std::size_t>(
+                                     c - static_cast<int>(nloc)) *
+                                     nv +
+                                 v]);
+    }
+    yLocal[v * mloc + static_cast<std::size_t>(i)] = acc;
+  };
+  {
+    obs::Span phase("sparse.spmv.interior");
+    for (const int i : interiorRows_) {
+      for (std::size_t v = 0; v < nv; ++v) rowProduct(i, v);
+    }
+  }
+  {
+    obs::Span phase("sparse.spmv.halo_recv");
+    for (std::size_t r = 0; r < recvFromRanks_.size(); ++r) {
+      comm_.recv(std::span<double>(
+                     xGhostMulti_.data() +
+                         static_cast<std::size_t>(recvOffsets_[r]) * nv,
+                     static_cast<std::size_t>(recvCounts_[r]) * nv),
+                 recvFromRanks_[r], tag);
+    }
+  }
+  obs::Span phase("sparse.spmv.boundary");
+  for (const int i : boundaryRows_) {
+    for (std::size_t v = 0; v < nv; ++v) rowProduct(i, v);
+  }
+}
+
 CsrMatrix DistCsrMatrix::gatherToRoot(int root) const {
   std::vector<int> lens(static_cast<std::size_t>(local_.rows));
   for (int i = 0; i < local_.rows; ++i) {

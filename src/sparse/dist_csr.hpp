@@ -107,6 +107,18 @@ class DistCsrMatrix {
   /// same variant (spmv vs spmvFloat) together.
   void spmvFloat(std::span<const float> xLocal, std::span<float> yLocal) const;
 
+  /// Y = A*X for `nVec` right-hand vectors stored contiguously
+  /// vector-major: vector v occupies x[v*localCols(), (v+1)*localCols())
+  /// and y[v*localRows(), (v+1)*localRows()).  ONE halo-exchange round
+  /// moves every vector's ghost entries (nVec values per ghost index,
+  /// index-major on the wire), so the per-spmv message count — the latency
+  /// term that dominates small systems — is paid once instead of nVec
+  /// times.  Each vector's rows accumulate in the reference kCsr order, so
+  /// lane v is bitwise identical to spmv() on that vector.  Collective;
+  /// all ranks must pass the same nVec.  nVec == 1 delegates to spmv().
+  void spmvMulti(std::span<const double> xLocal, std::span<double> yLocal,
+                 int nVec) const;
+
   /// Gather the whole matrix onto `root` (empty matrix elsewhere).
   /// Used by the direct-solver package.  Collective.
   [[nodiscard]] CsrMatrix gatherToRoot(int root = 0) const;
@@ -191,6 +203,11 @@ class DistCsrMatrix {
   mutable std::vector<double> sendBuf_;     ///< packed outgoing x entries
   mutable std::vector<double> xGhost_;      ///< received ghost values, by slot
   mutable std::size_t spmvRound_ = 0;       ///< rotates through spmvTags_
+
+  // spmvMulti scratch: nVec-wide halo payload and ghost store, grown on
+  // demand (growth-only, so steady-state batched solves never reallocate).
+  mutable std::vector<double> sendBufMulti_;
+  mutable std::vector<double> xGhostMulti_;  ///< ghost slot-major × nVec
 
   // Float32 value mirror for spmvFloat(), built lazily from mapped_ on
   // first use (the index structure is shared); updateValues marks it stale.

@@ -628,6 +628,35 @@ TEST(Split, NestedSplitOfSplit) {
   });
 }
 
+TEST(Split, TagWindowsAndPinsArePerSession) {
+  World::run(4, [](Comm& c) {
+    const int session = c.rank() / 2;
+    Comm sub = c.split(session, c.rank() % 2);
+    sub.setLabel("session" + std::to_string(session));
+    // Children inherit the parent window at creation...
+    const int parentWindow = c.collectiveTagWindow();
+    EXPECT_EQ(sub.collectiveTagWindow(), parentWindow);
+    // ...then tune independently: each session picks its own window and
+    // schedule pin; the parent and the sibling session stay untouched.
+    sub.setCollectiveTagWindow(session == 0 ? 64 : 128);
+    sub.pinCollectiveSchedule(session == 0 ? CollectiveSchedule::kTree
+                                           : CollectiveSchedule::kStar);
+    EXPECT_EQ(sub.collectiveTagWindow(), session == 0 ? 64 : 128);
+    EXPECT_EQ(c.collectiveTagWindow(), parentWindow);
+    EXPECT_EQ(sub.label(), "session" + std::to_string(session));
+    EXPECT_EQ(sub.pinnedCollectiveSchedule(),
+              session == 0 ? CollectiveSchedule::kTree
+                           : CollectiveSchedule::kStar);
+    // Both sessions run collectives concurrently, wrapping the smaller
+    // window several times — isolation means no cross-session tag clash.
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_EQ(sub.allreduceValue(1, ReduceOp::kSum), 2);
+    }
+    // The parent still works afterwards under its own window.
+    EXPECT_EQ(c.allreduceValue(1, ReduceOp::kSum), 4);
+  });
+}
+
 TEST(Split, UnevenGroupsRunFullCollectives) {
   World::run(7, [](Comm& c) {
     // Groups of 3 and 4 — both non-power-of-two relative to the parent.

@@ -132,7 +132,7 @@ TEST(Obs, CompileOutBuildReportsDisabledAndEmpty) {
   EXPECT_TRUE(obs::traceEvents().empty());
   // The JSON export still works so OFF-build tooling degrades gracefully.
   const std::string json = obs::toJson(r);
-  EXPECT_NE(json.find("\"lisi-obs-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"lisi-obs-v2\""), std::string::npos);
   EXPECT_NE(json.find("\"enabled\": false"), std::string::npos);
 }
 
@@ -147,9 +147,10 @@ TEST(Obs, JsonSchemaIsStable) {
   const std::string json = obs::toJson(obs::collect());
   // Top-level schema: versioned, with the four fixed keys in order.
   const std::vector<std::string> keysInOrder = {
-      "\"schema\": \"lisi-obs-v1\"", "\"enabled\": true",
+      "\"schema\": \"lisi-obs-v2\"", "\"enabled\": true",
       "\"dropped_events\":",         "\"spans\":",
-      "\"counters\":",
+      "\"counters\":",               "\"session_spans\":",
+      "\"session_counters\":",
   };
   std::size_t pos = 0;
   for (const std::string& key : keysInOrder) {

@@ -3,6 +3,7 @@
 // agreement, matrix-free shell operators, and options-string parsing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <mutex>
 
@@ -735,6 +736,109 @@ TEST(PkspCg, FusedDotMatchesUnfusedReferenceBitwise) {
       }
     });
   }
+}
+
+// ---- blocked multi-RHS: per-lane bitwise identity ---------------------
+
+/// Solve nRhs systems twice — once lane-by-lane through KSPSolve, once
+/// through the blocked KSPSolveMulti — and require bitwise-equal lanes.
+/// The blocked kernels share only communication (one block matvec per
+/// iteration, fused dot batches), never values, so each lane must
+/// reproduce its standalone solve exactly.
+void checkBlockedMatchesSequential(PkspType type, PkspPcType pc, int ranks) {
+  const CsrMatrix g = lisi::sparse::laplacian2d(10, 10);
+  const int n = g.rows;
+  const int nRhs = 3;
+  std::vector<double> bGlobal(static_cast<std::size_t>(n * nRhs));
+  Rng rng(7);
+  for (auto& v : bGlobal) v = rng.uniform(-1, 1);
+
+  World::run(ranks, [&](Comm& c) {
+    DistCsrMatrix a = DistCsrMatrix::scatterFromRoot(c, g);
+    const int s = a.startRow();
+    const auto m = static_cast<std::size_t>(a.localRows());
+    std::vector<double> b(m * nRhs);
+    for (int k = 0; k < nRhs; ++k) {
+      std::copy(bGlobal.begin() + k * n + s, bGlobal.begin() + k * n + s +
+                                                 a.localRows(),
+                b.begin() + static_cast<std::ptrdiff_t>(k * m));
+    }
+
+    auto makeKsp = [&](KSP* ksp) {
+      ASSERT_EQ(KSPCreate(c, ksp), PKSP_SUCCESS);
+      ASSERT_EQ(KSPSetOperator(*ksp, &a), PKSP_SUCCESS);
+      ASSERT_EQ(KSPSetType(*ksp, type), PKSP_SUCCESS);
+      ASSERT_EQ(KSPSetPCType(*ksp, pc), PKSP_SUCCESS);
+      ASSERT_EQ(KSPSetTolerances(*ksp, 1e-10, 1e-14, 500), PKSP_SUCCESS);
+    };
+
+    // Sequential reference: one standalone KSPSolve per lane.
+    std::vector<double> xSeq(m * nRhs, 0.0);
+    std::vector<int> itsSeq(nRhs, 0);
+    for (int k = 0; k < nRhs; ++k) {
+      KSP ksp = nullptr;
+      makeKsp(&ksp);
+      std::span<double> lane(xSeq.data() + static_cast<std::size_t>(k) * m, m);
+      std::span<const double> rhs(b.data() + static_cast<std::size_t>(k) * m,
+                                  m);
+      ASSERT_EQ(KSPSolve(ksp, rhs, lane), PKSP_SUCCESS);
+      KSPGetIterationNumber(ksp, &itsSeq[static_cast<std::size_t>(k)]);
+      KSPDestroy(&ksp);
+    }
+
+    // Blocked path.
+    std::vector<double> xBlk(m * nRhs, 0.0);
+    KSP ksp = nullptr;
+    makeKsp(&ksp);
+    ASSERT_EQ(KSPSolveMulti(ksp, std::span<const double>(b),
+                            std::span<double>(xBlk), nRhs),
+              PKSP_SUCCESS);
+    int itsBlk = 0;
+    KSPGetIterationNumber(ksp, &itsBlk);
+    KSPDestroy(&ksp);
+
+    EXPECT_EQ(itsBlk, *std::max_element(itsSeq.begin(), itsSeq.end()));
+    for (std::size_t i = 0; i < xBlk.size(); ++i) {
+      ASSERT_EQ(xBlk[i], xSeq[i])
+          << "ranks=" << ranks << " entry " << i << " (lane " << i / m << ")";
+    }
+  });
+}
+
+TEST(PkspMulti, BlockedCgMatchesSequentialBitwise) {
+  for (const int p : {1, 2, 3}) {
+    checkBlockedMatchesSequential(PKSP_CG, PKSP_PC_JACOBI, p);
+  }
+}
+
+TEST(PkspMulti, BlockedGmresMatchesSequentialBitwise) {
+  for (const int p : {1, 2, 3}) {
+    checkBlockedMatchesSequential(PKSP_GMRES, PKSP_PC_ILU0, p);
+  }
+}
+
+TEST(PkspMulti, FallbackForUnsupportedTypeStillSolves) {
+  // BiCGSTAB has no blocked kernel: KSPSolveMulti must quietly run the
+  // per-lane fallback and still report success.
+  const CsrMatrix g = lisi::sparse::laplacian2d(8, 8);
+  const int nRhs = 2;
+  World::run(2, [&](Comm& c) {
+    DistCsrMatrix a = DistCsrMatrix::scatterFromRoot(c, g);
+    const auto m = static_cast<std::size_t>(a.localRows());
+    std::vector<double> b(m * nRhs, 1.0), x(m * nRhs, 0.0);
+    KSP ksp = nullptr;
+    ASSERT_EQ(KSPCreate(c, &ksp), PKSP_SUCCESS);
+    ASSERT_EQ(KSPSetOperator(ksp, &a), PKSP_SUCCESS);
+    ASSERT_EQ(KSPSetType(ksp, PKSP_BICGSTAB), PKSP_SUCCESS);
+    ASSERT_EQ(KSPSetTolerances(ksp, 1e-10, 1e-14, 500), PKSP_SUCCESS);
+    EXPECT_EQ(KSPSolveMulti(ksp, std::span<const double>(b),
+                            std::span<double>(x), nRhs),
+              PKSP_SUCCESS);
+    PkspConvergedReason reason;
+    KSPGetConvergedReason(ksp, &reason);
+    EXPECT_GT(reason, 0);
+    KSPDestroy(&ksp);
+  });
 }
 
 }  // namespace
