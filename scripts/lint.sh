@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Fast developer loop for the project-specific static-analysis pass.
+#
+# Builds (only) the lisi_lint tool into the regular build/ tree and runs it
+# over the full scanned surface — seconds, not the minutes of the complete
+# scripts/verify.sh flow, whose 1d stage runs the identical command.  Any
+# extra arguments are passed straight through, so
+#
+#   scripts/lint.sh src/service              # one directory
+#   scripts/lint.sh --rules raw-tag src      # one rule
+#   LISI_LINT_RULES=rank-branch scripts/lint.sh
+#
+# all work as expected.  Exit status is the tool's: 0 clean, 1 findings,
+# 2 usage/tool error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ ! -d build ]; then
+  cmake -B build -S . > /dev/null
+fi
+cmake --build build -j --target lisi_lint > /dev/null
+
+if [ "$#" -gt 0 ]; then
+  exec ./build/tools/lisi_lint/lisi_lint --root . "$@"
+fi
+exec ./build/tools/lisi_lint/lisi_lint --root . src tests bench examples

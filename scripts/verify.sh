@@ -35,11 +35,21 @@
 #              speed paths forced wherever a backend has one) and with
 #              LISI_PRECISION=double (pure-float64 paths pinned) — the
 #              precision policy may change speed, never correctness;
+#   1d. lisi-lint: run the project-specific static-analysis pass
+#              (tools/lisi_lint, built as part of the tier-1 tree) over
+#              src/ tests/ bench/ examples/ — raw tags, collectives inside
+#              rank branches, dropped obs spans, allocations in zero-alloc
+#              regions, undocumented env knobs; any unsuppressed finding
+#              fails the flow (scripts/lint.sh is the fast dev loop for
+#              the same pass);
 #   6. docs:   every -DLISI_* CMake option named in README/DESIGN/docs must
-#              actually exist in CMakeLists.txt (no doc drift);
-#   7. lint:   when clang-tidy is on PATH, rebuild with -DLISI_LINT=ON so
-#              the dormant tidy gate actually runs; skipped loudly (not
-#              silently) on toolchains without clang-tidy.
+#              actually exist in CMakeLists.txt (no doc drift), and the
+#              rule catalog in docs/STATIC_ANALYSIS.md must match the rules
+#              registered in tools/lisi_lint/rules.def both ways;
+#   7. lint:   when clang-tidy is on PATH the -DLISI_LINT=ON rebuild is
+#              MANDATORY (the tidy gate plus, under Clang, the
+#              -Werror=thread-safety annotation check); skipped loudly
+#              (not silently) on toolchains without clang-tidy.
 #
 # Sanitizer availability is probed loudly up front: a toolchain without
 # libtsan/libasan would otherwise fail mid-flow with an obscure linker error,
@@ -90,6 +100,13 @@ cmake --build build -j
 (cd build && LISI_PRECISION=mixed ctest --output-on-failure -j)
 (cd build && LISI_PRECISION=double ctest --output-on-failure -j)
 
+# ---- 1d. lisi_lint -----------------------------------------------------
+# The project-specific pass: zero unsuppressed findings across the whole
+# scanned surface, using the binary the tier-1 build just produced.  Any
+# suppression in the tree is an inline `// lisi-lint: allow(<rule>) <reason>`
+# — blanket or reasonless suppressions are themselves findings.
+./build/tools/lisi_lint/lisi_lint --root . src tests bench examples
+
 # ---- 2. LISI_COMM_CHECK ------------------------------------------------
 # The checked library must pass the *entire* suite (no false positives on
 # correct code) and the seeded-violation tests flip from SKIPPED to active.
@@ -98,9 +115,12 @@ cmake --build build-check -j
 (cd build-check && ctest --output-on-failure -j)
 
 # ---- 3. TSan -----------------------------------------------------------
+# lisi_lint is in the target list deliberately: the tool must keep building
+# under every toolchain/flag combination verify exercises, GCC and Clang
+# alike, so a Clang-only construct can never sneak into it.
 cmake -B build-tsan -S . -DLISI_SANITIZE=thread
 cmake --build build-tsan -j --target comm_test sparse_dist_test pksp_test \
-  service_test
+  service_test lisi_lint
 ./build-tsan/tests/comm_test
 ./build-tsan/tests/sparse_dist_test
 ./build-tsan/tests/pksp_test --gtest_filter='*Pipelined*:*Pipeline*'
@@ -157,10 +177,38 @@ doc_sanity() {
     if grep -qE "(option|set)\(${knob}([^A-Z_]|\$)" CMakeLists.txt; then
       continue  # a CMake cache variable spelled without -D; checked above
     fi
-    if grep -rqE "(getenv|envInt)\(\"${knob}\"[,)]" src bench tests; then
+    if grep -rqE "(getenv|envInt)\(\"${knob}\"[,)]" src bench tests tools; then
       echo "verify: doc sanity: env knob ${knob} is read in the sources"
     else
       echo "verify: FATAL: docs name env knob ${knob} but no source reads it" >&2
+      fail=1
+    fi
+  done
+  # The lisi_lint rule catalog must not drift: every rule registered in
+  # tools/lisi_lint/rules.def appears (as `rule-id`) in the catalog of
+  # docs/STATIC_ANALYSIS.md, and every backticked rule id the doc catalog
+  # table names is actually registered.  rules.def keeps one rule per line
+  # precisely so this grep stays honest.
+  local def_ids doc_ids
+  def_ids=$(grep -hoE '^LISI_LINT_RULE\([A-Za-z]+, "[a-z-]+"' tools/lisi_lint/rules.def \
+    | sed 's/.*"\([a-z-]*\)"/\1/' | sort -u)
+  doc_ids=$(grep -hoE '^\| `[a-z-]+`' docs/STATIC_ANALYSIS.md 2>/dev/null \
+    | sed 's/^| `\([a-z-]*\)`/\1/' | sort -u)
+  for id in $def_ids; do
+    if printf '%s\n' "${doc_ids}" | grep -qx "${id}"; then
+      echo "verify: doc sanity: lint rule ${id} is documented in docs/STATIC_ANALYSIS.md"
+    else
+      echo "verify: FATAL: rules.def registers lint rule '${id}' but the" \
+           "docs/STATIC_ANALYSIS.md catalog table does not list it" >&2
+      fail=1
+    fi
+  done
+  for id in $doc_ids; do
+    if printf '%s\n' "${def_ids}" | grep -qx "${id}"; then
+      :
+    else
+      echo "verify: FATAL: docs/STATIC_ANALYSIS.md catalogs lint rule" \
+           "'${id}' but tools/lisi_lint/rules.def does not register it" >&2
       fail=1
     fi
   done

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <mutex>
 
+#include "support/thread_annotations.hpp"
+
 namespace cca {
 
 // ---- Services ----------------------------------------------------------
@@ -62,8 +64,8 @@ std::vector<Services::PortInfo> Services::usedPorts() const {
 namespace {
 
 struct ClassRegistry {
-  std::mutex mutex;
-  std::map<std::string, Framework::Factory> factories;
+  lisi::support::AnnotatedMutex mutex;
+  std::map<std::string, Framework::Factory> factories LISI_GUARDED_BY(mutex);
 };
 
 ClassRegistry& classRegistry() {
@@ -77,19 +79,19 @@ void Framework::registerClass(const std::string& className, Factory factory) {
   LISI_CHECK(!className.empty() && factory != nullptr,
              "registerClass: empty name or null factory");
   ClassRegistry& reg = classRegistry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  lisi::support::MutexLock lock(reg.mutex);
   reg.factories[className] = std::move(factory);
 }
 
 bool Framework::isClassRegistered(const std::string& className) {
   ClassRegistry& reg = classRegistry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  lisi::support::MutexLock lock(reg.mutex);
   return reg.factories.find(className) != reg.factories.end();
 }
 
 std::vector<std::string> Framework::registeredClasses() {
   ClassRegistry& reg = classRegistry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  lisi::support::MutexLock lock(reg.mutex);
   std::vector<std::string> names;
   names.reserve(reg.factories.size());
   for (const auto& [name, factory] : reg.factories) names.push_back(name);
@@ -121,7 +123,7 @@ void Framework::instantiate(const std::string& instanceName,
   Factory factory;
   {
     ClassRegistry& reg = classRegistry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    lisi::support::MutexLock lock(reg.mutex);
     auto it = reg.factories.find(className);
     LISI_CHECK(it != reg.factories.end(),
                "instantiate: unknown component class '" + className + "'");

@@ -116,18 +116,18 @@ void WorldChecker::fail(const std::string& msg) const {
 void WorldChecker::onCommCreated(std::uint64_t ctx,
                                  const std::vector<int>& groupWorldRanks,
                                  int collectiveTagWindow) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   ctxGroups_.try_emplace(ctx, groupWorldRanks);
   ctxWindows_.try_emplace(ctx, collectiveTagWindow);
 }
 
 void WorldChecker::onCommTagWindow(std::uint64_t ctx, int window) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   ctxWindows_[ctx] = window;
 }
 
 void WorldChecker::onCommLabeled(std::uint64_t ctx, std::string label) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   ctxLabels_[ctx] = std::move(label);
 }
 
@@ -157,7 +157,7 @@ int WorldChecker::worldRankOfLocked(std::uint64_t ctx, int localRank) const {
 void WorldChecker::onCollectiveStart(std::uint64_t ctx, int localRank,
                                      std::uint64_t seq, int firstTag,
                                      int tagCount, const CollSignature& sig) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   const int worldRank = worldRankOfLocked(ctx, localRank);
 
   // Record the issued tags so the send lint accepts this rank's own
@@ -255,7 +255,7 @@ bool WorldChecker::tagReservedOnLocked(std::uint64_t ctx, int tag) const {
 void WorldChecker::onSend(std::uint64_t ctx, int localRank, int worldRank,
                           int dest, int tag) {
   if (tag >= 0 && tag <= maxUserTag_) return;  // user tag space: always legal
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   // The collective tag window is a per-context session property, so the
   // tag-space bound follows the sending communicator's window, not the
   // world default.
@@ -403,6 +403,17 @@ void WorldChecker::detectDeadlockLocked(int aboutRank,
   // but before the fixpoint settled.  Consumption sets `satisfied`, so one
   // more load per member suffices — and a single hit invalidates the whole
   // closed set, because that member will run and can unblock the rest.
+  //
+  // Memory order (audited): this load must stay seq_cst, matching the
+  // seq_cst store in noteWaitSatisfied.  No mutex is shared between this
+  // load and that store (the store runs under the waiter's *mailbox* mutex,
+  // this loop holds only the checker mutex), so acquire/release would only
+  // order the flag against the storer's other writes — it could not
+  // guarantee that a store sequenced before the probe's queue observation
+  // is seen here.  seq_cst puts the probe's queue read, the waiter's
+  // dequeue+store, and this load into one total order, which is exactly
+  // the "probe missed it => flag is visible" argument the comment above
+  // relies on.
   for (const int r : stuck) {
     if (waits_[static_cast<std::size_t>(r)].satisfied.load()) return;
   }
@@ -436,7 +447,7 @@ void WorldChecker::detectDeadlockLocked(int aboutRank,
 
 void WorldChecker::beginWait(int worldRank, const char* what,
                              std::vector<WaitNeed> needs) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   WaitState& w = waits_[static_cast<std::size_t>(worldRank)];
   w.blocked = true;
   w.what = what;
@@ -454,11 +465,27 @@ void WorldChecker::beginWait(int worldRank, const char* what,
 }
 
 void WorldChecker::endWait(int worldRank) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   waits_[static_cast<std::size_t>(worldRank)].blocked = false;
 }
 
-void WorldChecker::noteWaitSatisfied(int worldRank) {
+// NO_THREAD_SAFETY_ANALYSIS: the one sanctioned mutex_-free touch of
+// guarded checker state (see the declaration).  Runs under the caller's
+// mailbox mutex, where taking mutex_ would invert the documented
+// checker -> mailbox lock order; it writes only the per-rank `satisfied`
+// atomic, and waits_ itself is sized once in the constructor, so the
+// element reference is stable without the lock.
+void WorldChecker::noteWaitSatisfied(int worldRank)
+    LISI_NO_THREAD_SAFETY_ANALYSIS {
+  // seq_cst store, deliberately: the probe-first/satisfied-second protocol
+  // in detectDeadlockLocked relies on this store being ordered into the
+  // single total order *before* the waiter's message leaves its mailbox
+  // queue becomes observable as "consumed" to a later probe.  The store
+  // happens inside the mailbox critical section, so the mutex hand-off
+  // covers the probe path; the last-chance re-check path reads the flag
+  // with NO common lock held, and seq_cst is what makes "probe saw the
+  // message missing => this store is visible" a total-order argument
+  // rather than a per-mutex one.  Do not relax.
   waits_[static_cast<std::size_t>(worldRank)].satisfied.store(true);
 }
 
@@ -484,13 +511,13 @@ void WorldChecker::onNonblockingStart(int worldRank, int tag, const void* data,
       }
     }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   handles_[static_cast<std::size_t>(worldRank)].liveTags.push_back(tag);
 }
 
 void WorldChecker::onNonblockingEnd(int worldRank, int tag, bool completed,
                                     std::size_t stepsLeft) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   RankHandles& h = handles_[static_cast<std::size_t>(worldRank)];
   const auto it = std::find(h.liveTags.begin(), h.liveTags.end(), tag);
   if (it != h.liveTags.end()) h.liveTags.erase(it);
@@ -498,7 +525,7 @@ void WorldChecker::onNonblockingEnd(int worldRank, int tag, bool completed,
 }
 
 void WorldChecker::onRankExit(int worldRank) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   const RankHandles& h = handles_[static_cast<std::size_t>(worldRank)];
   if (!h.liveTags.empty()) {
     std::ostringstream out;

@@ -40,7 +40,21 @@
 #include <string>
 #include <vector>
 
+#include "support/thread_annotations.hpp"
+
 namespace lisi::comm::check {
+
+namespace detail {
+/// Phantom lock-order anchor for the documented global order
+///   checker mutex -> mailbox mutex.
+/// The checker cannot name WorldContext's per-rank mailbox mutexes (they
+/// live in a comm.cpp-private struct) and vice versa, so both sides order
+/// themselves against this never-locked capability instead: the checker's
+/// mutex_ is ACQUIRED_BEFORE it and every Mailbox::mutex is ACQUIRED_AFTER
+/// it.  Clang's -Wthread-safety-beta lock-order analysis then rejects any
+/// new call path that takes the checker mutex while a mailbox is held.
+inline support::AnnotatedMutex gCheckerBeforeMailboxAnchor;
+}  // namespace detail
 
 /// True if the linked lisi_comm library was built with LISI_COMM_CHECK.
 /// (Test binaries use this to skip checker-diagnostic tests on unchecked
@@ -180,7 +194,10 @@ class WorldChecker {
   /// under a mailbox mutex, where the checker mutex must not be taken — and
   /// closes the race where the detector would otherwise see a rank as
   /// blocked-with-an-empty-mailbox purely because it was preempted between
-  /// consuming its message and leaving the wait scope.
+  /// consuming its message and leaving the wait scope.  This is the one
+  /// sanctioned mutex_-free touch of guarded checker state: it writes only
+  /// the per-rank `satisfied` atomic (see WaitState), so its definition
+  /// carries NO_THREAD_SAFETY_ANALYSIS with this reason.
   void noteWaitSatisfied(int worldRank);
 
   // ---- 3. tag-space and handle lint ----------------------------------
@@ -254,19 +271,26 @@ class WorldChecker {
   /// itself stuck or exited).  Throws, naming every member, if `aboutRank`
   /// is in the set (or, for exit sweeps with aboutRank < 0, if the set is
   /// nonempty).  Caller holds mutex_.
-  void detectDeadlockLocked(int aboutRank, const std::string& prologue);
+  void detectDeadlockLocked(int aboutRank, const std::string& prologue)
+      LISI_REQUIRES(mutex_);
 
   /// Report `msg` through the violation callback, then throw lisi::Error.
   [[noreturn]] void fail(const std::string& msg) const;
 
-  [[nodiscard]] bool tagReservedOnLocked(std::uint64_t ctx, int tag) const;
-  [[nodiscard]] std::string describeWaitLocked(int worldRank) const;
-  [[nodiscard]] std::string describeHistoryLocked(int worldRank) const;
-  [[nodiscard]] int worldRankOfLocked(std::uint64_t ctx, int localRank) const;
+  [[nodiscard]] bool tagReservedOnLocked(std::uint64_t ctx, int tag) const
+      LISI_REQUIRES(mutex_);
+  [[nodiscard]] std::string describeWaitLocked(int worldRank) const
+      LISI_REQUIRES(mutex_);
+  [[nodiscard]] std::string describeHistoryLocked(int worldRank) const
+      LISI_REQUIRES(mutex_);
+  [[nodiscard]] int worldRankOfLocked(std::uint64_t ctx, int localRank) const
+      LISI_REQUIRES(mutex_);
   /// Tag window of `ctx` (the constructor's world default when unknown).
-  [[nodiscard]] int windowOfLocked(std::uint64_t ctx) const;
+  [[nodiscard]] int windowOfLocked(std::uint64_t ctx) const
+      LISI_REQUIRES(mutex_);
   /// "ctx=3 [session 1]" — the ctx id plus its label when one is set.
-  [[nodiscard]] std::string ctxNameLocked(std::uint64_t ctx) const;
+  [[nodiscard]] std::string ctxNameLocked(std::uint64_t ctx) const
+      LISI_REQUIRES(mutex_);
 
   const int worldSize_;
   const int maxUserTag_;
@@ -275,19 +299,24 @@ class WorldChecker {
   const ViolationReport report_;
   const MailboxDump dump_;
 
-  mutable std::mutex mutex_;
-  std::map<std::uint64_t, std::vector<int>> ctxGroups_;
-  std::map<std::uint64_t, int> ctxWindows_;
-  std::map<std::uint64_t, std::string> ctxLabels_;
-  std::map<std::pair<std::uint64_t, std::uint64_t>, BoardEntry> board_;
-  std::vector<WaitState> waits_;
-  std::vector<bool> exited_;
-  std::vector<std::array<RecentTag, 64>> recentTags_;
-  std::vector<std::size_t> recentTagPos_;
-  std::vector<std::array<SigRecord, 8>> history_;
-  std::vector<std::size_t> historyPos_;
-  std::vector<ReservedBlock> reserved_;
-  std::vector<RankHandles> handles_;
+  mutable support::AnnotatedMutex mutex_
+      LISI_ACQUIRED_BEFORE(detail::gCheckerBeforeMailboxAnchor);
+  std::map<std::uint64_t, std::vector<int>> ctxGroups_ LISI_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, int> ctxWindows_ LISI_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, std::string> ctxLabels_ LISI_GUARDED_BY(mutex_);
+  std::map<std::pair<std::uint64_t, std::uint64_t>, BoardEntry> board_
+      LISI_GUARDED_BY(mutex_);
+  /// The vector (sizing, element identity) is guarded; each element's
+  /// `satisfied` atomic is additionally written lock-free by
+  /// noteWaitSatisfied — the documented exception above.
+  std::vector<WaitState> waits_ LISI_GUARDED_BY(mutex_);
+  std::vector<bool> exited_ LISI_GUARDED_BY(mutex_);
+  std::vector<std::array<RecentTag, 64>> recentTags_ LISI_GUARDED_BY(mutex_);
+  std::vector<std::size_t> recentTagPos_ LISI_GUARDED_BY(mutex_);
+  std::vector<std::array<SigRecord, 8>> history_ LISI_GUARDED_BY(mutex_);
+  std::vector<std::size_t> historyPos_ LISI_GUARDED_BY(mutex_);
+  std::vector<ReservedBlock> reserved_ LISI_GUARDED_BY(mutex_);
+  std::vector<RankHandles> handles_ LISI_GUARDED_BY(mutex_);
 };
 
 }  // namespace lisi::comm::check

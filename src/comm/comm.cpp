@@ -12,6 +12,8 @@
 #include <thread>
 #include <tuple>
 
+#include "support/thread_annotations.hpp"
+
 namespace lisi::comm {
 namespace detail {
 
@@ -97,12 +99,16 @@ struct Envelope {
 
 /// Per-world-rank message queue.
 struct Mailbox {
-  std::mutex mutex;
+  /// Ordered after the phantom anchor: the checker's deadlock probe locks
+  /// mailboxes while holding the checker mutex, never the reverse (see
+  /// check::detail::gCheckerBeforeMailboxAnchor for the full contract).
+  support::AnnotatedMutex mutex
+      LISI_ACQUIRED_AFTER(check::detail::gCheckerBeforeMailboxAnchor);
   std::condition_variable cv;
-  std::deque<Envelope> queue;
+  std::deque<Envelope> queue LISI_GUARDED_BY(mutex);
   /// Bumped on every deliver; lets a nonblocking-collective wait detect
   /// arrivals that raced with its last progress sweep.
-  std::uint64_t deliveries = 0;
+  std::uint64_t deliveries LISI_GUARDED_BY(mutex) = 0;
 };
 
 /// State shared by every rank of one World::run invocation.
@@ -119,7 +125,7 @@ class WorldContext {
           // Runs with the checker mutex held; the mailbox mutex nests
           // inside it (see CheckedWaitScope for the lock order).
           Mailbox& box = mailboxes_[static_cast<std::size_t>(waiter)];
-          std::lock_guard<std::mutex> lock(box.mutex);
+          support::MutexLock lock(box.mutex);
           for (const check::WaitNeed& need : needs) {
             for (const Envelope& e : box.queue) {
               if (e.ctx == need.ctx &&
@@ -137,7 +143,7 @@ class WorldContext {
         [this](const std::string& msg) { abort(msg); },
         [this](int worldRank) {
           Mailbox& box = mailboxes_[static_cast<std::size_t>(worldRank)];
-          std::lock_guard<std::mutex> lock(box.mutex);
+          support::MutexLock lock(box.mutex);
           std::string out;
           std::size_t shown = 0;
           for (const Envelope& e : box.queue) {
@@ -168,11 +174,11 @@ class WorldContext {
   /// Comm::setLabel from any rank thread, read by label(); the map is tiny
   /// and off every hot path, so a plain mutex suffices.
   void setContextLabel(std::uint64_t ctx, const std::string& label) {
-    std::lock_guard<std::mutex> lock(labelMutex_);
+    support::MutexLock lock(labelMutex_);
     ctxLabels_[ctx] = label;
   }
   [[nodiscard]] std::string contextLabel(std::uint64_t ctx) const {
-    std::lock_guard<std::mutex> lock(labelMutex_);
+    support::MutexLock lock(labelMutex_);
     const auto it = ctxLabels_.find(ctx);
     return it == ctxLabels_.end() ? std::string() : it->second;
   }
@@ -183,7 +189,7 @@ class WorldContext {
   void deliver(int worldDest, Envelope env) {
     Mailbox& box = mailboxes_[static_cast<std::size_t>(worldDest)];
     {
-      std::lock_guard<std::mutex> lock(box.mutex);
+      support::MutexLock lock(box.mutex);
       box.queue.push_back(std::move(env));
       ++box.deliveries;
     }
@@ -195,7 +201,7 @@ class WorldContext {
   std::optional<Envelope> tryReceive(int worldRank, std::uint64_t ctx, int src,
                                      int tag) {
     Mailbox& box = mailboxes_[static_cast<std::size_t>(worldRank)];
-    std::lock_guard<std::mutex> lock(box.mutex);
+    support::MutexLock lock(box.mutex);
     checkAborted();
     const auto it = std::find_if(box.queue.begin(), box.queue.end(),
                                  [&](const Envelope& e) {
@@ -212,7 +218,7 @@ class WorldContext {
   /// Current delivery count of the rank's mailbox (for waitForDelivery).
   [[nodiscard]] std::uint64_t deliveryCount(int worldRank) {
     Mailbox& box = mailboxes_[static_cast<std::size_t>(worldRank)];
-    std::lock_guard<std::mutex> lock(box.mutex);
+    support::MutexLock lock(box.mutex);
     return box.deliveries;
   }
 
@@ -221,7 +227,7 @@ class WorldContext {
   /// fires.  The caller re-runs its progress sweep afterwards.
   void waitForDelivery(int worldRank, std::uint64_t& seen) {
     Mailbox& box = mailboxes_[static_cast<std::size_t>(worldRank)];
-    std::unique_lock<std::mutex> lock(box.mutex);
+    support::CondLock lock(box.mutex);
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                               std::chrono::duration<double>(recvTimeoutSeconds()));
@@ -231,7 +237,7 @@ class WorldContext {
         seen = box.deliveries;
         return;
       }
-      if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (box.cv.wait_until(lock.native(), deadline) == std::cv_status::timeout) {
         abort("nonblocking collective wait timed out (possible deadlock): "
               "world rank " +
               std::to_string(worldRank) +
@@ -252,7 +258,7 @@ class WorldContext {
                                tag > kMaxUserTag ? t_lastCollKind : "recv",
                                {check::WaitNeed{ctx, src, tag}});
 #endif
-    std::unique_lock<std::mutex> lock(box.mutex);
+    support::CondLock lock(box.mutex);
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                               std::chrono::duration<double>(recvTimeoutSeconds()));
@@ -275,7 +281,7 @@ class WorldContext {
 #endif
         return env;
       }
-      if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (box.cv.wait_until(lock.native(), deadline) == std::cv_status::timeout) {
         abort("recv timed out (possible deadlock): rank " +
               std::to_string(worldRank) + " waiting for src=" +
               std::to_string(src) + " tag=" + std::to_string(tag));
@@ -286,28 +292,37 @@ class WorldContext {
 
   void abort(const std::string& reason) {
     {
-      std::lock_guard<std::mutex> lock(abortMutex_);
-      if (!aborted_.load()) abortReason_ = reason;
+      support::MutexLock lock(abortMutex_);
+      if (!aborted_.load(std::memory_order_relaxed)) abortReason_ = reason;
     }
-    aborted_.store(true);
+    // Memory order (audited): release pairs with the acquire loads below.
+    // Readers that go on to read abortReason_ retake abortMutex_, whose
+    // hand-off already covers the reason string; release/acquire is what
+    // covers the lock-free flag-only readers (aborted(), the hot-path
+    // checkAborted probe), making "flag seen true => reason fully written"
+    // hold on every path.  seq_cst would add nothing: no reader correlates
+    // this flag with a second atomic.
+    aborted_.store(true, std::memory_order_release);
     for (Mailbox& box : mailboxes_) box.cv.notify_all();
   }
 
   void checkAborted() const {
-    if (aborted_.load()) {
-      std::lock_guard<std::mutex> lock(abortMutex_);
+    if (aborted_.load(std::memory_order_acquire)) {
+      support::MutexLock lock(abortMutex_);
       throw Error("communicator aborted: " + abortReason_);
     }
   }
 
-  [[nodiscard]] bool aborted() const { return aborted_.load(); }
+  [[nodiscard]] bool aborted() const {
+    return aborted_.load(std::memory_order_acquire);
+  }
 
   /// Allocate (or look up) the context id for a split group.  Every member
   /// of the group computes the same (parentCtx, splitSeq, color) key, so the
   /// first arriver allocates and the rest observe the same id.
   std::uint64_t splitContextId(std::uint64_t parentCtx, std::uint64_t splitSeq,
                                int color) {
-    std::lock_guard<std::mutex> lock(splitMutex_);
+    support::MutexLock lock(splitMutex_);
     auto [it, inserted] = splitIds_.try_emplace(
         std::make_tuple(parentCtx, splitSeq, color), nextCtxId_);
     if (inserted) ++nextCtxId_;
@@ -316,25 +331,41 @@ class WorldContext {
 
   /// Record which rank failed first so World::run can rethrow its exception
   /// rather than a secondary "aborted" echo from another rank.
+  /// Memory order (audited): relaxed on both sides.  The CAS only arbitrates
+  /// *which* rank id wins — it publishes no other data — and the sole reader
+  /// (World::run) runs after joining every rank thread, so thread::join
+  /// supplies the happens-before edge.
   void noteFailure(int worldRank) {
     int expected = -1;
-    firstFailedRank_.compare_exchange_strong(expected, worldRank);
+    firstFailedRank_.compare_exchange_strong(expected, worldRank,
+                                             std::memory_order_relaxed);
   }
-  [[nodiscard]] int firstFailedRank() const { return firstFailedRank_.load(); }
+  [[nodiscard]] int firstFailedRank() const {
+    return firstFailedRank_.load(std::memory_order_relaxed);
+  }
 
   /// Per-context collective-schedule pins (ctx id -> family).  The atomic
   /// count keeps the unpinned fast path lock-free: every collective checks
   /// it, but only worlds that actually pin ever take the mutex.
+  /// Memory order (audited): the release store in setContextSchedule pairs
+  /// with this acquire load, so a rank that observes a nonzero count also
+  /// observes... not the map (that needs pinMutex_, taken below) but the
+  /// *intent*; the real publication contract is the barrier inside
+  /// pinCollectiveSchedule — no rank resolves a schedule for a collective
+  /// issued before the pin.  A stale zero here is therefore benign (the
+  /// pinning collective itself has not completed on this rank yet), and
+  /// relaxed would in fact suffice; acquire/release is kept because it
+  /// documents the pairing at zero cost on every target we build for.
   [[nodiscard]] CollectiveSchedule contextSchedule(std::uint64_t ctx) const {
     if (pinCount_.load(std::memory_order_acquire) == 0) {
       return CollectiveSchedule::kAuto;
     }
-    std::lock_guard<std::mutex> lock(pinMutex_);
+    support::MutexLock lock(pinMutex_);
     const auto it = schedulePins_.find(ctx);
     return it == schedulePins_.end() ? CollectiveSchedule::kAuto : it->second;
   }
   void setContextSchedule(std::uint64_t ctx, CollectiveSchedule schedule) {
-    std::lock_guard<std::mutex> lock(pinMutex_);
+    support::MutexLock lock(pinMutex_);
     if (schedule == CollectiveSchedule::kAuto) {
       schedulePins_.erase(ctx);
     } else {
@@ -349,19 +380,21 @@ class WorldContext {
   int collectiveTagWindow_;
   std::vector<Mailbox> mailboxes_;
   std::atomic<bool> aborted_{false};
-  mutable std::mutex abortMutex_;
-  std::string abortReason_;
+  mutable support::AnnotatedMutex abortMutex_;
+  std::string abortReason_ LISI_GUARDED_BY(abortMutex_);
 
-  std::mutex splitMutex_;
-  std::map<std::tuple<std::uint64_t, std::uint64_t, int>, std::uint64_t> splitIds_;
-  std::uint64_t nextCtxId_ = 1;  // 0 is the world context
+  support::AnnotatedMutex splitMutex_;
+  std::map<std::tuple<std::uint64_t, std::uint64_t, int>, std::uint64_t>
+      splitIds_ LISI_GUARDED_BY(splitMutex_);
+  std::uint64_t nextCtxId_ LISI_GUARDED_BY(splitMutex_) = 1;  // 0 is world ctx
 
-  mutable std::mutex pinMutex_;
-  std::map<std::uint64_t, CollectiveSchedule> schedulePins_;
+  mutable support::AnnotatedMutex pinMutex_;
+  std::map<std::uint64_t, CollectiveSchedule> schedulePins_
+      LISI_GUARDED_BY(pinMutex_);
   std::atomic<int> pinCount_{0};
 
-  mutable std::mutex labelMutex_;
-  std::map<std::uint64_t, std::string> ctxLabels_;
+  mutable support::AnnotatedMutex labelMutex_;
+  std::map<std::uint64_t, std::string> ctxLabels_ LISI_GUARDED_BY(labelMutex_);
 
   std::atomic<int> firstFailedRank_{-1};
 
@@ -374,6 +407,12 @@ struct CommState {
   std::uint64_t ctx = 0;
   std::vector<int> groupWorldRanks;  ///< local rank -> world rank
   int myLocalRank = 0;
+  /// Collective/split sequence positions.  Atomic for the benefit of the
+  /// service layer's admission bookkeeping (a client thread may inspect a
+  /// session's progress); within a rank all Comm copies share one thread,
+  /// so the fetch_adds never contend and default seq_cst costs nothing —
+  /// kept at the default rather than relaxed so the declaration does not
+  /// suggest a cross-thread protocol that does not exist.
   std::atomic<std::uint64_t> collSeq{0};
   std::atomic<std::uint64_t> splitSeq{0};
   /// Collective tag window of this context — a session property: seeded
@@ -673,6 +712,16 @@ int Comm::nextCollectiveTag(check::CollKind kind, int root, std::uint64_t bytes,
 }
 
 namespace {
+/// Process-wide schedule fallback, consulted only when a context has no pin.
+/// Memory order (audited): relaxed on both sides, deliberately.  The enum is
+/// a self-contained value — no reader dereferences anything published by the
+/// writer — so the only question is *when* a store becomes visible, and the
+/// API contract already answers it: setCollectiveSchedule is documented to
+/// be called while the affected worlds are quiescent (tests set it between
+/// World::run invocations; the service pins per-context instead).  A rank
+/// that raced this store could resolve the old family, which is exactly the
+/// lockstep hazard pinCollectiveSchedule's barrier exists to rule out —
+/// stronger ordering here could not fix that race, only hide it from TSan.
 std::atomic<CollectiveSchedule> g_schedule{CollectiveSchedule::kAuto};
 }  // namespace
 

@@ -3,13 +3,15 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "support/thread_annotations.hpp"
+
 namespace lisi::comm {
 namespace {
 
 struct Registry {
-  std::mutex mutex;
-  std::unordered_map<long, Comm> comms;
-  long next = 1;
+  support::AnnotatedMutex mutex;
+  std::unordered_map<long, Comm> comms LISI_GUARDED_BY(mutex);
+  long next LISI_GUARDED_BY(mutex) = 1;
 };
 
 Registry& registry() {
@@ -22,7 +24,7 @@ Registry& registry() {
 long registerHandle(const Comm& comm) {
   LISI_CHECK(comm.valid(), "registerHandle: invalid communicator");
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  support::MutexLock lock(reg.mutex);
   const long handle = reg.next++;
   reg.comms.emplace(handle, comm);
   return handle;
@@ -30,7 +32,7 @@ long registerHandle(const Comm& comm) {
 
 Comm commFromHandle(long handle) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  support::MutexLock lock(reg.mutex);
   auto it = reg.comms.find(handle);
   LISI_CHECK(it != reg.comms.end(),
              "commFromHandle: unknown handle " + std::to_string(handle));
@@ -39,13 +41,13 @@ Comm commFromHandle(long handle) {
 
 void releaseHandle(long handle) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  support::MutexLock lock(reg.mutex);
   reg.comms.erase(handle);
 }
 
 std::size_t liveHandleCount() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  support::MutexLock lock(reg.mutex);
   return reg.comms.size();
 }
 

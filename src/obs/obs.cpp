@@ -9,6 +9,8 @@
 #include <memory>
 #include <mutex>
 
+#include "support/thread_annotations.hpp"
+
 namespace lisi::obs {
 namespace {
 
@@ -121,8 +123,11 @@ struct ThreadStream {
 /// threads may still be unwinding their thread_local destructors while the
 /// process exits.
 struct Registry {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<ThreadStream>> streams;
+  support::AnnotatedMutex mutex;
+  /// Stream registration order is rank-arrival order; collect()/reset()
+  /// additionally require quiescence (no rank inside a span) — a property
+  /// the mutex cannot express and obs_test enforces behaviourally.
+  std::vector<std::shared_ptr<ThreadStream>> streams LISI_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -135,7 +140,7 @@ ThreadStream& stream() {
   thread_local std::shared_ptr<ThreadStream> s = [] {
     auto p = std::make_shared<ThreadStream>();
     Registry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    support::MutexLock lock(reg.mutex);
     reg.streams.push_back(p);
     return p;
   }();
@@ -177,6 +182,12 @@ bool enabled() {
 
 namespace detail {
 
+// lisi-lint: zero-alloc-begin(span/counter recording steady state)
+// The ThreadStream constructor reserves every container (spans, counters,
+// ring) precisely so this region never touches the heap once warm; the
+// obs_test allocation-free assertions are the behavioural twin of these
+// markers.
+
 std::uint64_t spanBegin() {
   ++stream().depth;
   return nowNs();
@@ -195,6 +206,7 @@ void spanEnd(const char* name, std::uint64_t startNs, std::uint64_t detail) {
   agg.detailTotal += detail;
   const RawEvent event{name, startNs, durNs, depth, s.session};
   if (s.ring.size() < kRingCapacity) {
+    // lisi-lint: allow(hot-alloc) ring.reserve(kRingCapacity) ran in the ThreadStream constructor; this push_back never reallocates
     s.ring.push_back(event);
   } else {
     s.ring[s.ringNext] = event;
@@ -212,6 +224,8 @@ void setThreadSession(int session) { stream().session = session; }
 void count(const char* name, long long delta) {
   stream().counterAggFor(name).total += delta;
 }
+
+// lisi-lint: zero-alloc-end
 
 #endif  // LISI_OBS_ENABLED
 
@@ -247,7 +261,7 @@ Report collect() {
   std::map<std::pair<int, std::string>, SessionCounterMerge> counterBySession;
   {
     Registry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    support::MutexLock lock(reg.mutex);
     for (const auto& s : reg.streams) {
       report.droppedEvents += s->dropped;
       for (const SpanAgg& agg : s->spans) {
@@ -347,7 +361,7 @@ std::vector<TraceEvent> traceEvents() {
   std::vector<TraceEvent> events;
   const std::uint64_t t0 = processStartNs();
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  support::MutexLock lock(reg.mutex);
   for (const auto& s : reg.streams) {
     for (const RawEvent& e : s->ring) {
       TraceEvent out;
@@ -369,7 +383,7 @@ std::vector<TraceEvent> traceEvents() {
 
 void reset() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  support::MutexLock lock(reg.mutex);
   for (const auto& s : reg.streams) s->clear();
 }
 

@@ -40,6 +40,8 @@
 #include <future>
 #include <memory>
 #include <mutex>
+
+#include "support/thread_annotations.hpp"
 #include <optional>
 #include <string>
 #include <thread>
@@ -131,11 +133,19 @@ class SolverService {
   [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
   [[nodiscard]] std::size_t queuedRequests() const;
 
-  // Lifetime statistics (monotonic, readable at any time).
-  [[nodiscard]] long long accepted() const { return accepted_.load(); }
-  [[nodiscard]] long long rejected() const { return rejected_.load(); }
+  // Lifetime statistics (monotonic, readable at any time).  Relaxed loads:
+  // pure counters — no reader infers the state of any other memory from
+  // them, so ordering buys nothing (pairs with the relaxed fetch_adds).
+  [[nodiscard]] long long accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] long long rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
   /// Multi-RHS solves executed (each serves >= 1 requests).
-  [[nodiscard]] long long batchesServed() const { return batches_.load(); }
+  [[nodiscard]] long long batchesServed() const {
+    return batches_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Pending;
@@ -149,14 +159,15 @@ class SolverService {
   void failAllQueued(const std::string& reason);
 
   ServiceConfig cfg_;
-  mutable std::mutex mutex_;            ///< guards queue_, accepting_, stopping_
+  mutable support::AnnotatedMutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::unique_ptr<Pending>> queue_;
-  bool accepting_ = true;
-  bool stopping_ = false;
+  std::deque<std::unique_ptr<Pending>> queue_ LISI_GUARDED_BY(mutex_);
+  bool accepting_ LISI_GUARDED_BY(mutex_) = true;
+  bool stopping_ LISI_GUARDED_BY(mutex_) = false;
 
-  std::mutex slotMutex_;                ///< guards slots_ (leader -> peers)
-  std::vector<std::shared_ptr<Batch>> slots_;
+  /// Leader -> peer batch handoff, one slot per session.
+  support::AnnotatedMutex slotMutex_;
+  std::vector<std::shared_ptr<Batch>> slots_ LISI_GUARDED_BY(slotMutex_);
 
   std::thread pool_;
   std::atomic<bool> running_{false};

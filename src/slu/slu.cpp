@@ -19,7 +19,9 @@ using lisi::sparse::CscMatrix;
 namespace {
 // Reuse observability: full (symbolic + numeric) factorizations vs
 // numeric-only same-pattern refactorizations.  Process-wide atomics because
-// MiniMPI ranks are threads.
+// MiniMPI ranks are threads.  Memory order (audited): relaxed everywhere —
+// monotonic counters carrying no publication duty; test readers run after
+// the writer ranks joined.
 std::atomic<long long> gSymbolicFactorizations{0};
 std::atomic<long long> gNumericRefactorizations{0};
 }  // namespace

@@ -34,6 +34,8 @@ constexpr double kBlockMaxFill = 1.25;
 // Reuse observability: MiniMPI ranks are threads of one process, so the
 // counters are process-wide atomics (tests look at deltas, which is exactly
 // what "no rank rebuilt its plan" means under threads-as-ranks).
+// Memory order (audited): relaxed everywhere — monotonic counters with no
+// publication duty; delta readers run between worlds, after thread joins.
 std::atomic<long long> gHaloPlanBuilds{0};
 std::atomic<long long> gValueUpdates{0};
 }
@@ -429,6 +431,10 @@ void DistCsrMatrix::buildHaloPlan() {
   spmvRound_ = 0;
 }
 
+// lisi-lint: zero-alloc-begin(spmv steady state: plan-owned scratch only)
+// The halo-plan build (buildHaloPlan) sizes sendBuf_/xGhost_/xExt_ and
+// reserves the spmv tag block precisely so this function never touches the
+// heap; the markers make that promise a lint-enforced contract.
 void DistCsrMatrix::spmv(std::span<const double> xLocal,
                          std::span<double> yLocal) const {
   LISI_CHECK(!colStarts_.empty(),
@@ -604,6 +610,7 @@ void DistCsrMatrix::spmv(std::span<const double> xLocal,
     }
   }
 }
+// lisi-lint: zero-alloc-end
 
 void DistCsrMatrix::spmvFloat(std::span<const float> xLocal,
                               std::span<float> yLocal) const {

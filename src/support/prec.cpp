@@ -8,6 +8,11 @@ namespace lisi::prec {
 
 namespace {
 
+/// Memory order (audited): every access is relaxed — these are pure
+/// monotonic counters, no reader infers the state of other memory from
+/// them, and the test that wants exact totals (precision_test) reads them
+/// only after World::run joined every writer thread, which supplies the
+/// happens-before edge on its own.
 struct AtomicStats {
   std::atomic<long long> bytesLow{0};
   std::atomic<long long> bytesHigh{0};
@@ -62,11 +67,13 @@ Stats stats() {
 }
 
 void resetStatsForTest() {
-  g_stats.bytesLow.store(0);
-  g_stats.bytesHigh.store(0);
-  g_stats.refineSweeps.store(0);
-  g_stats.lowApplies.store(0);
-  g_stats.mixedSolves.store(0);
+  // Relaxed like every other access (see AtomicStats): tests call this
+  // between worlds, with no concurrent writers to order against.
+  g_stats.bytesLow.store(0, std::memory_order_relaxed);
+  g_stats.bytesHigh.store(0, std::memory_order_relaxed);
+  g_stats.refineSweeps.store(0, std::memory_order_relaxed);
+  g_stats.lowApplies.store(0, std::memory_order_relaxed);
+  g_stats.mixedSolves.store(0, std::memory_order_relaxed);
 }
 
 void noteBytesLow(long long bytes) {

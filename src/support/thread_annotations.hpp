@@ -1,0 +1,114 @@
+#pragma once
+// Clang Thread Safety Analysis surface for the whole tree.
+//
+// Every mutex-guarded invariant in the repo is written down twice: once in
+// prose (DESIGN.md §"Static and dynamic checking") and once here, in
+// machine-checked form.  Under Clang with -DLISI_LINT=ON the build runs with
+// -Wthread-safety -Werror=thread-safety, so a lock taken in the wrong order,
+// a guarded member touched without its mutex, or a REQUIRES contract broken
+// by a new call site fails the *compile*, not a TSan run three stages later.
+// Under GCC (and any compiler without the attributes) every macro expands to
+// nothing and the wrappers degrade to plain std::mutex / std::lock_guard
+// behaviour — zero cost, zero semantic change.
+//
+// Conventions (see docs/STATIC_ANALYSIS.md for the full catalog):
+//   * Shared state is declared with LISI_GUARDED_BY(itsMutex).
+//   * Private helpers that assume the lock are annotated LISI_REQUIRES(m)
+//     and named *Locked by existing repo convention.
+//   * Cross-class lock order (checker mutex before any mailbox mutex) is
+//     expressed with LISI_ACQUIRED_BEFORE / LISI_ACQUIRED_AFTER through a
+//     phantom anchor capability, since the two classes cannot name each
+//     other's members.
+//   * LISI_NO_THREAD_SAFETY_ANALYSIS is the only escape hatch and every use
+//     carries an inline reason; blanket suppressions are rejected in review
+//     and by the acceptance bar of the lint PR that introduced this file.
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define LISI_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef LISI_THREAD_ANNOTATION
+#define LISI_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+#define LISI_CAPABILITY(x) LISI_THREAD_ANNOTATION(capability(x))
+#define LISI_SCOPED_CAPABILITY LISI_THREAD_ANNOTATION(scoped_lockable)
+#define LISI_GUARDED_BY(x) LISI_THREAD_ANNOTATION(guarded_by(x))
+#define LISI_PT_GUARDED_BY(x) LISI_THREAD_ANNOTATION(pt_guarded_by(x))
+#define LISI_ACQUIRED_BEFORE(...) \
+  LISI_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define LISI_ACQUIRED_AFTER(...) \
+  LISI_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define LISI_REQUIRES(...) \
+  LISI_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define LISI_REQUIRES_SHARED(...) \
+  LISI_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define LISI_ACQUIRE(...) \
+  LISI_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define LISI_RELEASE(...) \
+  LISI_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define LISI_TRY_ACQUIRE(...) \
+  LISI_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define LISI_EXCLUDES(...) LISI_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define LISI_RETURN_CAPABILITY(x) LISI_THREAD_ANNOTATION(lock_returned(x))
+#define LISI_NO_THREAD_SAFETY_ANALYSIS \
+  LISI_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace lisi::support {
+
+// std::mutex with the capability attribute, so members can be GUARDED_BY it
+// and functions can REQUIRES it.  native() exposes the underlying mutex for
+// std::condition_variable, which only accepts std::unique_lock<std::mutex>.
+class LISI_CAPABILITY("mutex") AnnotatedMutex {
+ public:
+  AnnotatedMutex() = default;
+  AnnotatedMutex(const AnnotatedMutex&) = delete;
+  AnnotatedMutex& operator=(const AnnotatedMutex&) = delete;
+
+  void lock() LISI_ACQUIRE() { m_.lock(); }
+  void unlock() LISI_RELEASE() { m_.unlock(); }
+  bool try_lock() LISI_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+// Scoped lock-holder (std::lock_guard shape) over an AnnotatedMutex.
+class LISI_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(AnnotatedMutex& m) LISI_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() LISI_RELEASE() { m_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  AnnotatedMutex& m_;
+};
+
+// Scoped lock-holder built on std::unique_lock so it can sit under a
+// std::condition_variable wait: cv.wait(lock.native()).  The analysis treats
+// the capability as held across the wait — the classic annotated-condvar
+// pattern — which matches how every wait loop in the repo re-checks its
+// guarded predicate after waking.
+class LISI_SCOPED_CAPABILITY CondLock {
+ public:
+  // The underlying std::unique_lock is not annotation-aware, so the body is
+  // opted out of analysis; callers still see (and are checked against) the
+  // ACQUIRE/RELEASE contract on the declarations.
+  explicit CondLock(AnnotatedMutex& m)
+      LISI_ACQUIRE(m) LISI_NO_THREAD_SAFETY_ANALYSIS : lock_(m.native()) {}
+  ~CondLock() LISI_RELEASE() = default;
+  CondLock(const CondLock&) = delete;
+  CondLock& operator=(const CondLock&) = delete;
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace lisi::support

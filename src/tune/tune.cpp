@@ -7,6 +7,8 @@
 #include <limits>
 #include <map>
 #include <mutex>
+
+#include "support/thread_annotations.hpp"
 #include <vector>
 
 #include "obs/obs.hpp"
@@ -29,8 +31,11 @@ struct AtomicStats {
 };
 AtomicStats g_stats;
 
-std::mutex g_cacheMutex;
-std::map<OperatorKey, Decision>& cache() {
+support::AnnotatedMutex g_cacheMutex;
+/// Process-wide decision cache behind g_cacheMutex.  The REQUIRES contract
+/// (not a lazy lock inside) keeps the lookup+insert sequences in decide()
+/// atomic under one hold of the mutex.
+std::map<OperatorKey, Decision>& cache() LISI_REQUIRES(g_cacheMutex) {
   static std::map<OperatorKey, Decision> c;
   return c;
 }
@@ -226,7 +231,7 @@ void resetStatsForTest() {
 }
 
 void clearCacheForTest() {
-  std::lock_guard<std::mutex> lock(g_cacheMutex);
+  support::MutexLock lock(g_cacheMutex);
   cache().clear();
 }
 
@@ -254,7 +259,7 @@ Decision tuneOperator(const TuneInput& in) {
   Decision cached;
   int hitLocal = 0;
   {
-    std::lock_guard<std::mutex> lock(g_cacheMutex);
+    support::MutexLock lock(g_cacheMutex);
     const auto it = cache().find(in.key);
     if (it != cache().end()) {
       hitLocal = 1;
@@ -292,7 +297,7 @@ Decision tuneOperator(const TuneInput& in) {
   d.schedule = probeSchedule(in);
   d.probed = true;
   {
-    std::lock_guard<std::mutex> lock(g_cacheMutex);
+    support::MutexLock lock(g_cacheMutex);
     cache().emplace(in.key, d);
   }
   return d;

@@ -62,8 +62,10 @@ TEST(CommCheck, LockstepMismatchDiagnosed) {
   for (const int nranks : {2, 4}) {
     const std::string msg = runExpectViolation(nranks, [](Comm& c) {
       if (c.rank() == 0) {
+        // lisi-lint: allow(rank-branch) seeded violation: this test exists to provoke the runtime lockstep diagnostic
         (void)c.bcastValue(1, 0);  // everyone else reduces: divergent stream
       } else {
+        // lisi-lint: allow(rank-branch) seeded violation (divergent arm of the same seeded mismatch)
         (void)c.allreduceValue(1.0, comm::ReduceOp::kSum);
       }
     });

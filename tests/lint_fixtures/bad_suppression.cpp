@@ -1,0 +1,15 @@
+// Seeded violations: bad-suppression at lines 9, 11, and 13 (reasonless
+// allow, unknown rule id, unknown directive).  Each rejected suppression
+// leaves its raw-tag finding live (lines 10, 12, 14) — an invalid allow
+// must never silently suppress.
+// Not compiled; scanned by tests/lint_test through the lisi_lint binary.
+
+void fixtureBadSuppression(const Comm& comm) {
+  int v = 1;
+  // lisi-lint: allow(raw-tag)
+  comm.sendValue(v, 0, 99);
+  // lisi-lint: allow(no-such-rule) reason text
+  comm.sendValue(v, 0, 99);
+  // lisi-lint: frobnicate(everything)
+  comm.sendValue(v, 0, 99);
+}

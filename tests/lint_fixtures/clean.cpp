@@ -1,0 +1,20 @@
+// Clean fixture: exercises every rule's *correct* form plus one properly
+// reasoned suppression; lisi_lint must report zero findings here.
+// Not compiled; scanned by tests/lint_test through the lisi_lint binary.
+
+void fixtureClean(const Comm& comm, std::vector<double>& buf) {
+  constexpr int kTag = tags::kHaloPlan;  // named registry constant
+  int v = 3;
+  comm.sendValue(v, 1, kTag);
+  obs::Span span("fixture.clean");  // bound span
+  comm.barrier();                   // collective outside any rank branch
+  if (comm.rank() == 0) {
+    v = 4;  // rank branch without collectives: fine
+  }
+  // A suppression done right: known rule, non-empty reason.
+  // lisi-lint: allow(raw-tag) fixture demonstrating a well-formed suppression
+  comm.sendValue(v, 1, 17);
+  buf.reserve(64);  // alloc outside any zero-alloc region
+  const char* knob = std::getenv("LISI_FIXTURE_DOCUMENTED");  // documented
+  (void)knob;
+}

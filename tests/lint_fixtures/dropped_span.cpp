@@ -1,0 +1,9 @@
+// Seeded violation: dropped-span at line 7 (unbound temporary).
+// Not compiled; scanned by tests/lint_test through the lisi_lint binary.
+
+void fixtureDroppedSpan() {
+  obs::Span span("fixture.good");  // bound to a local: fine
+  doWork();
+  obs::Span("fixture.dropped");  // temporary dies immediately: finding here
+  doMoreWork();
+}

@@ -1,0 +1,11 @@
+// Seeded violation: env-knob-doc at line 8 (undocumented knob).
+// Not compiled; scanned by tests/lint_test through the lisi_lint binary,
+// with --root pointing at this directory: its README.md documents
+// LISI_FIXTURE_DOCUMENTED and deliberately omits the other knob.
+
+void fixtureEnvKnob() {
+  const char* good = std::getenv("LISI_FIXTURE_DOCUMENTED");  // in README
+  const char* bad = std::getenv("LISI_FIXTURE_UNDOCUMENTED");  // finding here
+  (void)good;
+  (void)bad;
+}

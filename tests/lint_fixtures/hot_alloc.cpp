@@ -1,0 +1,14 @@
+// Seeded violation: hot-alloc at line 10 (push_back in a marked region).
+// Not compiled; scanned by tests/lint_test through the lisi_lint binary.
+
+void fixtureHotAlloc(std::vector<double>& buf) {
+  buf.reserve(128);  // outside the region: fine
+  // lisi-lint: zero-alloc-begin(fixture hot loop)
+  double acc = 0.0;
+  for (int i = 0; i < 128; ++i) {
+    acc += static_cast<double>(i);
+    buf.push_back(acc);  // heap traffic in a zero-alloc region: finding here
+  }
+  // lisi-lint: zero-alloc-end
+  (void)acc;
+}

@@ -1,0 +1,12 @@
+// Seeded violation: rank-branch at line 9 (barrier under rank()==0).
+// Not compiled; scanned by tests/lint_test through the lisi_lint binary.
+
+void fixtureRankBranch(const Comm& comm) {
+  comm.barrier();  // unconditional: fine
+  int x = 1;
+  if (comm.rank() == 0) {
+    x = 2;
+    comm.barrier();  // rank-dependent collective: finding here
+  }
+  (void)x;
+}

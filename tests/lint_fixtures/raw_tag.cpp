@@ -1,0 +1,9 @@
+// Seeded violation: raw-tag at line 8 (the literal 42).
+// Not compiled; scanned by tests/lint_test through the lisi_lint binary.
+
+void fixtureRawTag(const Comm& comm) {
+  constexpr int kGoodTag = tags::kMatrixScatter;
+  int payload = 7;
+  comm.sendValue(payload, 0, kGoodTag);  // named constant: fine
+  comm.sendValue(payload, 0, 42);        // raw literal: finding here
+}

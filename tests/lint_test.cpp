@@ -1,0 +1,166 @@
+// Tests for the lisi_lint static-analysis pass itself (satellite of the
+// compile-time verification PR).  Each file in tests/lint_fixtures/ seeds
+// exactly the violations its header comment documents; this test runs the
+// real lisi_lint binary over the fixture directory and asserts every rule
+// fires at its expected file:line — and nowhere else.
+//
+// The binary path and fixture directory are injected at configure time via
+// LISI_LINT_BIN / LISI_LINT_FIXTURES compile definitions, so the test is
+// build-tree-relocatable and exercises the exact artifact verify.sh ships.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct RunResult {
+  int exitCode = -1;
+  std::string output;  // stdout + stderr merged
+};
+
+RunResult runLint(const std::string& args) {
+  const std::string cmd =
+      std::string(LISI_LINT_BIN) + " " + args + " 2>&1";
+  RunResult r;
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  std::array<char, 4096> buf{};
+  std::size_t got = 0;
+  while ((got = std::fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    r.output.append(buf.data(), got);
+  }
+  const int status = ::pclose(pipe);
+  // popen runs through the shell; WEXITSTATUS recovers the tool's exit code.
+  r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+// Findings print as `<path>:<line>: [<rule-id>] <message>`.  Reduce each to
+// the (basename, line, rule) triple the fixtures pin down.
+struct Triple {
+  std::string file;
+  int line;
+  std::string rule;
+  bool operator<(const Triple& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    return rule < o.rule;
+  }
+};
+
+std::set<Triple> parseFindings(const std::string& output) {
+  std::set<Triple> out;
+  std::istringstream in(output);
+  std::string lineText;
+  while (std::getline(in, lineText)) {
+    const std::size_t lb = lineText.find(": [");
+    if (lb == std::string::npos) continue;
+    const std::size_t rb = lineText.find(']', lb);
+    if (rb == std::string::npos) continue;
+    const std::string rule = lineText.substr(lb + 3, rb - lb - 3);
+    // Walk back over `<path>:<line>`: the path may itself contain ':' only
+    // on exotic filesystems, so split at the last ':' before ": [".
+    const std::string loc = lineText.substr(0, lb);
+    const std::size_t colon = loc.rfind(':');
+    if (colon == std::string::npos) continue;
+    int line = 0;
+    try {
+      line = std::stoi(loc.substr(colon + 1));
+    } catch (...) {
+      continue;
+    }
+    std::string path = loc.substr(0, colon);
+    const std::size_t slash = path.find_last_of('/');
+    if (slash != std::string::npos) path = path.substr(slash + 1);
+    out.insert({path, line, rule});
+  }
+  return out;
+}
+
+std::string fixtureArgs() {
+  // --root points at the fixture directory so env-knob-doc checks the
+  // fixture README.md, not the repo one.
+  return std::string("--root ") + LISI_LINT_FIXTURES + " " +
+         LISI_LINT_FIXTURES;
+}
+
+TEST(LintTest, EveryRuleFiresExactlyWhereSeeded) {
+  const RunResult r = runLint(fixtureArgs());
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+
+  const std::set<Triple> got = parseFindings(r.output);
+  const std::set<Triple> want = {
+      {"raw_tag.cpp", 8, "raw-tag"},
+      {"rank_branch.cpp", 9, "rank-branch"},
+      {"dropped_span.cpp", 7, "dropped-span"},
+      {"hot_alloc.cpp", 10, "hot-alloc"},
+      {"env_knob.cpp", 8, "env-knob-doc"},
+      // Malformed directives are findings themselves...
+      {"bad_suppression.cpp", 9, "bad-suppression"},
+      {"bad_suppression.cpp", 11, "bad-suppression"},
+      {"bad_suppression.cpp", 13, "bad-suppression"},
+      // ...and never suppress the underlying finding.
+      {"bad_suppression.cpp", 10, "raw-tag"},
+      {"bad_suppression.cpp", 12, "raw-tag"},
+      {"bad_suppression.cpp", 14, "raw-tag"},
+  };
+  for (const Triple& t : want) {
+    EXPECT_TRUE(got.count(t)) << t.file << ":" << t.line << " [" << t.rule
+                              << "] expected but not reported\n"
+                              << r.output;
+  }
+  for (const Triple& t : got) {
+    EXPECT_TRUE(want.count(t)) << t.file << ":" << t.line << " [" << t.rule
+                               << "] reported but not seeded\n"
+                               << r.output;
+  }
+}
+
+TEST(LintTest, CleanFixtureProducesNoFindings) {
+  const RunResult r = runLint(
+      std::string("--root ") + LISI_LINT_FIXTURES + " " + LISI_LINT_FIXTURES +
+      "/clean.cpp");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_TRUE(parseFindings(r.output).empty()) << r.output;
+}
+
+TEST(LintTest, RuleFilterRestrictsFindings) {
+  const RunResult r = runLint("--rules dropped-span " + fixtureArgs());
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  const std::set<Triple> got = parseFindings(r.output);
+  ASSERT_EQ(got.size(), 1u) << r.output;
+  EXPECT_EQ(got.begin()->rule, "dropped-span");
+  EXPECT_EQ(got.begin()->file, "dropped_span.cpp");
+  EXPECT_EQ(got.begin()->line, 7);
+}
+
+TEST(LintTest, ListRulesCoversTheWholeCatalog) {
+  const RunResult r = runLint("--list-rules");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  for (const char* id : {"raw-tag", "rank-branch", "dropped-span", "hot-alloc",
+                         "env-knob-doc", "bad-suppression"}) {
+    EXPECT_NE(r.output.find(id), std::string::npos)
+        << "rule '" << id << "' missing from --list-rules\n"
+        << r.output;
+  }
+}
+
+TEST(LintTest, UnknownRuleFilterIsAUsageError) {
+  const RunResult r = runLint("--rules no-such-rule " + fixtureArgs());
+  EXPECT_EQ(r.exitCode, 2) << r.output;
+}
+
+TEST(LintTest, SummaryLineReportsFileAndFindingCounts) {
+  const RunResult r = runLint(fixtureArgs());
+  EXPECT_NE(r.output.find("lisi_lint: "), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("finding(s)"), std::string::npos) << r.output;
+}
+
+}  // namespace
