@@ -1,0 +1,188 @@
+// Runtime plugin replacement — the paper's Figure 4 scenario across the
+// C ABI boundary (docs/PLUGIN_ABI.md).
+//
+// Flow: discover backends from LISI_PLUGIN_PATH, solve a system with the
+// built-in pksp CG and with the dlopen-loaded refsolver (the two must
+// agree bitwise — the plugin iterates on the host's kernels), then RELOAD
+// the plugin mid-run (re-registration swaps the factory under the same
+// class name), instantiate the replacement on the SAME operator, and
+// solve again.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   LISI_PLUGIN_PATH=build/plugins/refsolver ./build/examples/plugin_swap
+//   LISI_PLUGIN_PATH=... ./build/examples/plugin_swap 64 4   # n, ranks
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cca/cca.hpp"
+#include "comm/comm.hpp"
+#include "comm/comm_handle.hpp"
+#include "lisi/sparse_solver.hpp"
+#include "plugin/plugin.hpp"
+
+namespace {
+
+constexpr const char* kPluginClass = "plugin.refsolver";
+
+/// Solve the n-point tridiagonal system (solution = all ones) with the
+/// component class `cls`; returns this rank's solution block, or empty on
+/// failure.
+std::vector<double> solveWith(lisi::comm::Comm& comm, const std::string& cls,
+                              int n, std::vector<double>* status) {
+  using namespace lisi;
+  const int base = n / comm.size();
+  const int rem = n % comm.size();
+  const int localRows = base + (comm.rank() < rem ? 1 : 0);
+  const int startRow = comm.rank() * base + std::min(comm.rank(), rem);
+
+  std::vector<double> vals;
+  std::vector<int> rows, cols;
+  for (int i = startRow; i < startRow + localRows; ++i) {
+    if (i > 0) { rows.push_back(i); cols.push_back(i - 1); vals.push_back(-1.0); }
+    rows.push_back(i); cols.push_back(i); vals.push_back(2.0);
+    if (i + 1 < n) { rows.push_back(i); cols.push_back(i + 1); vals.push_back(-1.0); }
+  }
+  std::vector<double> b(static_cast<std::size_t>(localRows), 0.0);
+  for (std::size_t k = 0; k < vals.size(); ++k) {
+    b[static_cast<std::size_t>(rows[k] - startRow)] += vals[k];
+  }
+
+  cca::Framework fw;
+  fw.instantiate("solver", cls);
+  auto solver =
+      fw.getProvidesPortAs<SparseSolver>("solver", kSparseSolverPortName);
+  const long handle = comm::registerHandle(comm);
+  int rc = solver->initialize(handle);
+  if (rc == 0) rc = solver->setStartRow(startRow);
+  if (rc == 0) rc = solver->setLocalRows(localRows);
+  if (rc == 0) rc = solver->setGlobalCols(n);
+  if (rc == 0) rc = solver->set("solver", "cg");
+  if (rc == 0) rc = solver->set("preconditioner", "jacobi");
+  if (rc == 0) rc = solver->set("tol", "1e-12");
+  if (rc == 0) {
+    rc = solver->setupMatrix(
+        RArray<const double>(vals.data(), static_cast<int>(vals.size())),
+        RArray<const int>(rows.data(), static_cast<int>(rows.size())),
+        RArray<const int>(cols.data(), static_cast<int>(cols.size())),
+        static_cast<int>(vals.size()));
+  }
+  if (rc == 0) {
+    rc = solver->setupRHS(RArray<const double>(b.data(), localRows),
+                          localRows, 1);
+  }
+  std::vector<double> x(static_cast<std::size_t>(localRows), 0.0);
+  status->assign(lisi::kStatusLength, 0.0);
+  if (rc == 0) {
+    rc = solver->solve(RArray<double>(x.data(), localRows),
+                       RArray<double>(status->data(), lisi::kStatusLength),
+                       localRows, lisi::kStatusLength);
+  }
+  comm::releaseHandle(handle);
+  if (rc != 0) {
+    std::fprintf(stderr, "rank %d: %s solve failed rc=%d\n", comm.rank(),
+                 cls.c_str(), rc);
+    return {};
+  }
+  return x;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lisi;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 48;
+  const int ranks = argc > 2 ? std::atoi(argv[2]) : 2;
+  if (n < 2 || ranks < 1 || ranks > n) {
+    std::fprintf(stderr, "usage: plugin_swap [n >= 2] [1 <= ranks <= n]\n");
+    return 2;
+  }
+
+  registerSolverComponents();
+  std::string pluginPath;
+  for (const auto& report : plugin::PluginRegistry::instance().loadFromEnv()) {
+    std::printf("load %-60s %s%s\n", report.path.c_str(),
+                report.ok ? report.className.c_str() : report.error.c_str(),
+                report.replaced ? " (replaced)" : "");
+    if (report.ok && report.className == kPluginClass) {
+      pluginPath = report.path;
+    }
+  }
+  if (pluginPath.empty()) {
+    std::fprintf(stderr,
+                 "plugin_swap: %s not found; point LISI_PLUGIN_PATH at the "
+                 "directory containing librefsolver.so\n",
+                 kPluginClass);
+    return 2;
+  }
+
+  std::atomic<int> failures{0};
+  comm::World::run(ranks, [&](comm::Comm& comm) {
+    std::vector<double> st;
+    // Phase 1: built-in baseline and first plugin solve must agree bitwise.
+    const std::vector<double> ref =
+        solveWith(comm, kPkspComponentClass, n, &st);
+    const std::vector<double> first = solveWith(comm, kPluginClass, n, &st);
+    if (ref.empty() || first.empty() || ref.size() != first.size()) {
+      ++failures;
+      return;
+    }
+    double diff = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      diff = std::max(diff, std::abs(ref[i] - first[i]));
+    }
+    if (comm.rank() == 0) {
+      std::printf("phase 1: pksp vs %s  iterations=%d  residual=%.2e  "
+                  "max|dx|=%.1e\n",
+                  kPluginClass, static_cast<int>(st[kStatusIterations]),
+                  st[kStatusResidualNorm], diff);
+    }
+    if (diff != 0.0) ++failures;
+
+    // Phase 2: hot-replace the backend mid-run.  loadFile is not
+    // collective, so one rank swaps the factory while the others wait.
+    comm.barrier();
+    if (comm.rank() == 0) {
+      const auto report =
+          plugin::PluginRegistry::instance().loadFile(pluginPath);
+      std::printf("phase 2: reload %s -> %s%s\n", pluginPath.c_str(),
+                  report.ok ? "ok" : report.error.c_str(),
+                  report.replaced ? " (factory replaced)" : "");
+      if (!report.ok || !report.replaced) ++failures;
+    }
+    comm.barrier();
+
+    // Phase 3: a fresh instance now comes from the replacement factory;
+    // re-solve the same operator and check against the baseline again.
+    const std::vector<double> second = solveWith(comm, kPluginClass, n, &st);
+    if (second.empty() || second.size() != ref.size()) {
+      ++failures;
+      return;
+    }
+    diff = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      diff = std::max(diff, std::abs(ref[i] - second[i]));
+    }
+    double worst = 0.0;
+    for (double v : second) worst = std::max(worst, std::abs(v - 1.0));
+    if (comm.rank() == 0) {
+      std::printf("phase 3: replacement solve  converged=%d  max|dx|=%.1e  "
+                  "max|x-1|=%.1e\n",
+                  static_cast<int>(st[kStatusConverged]), diff, worst);
+    }
+    if (diff != 0.0 || st[kStatusConverged] != 1.0 || worst > 1e-8) {
+      ++failures;
+    }
+  });
+
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "plugin_swap: FAILED\n");
+    return 1;
+  }
+  std::printf("plugin_swap: OK (n=%d, ranks=%d)\n", n, ranks);
+  return 0;
+}

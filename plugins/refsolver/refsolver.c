@@ -1,0 +1,297 @@
+/* refsolver — the reference LISI plugin: CG + Jacobi in ~300 lines of C.
+ *
+ * This is the out-of-tree proof for the lisi_abi_v1 boundary: it includes
+ * ONLY lisi_abi.h (plus libc) and builds standalone with
+ *
+ *   cc -std=c99 -shared -fPIC -I<dir with lisi_abi.h> refsolver.c \
+ *      -o librefsolver.so
+ *
+ * (scripts/verify.sh does exactly that against a copied header).  It is
+ * also the tutorial source for docs/PLUGIN_ABI.md — read them side by side.
+ *
+ * The solver mirrors the host's built-in pksp CG + Jacobi operation for
+ * operation: same residual recurrences, same fused two-lane reduction for
+ * <z,z> and <r,z>, same loop order, same convergence test — and the
+ * distributed pieces (operator application, global sums) go through the
+ * host callbacks onto the host's deterministic kernels.  The iterates are
+ * therefore bitwise identical to the built-in solve, which is what
+ * tests/plugin_test.cpp asserts at p=1 and p=4.
+ */
+#include <math.h>
+#include <stdlib.h>
+#include <string.h>
+
+#include "lisi_abi.h"
+
+typedef struct {
+  lisi_abi_host_v1 host; /* copied: the caller's struct may not outlive us */
+  /* operator */
+  int32_t local_rows;
+  int32_t global_rows;
+  int32_t start_row;
+  double* inv_diag; /* Jacobi: 1/diag, built at set_operator */
+  int have_operator;
+  /* options */
+  double rtol;
+  double atol;
+  int32_t maxits;
+  int use_jacobi;
+  /* last solve */
+  lisi_abi_solve_info_v1 last;
+  /* scratch (sized at set_operator) */
+  double* r;
+  double* z;
+  double* p;
+  double* ap;
+} refsolver;
+
+static int bad(double v) { return isnan(v) || isinf(v); }
+
+static int32_t rs_create(const lisi_abi_host_v1* host, void** solver) {
+  refsolver* s;
+  if (host == NULL || solver == NULL || host->apply_operator == NULL ||
+      host->allreduce_sum == NULL) {
+    return LISI_ABI_ERR_ARG;
+  }
+  s = (refsolver*)calloc(1, sizeof(refsolver));
+  if (s == NULL) return LISI_ABI_ERR_INTERNAL;
+  s->host = *host;
+  s->rtol = 1e-6;
+  s->atol = 1e-50;
+  s->maxits = 10000;
+  s->use_jacobi = 1;
+  *solver = s;
+  return LISI_ABI_OK;
+}
+
+static int32_t rs_set_option(void* solver, const char* key,
+                             const char* value) {
+  refsolver* s = (refsolver*)solver;
+  if (s == NULL || key == NULL || value == NULL) return LISI_ABI_ERR_ARG;
+  if (strcmp(key, "solver") == 0) {
+    return strcmp(value, "cg") == 0 ? LISI_ABI_OK : LISI_ABI_ERR_ARG;
+  }
+  if (strcmp(key, "preconditioner") == 0) {
+    if (strcmp(value, "jacobi") == 0) {
+      s->use_jacobi = 1;
+      return LISI_ABI_OK;
+    }
+    if (strcmp(value, "none") == 0) {
+      s->use_jacobi = 0;
+      return LISI_ABI_OK;
+    }
+    return LISI_ABI_ERR_ARG;
+  }
+  if (strcmp(key, "tol") == 0) {
+    char* end = NULL;
+    double v = strtod(value, &end);
+    if (end == value || v < 0.0) return LISI_ABI_ERR_ARG;
+    s->rtol = v;
+    return LISI_ABI_OK;
+  }
+  if (strcmp(key, "atol") == 0) {
+    char* end = NULL;
+    double v = strtod(value, &end);
+    if (end == value || v < 0.0) return LISI_ABI_ERR_ARG;
+    s->atol = v;
+    return LISI_ABI_OK;
+  }
+  if (strcmp(key, "maxits") == 0) {
+    char* end = NULL;
+    long v = strtol(value, &end, 10);
+    if (end == value || v < 1) return LISI_ABI_ERR_ARG;
+    s->maxits = (int32_t)v;
+    return LISI_ABI_OK;
+  }
+  /* Unknown KEY: the host forwards its whole table and skips these. */
+  return LISI_ABI_ERR_UNSUPPORTED;
+}
+
+static int32_t rs_set_operator(void* solver, int32_t local_rows,
+                               int32_t global_rows, int32_t start_row,
+                               const int32_t* row_ptr, const int32_t* col_idx,
+                               const double* values) {
+  refsolver* s = (refsolver*)solver;
+  int32_t i, k;
+  if (s == NULL || local_rows < 0 || global_rows < local_rows ||
+      start_row < 0 || row_ptr == NULL || col_idx == NULL || values == NULL) {
+    return LISI_ABI_ERR_ARG;
+  }
+  free(s->inv_diag);
+  free(s->r);
+  free(s->z);
+  free(s->p);
+  free(s->ap);
+  s->inv_diag = (double*)calloc((size_t)local_rows, sizeof(double));
+  s->r = (double*)malloc((size_t)local_rows * sizeof(double));
+  s->z = (double*)malloc((size_t)local_rows * sizeof(double));
+  s->p = (double*)malloc((size_t)local_rows * sizeof(double));
+  s->ap = (double*)malloc((size_t)local_rows * sizeof(double));
+  if (s->inv_diag == NULL || s->r == NULL || s->z == NULL || s->p == NULL ||
+      s->ap == NULL) {
+    s->have_operator = 0;
+    return LISI_ABI_ERR_INTERNAL;
+  }
+  /* Diagonal extraction: sum every entry sitting on the diagonal (global
+   * column == start_row + local row), exactly like the host's
+   * localDiagonal(), then invert once — the Jacobi apply is a multiply. */
+  for (i = 0; i < local_rows; ++i) {
+    for (k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      if (col_idx[k] == start_row + i) s->inv_diag[i] += values[k];
+    }
+  }
+  for (i = 0; i < local_rows; ++i) {
+    if (s->inv_diag[i] == 0.0) {
+      s->have_operator = 0;
+      return LISI_ABI_ERR_NUMERIC; /* zero diagonal: Jacobi breaks down */
+    }
+    s->inv_diag[i] = 1.0 / s->inv_diag[i];
+  }
+  s->local_rows = local_rows;
+  s->global_rows = global_rows;
+  s->start_row = start_row;
+  s->have_operator = 1;
+  return LISI_ABI_OK;
+}
+
+/* z = M^{-1} r: Jacobi multiply or identity copy (same as the host PCs). */
+static void rs_apply_pc(const refsolver* s, const double* r, double* z) {
+  int32_t i;
+  if (s->use_jacobi) {
+    for (i = 0; i < s->local_rows; ++i) z[i] = s->inv_diag[i] * r[i];
+  } else {
+    memcpy(z, r, (size_t)s->local_rows * sizeof(double));
+  }
+}
+
+static int32_t rs_solve(void* solver, const double* b, double* x,
+                        int32_t local_rows, lisi_abi_solve_info_v1* info) {
+  refsolver* s = (refsolver*)solver;
+  const lisi_abi_host_v1* h;
+  double local2[2], zzrz[2], znorm, target, rz;
+  int32_t n, i, it, rc;
+  if (s == NULL || b == NULL || x == NULL || info == NULL) {
+    return LISI_ABI_ERR_ARG;
+  }
+  if (!s->have_operator) return LISI_ABI_ERR_STATE;
+  if (local_rows != s->local_rows) return LISI_ABI_ERR_ARG;
+  h = &s->host;
+  n = s->local_rows;
+  memset(&s->last, 0, sizeof(s->last));
+  memset(info, 0, sizeof(*info));
+
+  /* r = b - A x (x is the incoming initial guess, host-zeroed by default) */
+  rc = h->apply_operator(h->ctx, x, s->r, n);
+  if (rc != LISI_ABI_OK) return rc;
+  for (i = 0; i < n; ++i) s->r[i] = b[i] - s->r[i];
+  rs_apply_pc(s, s->r, s->z);
+  /* <z,z> and <r,z> share one two-lane global sum; each lane is bitwise
+   * the standalone dot (the host reduces lanes element-wise). */
+  local2[0] = 0.0;
+  local2[1] = 0.0;
+  for (i = 0; i < n; ++i) local2[0] += s->z[i] * s->z[i];
+  for (i = 0; i < n; ++i) local2[1] += s->r[i] * s->z[i];
+  rc = h->allreduce_sum(h->ctx, local2, zzrz, 2);
+  if (rc != LISI_ABI_OK) return rc;
+  znorm = sqrt(zzrz[0]);
+  target = s->rtol * znorm;
+  s->last.residual_norm = znorm;
+  if (bad(znorm)) goto done; /* diverged-nan: converged stays 0 */
+  if (znorm <= s->atol || znorm <= target) {
+    s->last.converged = 1;
+    goto done;
+  }
+
+  memcpy(s->p, s->z, (size_t)n * sizeof(double));
+  rz = zzrz[1];
+  for (it = 1; it <= s->maxits; ++it) {
+    double pap, alpha, beta, rz_new;
+    rc = h->apply_operator(h->ctx, s->p, s->ap, n);
+    if (rc != LISI_ABI_OK) return rc;
+    local2[0] = 0.0;
+    for (i = 0; i < n; ++i) local2[0] += s->p[i] * s->ap[i];
+    rc = h->allreduce_sum(h->ctx, local2, &pap, 1);
+    if (rc != LISI_ABI_OK) return rc;
+    if (pap == 0.0 || bad(pap)) {
+      s->last.iterations = it - 1; /* breakdown before the update */
+      goto done;
+    }
+    alpha = rz / pap;
+    for (i = 0; i < n; ++i) {
+      x[i] += alpha * s->p[i];
+      s->r[i] -= alpha * s->ap[i];
+    }
+    rs_apply_pc(s, s->r, s->z);
+    local2[0] = 0.0;
+    local2[1] = 0.0;
+    for (i = 0; i < n; ++i) local2[0] += s->z[i] * s->z[i];
+    for (i = 0; i < n; ++i) local2[1] += s->r[i] * s->z[i];
+    rc = h->allreduce_sum(h->ctx, local2, zzrz, 2);
+    if (rc != LISI_ABI_OK) return rc;
+    znorm = sqrt(zzrz[0]);
+    s->last.iterations = it;
+    s->last.residual_norm = znorm;
+    if (bad(znorm)) goto done;
+    if (znorm <= s->atol || znorm <= target) {
+      s->last.converged = 1;
+      goto done;
+    }
+    rz_new = zzrz[1];
+    if (rz == 0.0) goto done; /* breakdown */
+    beta = rz_new / rz;
+    rz = rz_new;
+    for (i = 0; i < n; ++i) s->p[i] = s->z[i] + beta * s->p[i];
+  }
+  /* fell out of the loop: maxits exceeded, converged stays 0 */
+
+done:
+  *info = s->last;
+  return LISI_ABI_OK;
+}
+
+static int32_t rs_get_info(void* solver, const char* key, double* value) {
+  refsolver* s = (refsolver*)solver;
+  if (s == NULL || key == NULL || value == NULL) return LISI_ABI_ERR_ARG;
+  if (strcmp(key, "iterations") == 0) {
+    *value = (double)s->last.iterations;
+    return LISI_ABI_OK;
+  }
+  if (strcmp(key, "residual_norm") == 0) {
+    *value = s->last.residual_norm;
+    return LISI_ABI_OK;
+  }
+  if (strcmp(key, "converged") == 0) {
+    *value = (double)s->last.converged;
+    return LISI_ABI_OK;
+  }
+  return LISI_ABI_ERR_UNSUPPORTED;
+}
+
+static int32_t rs_destroy(void* solver) {
+  refsolver* s = (refsolver*)solver;
+  if (s == NULL) return LISI_ABI_ERR_ARG;
+  free(s->inv_diag);
+  free(s->r);
+  free(s->z);
+  free(s->p);
+  free(s->ap);
+  free(s);
+  return LISI_ABI_OK;
+}
+
+static const lisi_abi_v1 kRefsolverTable = {
+    LISI_ABI_VERSION,
+    "refsolver",
+    "1.0",
+    rs_create,
+    rs_set_option,
+    rs_set_operator,
+    rs_solve,
+    rs_get_info,
+    rs_destroy,
+};
+
+const lisi_abi_v1* lisi_plugin_query(uint32_t abi_version) {
+  if (abi_version != LISI_ABI_VERSION) return NULL;
+  return &kRefsolverTable;
+}

@@ -19,7 +19,15 @@
 #              the sparse, slu, and operator-reuse binaries — the value-only
 #              update paths write positionally into frozen factor / halo-plan
 #              storage, which is exactly the bug class these sanitizers
-#              catch;
+#              catch — plus the plugin suite, so dlopen-loaded backends and
+#              the host callback bridge run under the allocator checks;
+#   4b. plugin: compile the reference plugin OUT-OF-TREE — a scratch dir
+#              holding nothing but a copy of src/abi/lisi_abi.h, a plain C99
+#              compiler, -Werror — proving the ABI header is genuinely
+#              self-contained, then run the hot-swap demo
+#              (examples/plugin_swap: solve, replace the .so at run time,
+#              re-solve bitwise-identically) at 1 and 4 ranks against that
+#              out-of-tree build;
 #   5. obs:    rebuild with -DLISI_OBS=ON and run the full suite — the
 #              observability spans/counters on the comm and solver hot
 #              paths must not change any result, and the allocation-free
@@ -43,9 +51,12 @@
 #              fails the flow (scripts/lint.sh is the fast dev loop for
 #              the same pass);
 #   6. docs:   every -DLISI_* CMake option named in README/DESIGN/docs must
-#              actually exist in CMakeLists.txt (no doc drift), and the
+#              actually exist in CMakeLists.txt (no doc drift), the
 #              rule catalog in docs/STATIC_ANALYSIS.md must match the rules
-#              registered in tools/lisi_lint/rules.def both ways;
+#              registered in tools/lisi_lint/rules.def both ways, and the
+#              plugin ABI spec (docs/PLUGIN_ABI.md) must cover every
+#              identifier src/abi/lisi_abi.h exports — and name none it
+#              doesn't — in both directions;
 #   7. lint:   when clang-tidy is on PATH the -DLISI_LINT=ON rebuild is
 #              MANDATORY (the tidy gate plus, under Clang, the
 #              -Werror=thread-safety annotation check); skipped loudly
@@ -134,11 +145,32 @@ cmake --build build-tsan -j --target comm_test sparse_dist_test pksp_test \
 ./build-tsan/tests/service_test
 
 # ---- 4. ASan+UBSan -----------------------------------------------------
+# plugin_test is here deliberately: it dlopens the refsolver and the four
+# broken-on-purpose fixture plugins (all built with the same sanitizer
+# flags by this tree), so the host↔plugin callback bridge, the option
+# forwarding, and the keep-alive registry all run under ASan+UBSan.
 cmake -B build-asan -S . -DLISI_SANITIZE=address+undefined
-cmake --build build-asan -j --target sparse_dist_test slu_test lisi_reuse_test
+cmake --build build-asan -j --target sparse_dist_test slu_test \
+  lisi_reuse_test plugin_test
 ./build-asan/tests/sparse_dist_test
 ./build-asan/tests/slu_test
 ./build-asan/tests/lisi_reuse_test
+./build-asan/tests/plugin_test
+
+# ---- 4b. plugin boundary -----------------------------------------------
+# The ABI header must be self-contained: copy it ALONE into a scratch dir
+# and build the reference plugin there with a plain C99 compiler and
+# -Werror — no repo include paths, no C++ toolchain.  Then run the
+# hot-swap demo (solve -> replace the .so at run time -> re-solve, bitwise
+# equality demanded) at 1 and 4 ranks against that out-of-tree build.
+plugin_tmp="$(mktemp -d)"
+cp src/abi/lisi_abi.h "${plugin_tmp}/"
+cc -std=c99 -Wall -Wextra -Werror -shared -fPIC -I"${plugin_tmp}" \
+  plugins/refsolver/refsolver.c -o "${plugin_tmp}/librefsolver.so"
+echo "verify: plugin: refsolver built out-of-tree against lisi_abi.h alone"
+LISI_PLUGIN_PATH="${plugin_tmp}" ./build/examples/plugin_swap 48 1
+LISI_PLUGIN_PATH="${plugin_tmp}" ./build/examples/plugin_swap 48 4
+rm -rf "${plugin_tmp}"
 
 # ---- 5. LISI_OBS=ON ----------------------------------------------------
 # The instrumented build must pass the entire suite: spans/counters on the
@@ -209,6 +241,40 @@ doc_sanity() {
     else
       echo "verify: FATAL: docs/STATIC_ANALYSIS.md catalogs lint rule" \
            "'${id}' but tools/lisi_lint/rules.def does not register it" >&2
+      fail=1
+    fi
+  done
+  # The plugin ABI spec must cover the header, symbol for symbol.  Forward:
+  # every macro/type/entry-point identifier and every struct member in
+  # src/abi/lisi_abi.h appears in docs/PLUGIN_ABI.md.  Reverse: every ABI
+  # identifier the doc names exists in the header (LISI_PLUGIN_PATH is the
+  # one deliberate exception — it is the loader's env knob, read via
+  # getenv in src/plugin, not an ABI symbol).
+  local abi_header=src/abi/lisi_abi.h abi_doc=docs/PLUGIN_ABI.md
+  local sym_re='LISI_ABI_[A-Z0-9_]+|LISI_PLUGIN_[A-Z0-9_]+|lisi_abi_[a-z0-9_]+|lisi_plugin_query(_fn)?'
+  local hdr_syms hdr_members hdr_fields doc_syms
+  hdr_syms=$(grep -hoE "${sym_re}" "${abi_header}" | sort -u)
+  hdr_members=$(grep -hoE '\(\*[a-z_]+\)' "${abi_header}" | tr -d '(*)' | sort -u)
+  hdr_fields=$(grep -hoE '^\s*(uint32_t|int32_t|double|void\*|const char\*) [a-z_]+;' \
+    "${abi_header}" | grep -oE '[a-z_]+;' | tr -d ';' | sort -u)
+  for sym in $(printf '%s\n%s\n%s\n' "${hdr_syms}" "${hdr_members}" "${hdr_fields}" | sort -u); do
+    if grep -qw "${sym}" "${abi_doc}"; then
+      echo "verify: doc sanity: ABI symbol ${sym} is specified in ${abi_doc}"
+    else
+      echo "verify: FATAL: ${abi_header} exports '${sym}' but ${abi_doc}" \
+           "never mentions it" >&2
+      fail=1
+    fi
+  done
+  doc_syms=$(grep -hoE "${sym_re}" "${abi_doc}" | sort -u)
+  for sym in ${doc_syms}; do
+    if grep -qw "${sym}" "${abi_header}"; then
+      :
+    elif grep -rqE "getenv\(\"${sym}\"\)" src/plugin; then
+      :
+    else
+      echo "verify: FATAL: ${abi_doc} names ABI symbol '${sym}' but" \
+           "${abi_header} does not define it" >&2
       fail=1
     fi
   done

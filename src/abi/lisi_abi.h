@@ -1,0 +1,134 @@
+/* lisi_abi.h — the stable C ABI plugin boundary for LISI solver backends.
+ *
+ * This header is the ONLY file a plugin needs: it is plain C (C99), has no
+ * dependency beyond <stdint.h>, and is versioned as a whole.  A plugin is a
+ * shared object exporting one symbol, lisi_plugin_query, which returns a
+ * lisi_abi_v1 function table; the host (src/plugin) dlopens the object,
+ * negotiates the version, and adapts the table onto the C++ SparseSolver
+ * port so plugin backends are indistinguishable from built-ins.
+ *
+ * Design rules (the normative spec is docs/PLUGIN_ABI.md):
+ *   - opaque handles:     the solver instance is a void* the plugin owns;
+ *   - C data only:        local CSR blocks, double arrays, and string
+ *                         key/value options are the only types crossing;
+ *   - error codes:        every function returns int32_t, never throws or
+ *                         longjmps across the boundary;
+ *   - host callbacks:     the distributed pieces (operator application,
+ *                         global reductions) are host-provided function
+ *                         pointers, so a plugin needs no MPI, no comm
+ *                         library — nothing but this header.
+ */
+#ifndef LISI_ABI_H
+#define LISI_ABI_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* The ABI revision this header describes.  Incompatible changes bump the
+ * number and add a new table type; lisi_abi_v1 itself is frozen. */
+#define LISI_ABI_VERSION 1u
+
+/* Error codes.  Values mirror lisi::ErrorCode on the host side so the
+ * adapter's translation is the identity on the shared range. */
+#define LISI_ABI_OK 0               /* success */
+#define LISI_ABI_ERR_ARG 1          /* bad argument or bad option value */
+#define LISI_ABI_ERR_STATE 2        /* call out of lifecycle order */
+#define LISI_ABI_ERR_UNSUPPORTED 3  /* unknown option KEY (host skips it) */
+#define LISI_ABI_ERR_NUMERIC 4      /* numeric failure (zero pivot, ...) */
+#define LISI_ABI_ERR_INTERNAL 5     /* anything else */
+
+/* Host services passed to create().  The pointer stays valid until
+ * destroy(); the callbacks may only be invoked from inside solve(), on the
+ * thread that called solve() — both are collective over the ranks of the
+ * communicator the owning component was initialized with.
+ */
+typedef struct lisi_abi_host_v1 {
+  /* Opaque host context: pass it back as the first callback argument. */
+  void* ctx;
+  /* This rank and the number of ranks in the solve communicator. */
+  int32_t rank;
+  int32_t nranks;
+  /* y = A x over this rank's rows (x and y are local_rows long).  The host
+   * owns the assembled distributed operator and its halo exchange, so a
+   * plugin needs no communication code of its own.  Collective. */
+  int32_t (*apply_operator)(void* ctx, const double* x, double* y,
+                            int32_t local_rows);
+  /* Element-wise global sum of in[0..n) into out[0..n).  Lanes reduce
+   * independently (fusing dots never changes a lane's bits).  Collective. */
+  int32_t (*allreduce_sum)(void* ctx, const double* in, double* out,
+                           int32_t n);
+} lisi_abi_host_v1;
+
+/* Per-solve results, filled by solve(). */
+typedef struct lisi_abi_solve_info_v1 {
+  int32_t iterations;    /* iterations taken (0 for direct solvers) */
+  int32_t converged;     /* 1 converged, 0 not */
+  double residual_norm;  /* the norm the method tracked at exit */
+} lisi_abi_solve_info_v1;
+
+/* The v1 function table.  All pointers must be non-NULL; the host rejects
+ * a table with a hole.  Lifecycle: create -> set_option* -> set_operator ->
+ * (set_option* | solve | get_info)* -> destroy; set_operator may be called
+ * again at any point to refresh or replace the operator. */
+typedef struct lisi_abi_v1 {
+  /* Must equal LISI_ABI_VERSION; the host cross-checks it against the
+   * version it asked lisi_plugin_query for. */
+  uint32_t abi_version;
+  /* Registry name: the host registers the backend as "plugin.<solver_name>".
+   * Must be non-empty, stable for the lifetime of the process. */
+  const char* solver_name;
+  /* Free-form version string, diagnostics only. */
+  const char* solver_version;
+
+  /* Create a solver instance.  `host` stays valid until destroy().  On
+   * success *solver is the opaque instance handle. */
+  int32_t (*create)(const lisi_abi_host_v1* host, void** solver);
+  /* String-keyed option (the LIS lis_solver_set_option idiom).  Return
+   * LISI_ABI_ERR_UNSUPPORTED for keys you do not recognize — the host
+   * forwards its whole table and skips unsupported keys; any other nonzero
+   * code aborts the solve.  A recognized key with a bad value is
+   * LISI_ABI_ERR_ARG. */
+  int32_t (*set_option)(void* solver, const char* key, const char* value);
+  /* This rank's block of rows as CSR: row_ptr has local_rows+1 entries
+   * (row_ptr[0] == 0), col_idx/values have row_ptr[local_rows] entries, and
+   * column indices are GLOBAL.  The arrays are owned by the host and valid
+   * only during the call — copy what you keep.  Distributed operator
+   * application goes through host->apply_operator; the CSR block is for
+   * local analysis (preconditioners, orderings, diagonals). */
+  int32_t (*set_operator)(void* solver, int32_t local_rows,
+                          int32_t global_rows, int32_t start_row,
+                          const int32_t* row_ptr, const int32_t* col_idx,
+                          const double* values);
+  /* Solve A x = b for this rank's block; x carries the initial guess in and
+   * the solution out.  Fill *info (non-convergence is reported there with
+   * LISI_ABI_OK, matching the host's status-array contract; reserve
+   * LISI_ABI_ERR_NUMERIC for failures that invalidate the setup, e.g. a
+   * zero pivot).  Collective. */
+  int32_t (*solve)(void* solver, const double* b, double* x,
+                   int32_t local_rows, lisi_abi_solve_info_v1* info);
+  /* Named scalar statistics after a solve: "iterations", "residual_norm",
+   * "converged" are the required keys; LISI_ABI_ERR_UNSUPPORTED otherwise. */
+  int32_t (*get_info)(void* solver, const char* key, double* value);
+  /* Destroy the instance and everything it owns.  Never called during a
+   * solve(). */
+  int32_t (*destroy)(void* solver);
+} lisi_abi_v1;
+
+/* The single exported entry point every plugin defines:
+ *
+ *   const lisi_abi_v1* lisi_plugin_query(uint32_t abi_version);
+ *
+ * Return the table if you implement `abi_version`, NULL to decline (the
+ * host reports the refusal by name instead of crashing into a mismatched
+ * struct layout).  Must be safe to call multiple times. */
+#define LISI_PLUGIN_QUERY_SYMBOL "lisi_plugin_query"
+typedef const lisi_abi_v1* (*lisi_plugin_query_fn)(uint32_t abi_version);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* LISI_ABI_H */

@@ -161,6 +161,13 @@ class SolverComponentBase : public SparseSolver {
 
   [[nodiscard]] const comm::Comm& comm() const { return comm_; }
 
+  /// The full parameter table (canonical lower-case keys).  For adapters
+  /// that forward every option verbatim across a string-keyed boundary
+  /// (src/plugin) instead of reading a fixed key set.
+  [[nodiscard]] const std::map<std::string, std::string>& paramTable() const {
+    return params_;
+  }
+
  private:
   int setupMatrixImpl(RArray<const double> values, RArray<const int> rows,
                       RArray<const int> columns, SparseStruct dataStruct,

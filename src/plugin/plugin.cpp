@@ -1,0 +1,140 @@
+#include "plugin/plugin.hpp"
+
+#include <dlfcn.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <sstream>
+
+namespace lisi::plugin {
+
+namespace fs = std::filesystem;
+
+PluginRegistry& PluginRegistry::instance() {
+  static PluginRegistry registry;
+  return registry;
+}
+
+LoadReport PluginRegistry::loadFile(const std::string& path) {
+  LoadReport report;
+  report.path = path;
+
+  // RTLD_LOCAL keeps plugin symbols out of the global namespace: two
+  // plugins defining the same internal helper must not interfere.
+  void* handle = ::dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const char* err = ::dlerror();
+    report.error = std::string("dlopen failed: ") + (err ? err : "unknown");
+    return report;
+  }
+
+  ::dlerror();  // clear any stale error before dlsym
+  void* sym = ::dlsym(handle, LISI_PLUGIN_QUERY_SYMBOL);
+  if (sym == nullptr) {
+    report.error = std::string("missing entry point ") +
+                   LISI_PLUGIN_QUERY_SYMBOL +
+                   " (not a LISI plugin, or the symbol is not exported)";
+    ::dlclose(handle);
+    return report;
+  }
+
+  const auto query = reinterpret_cast<lisi_plugin_query_fn>(sym);
+  const lisi_abi_v1* table = query(LISI_ABI_VERSION);
+  if (table == nullptr) {
+    std::ostringstream os;
+    os << "plugin declined ABI version " << LISI_ABI_VERSION
+       << " (it may target a different lisi_abi revision)";
+    report.error = os.str();
+    ::dlclose(handle);
+    return report;
+  }
+  if (table->abi_version != LISI_ABI_VERSION) {
+    std::ostringstream os;
+    os << "plugin answered version " << LISI_ABI_VERSION
+       << " with a table claiming abi_version=" << table->abi_version
+       << "; refusing a mismatched struct layout";
+    report.error = os.str();
+    ::dlclose(handle);
+    return report;
+  }
+  if (table->solver_name == nullptr || table->solver_name[0] == '\0') {
+    report.error = "plugin table has no solver_name";
+    ::dlclose(handle);
+    return report;
+  }
+  if (table->create == nullptr || table->set_option == nullptr ||
+      table->set_operator == nullptr || table->solve == nullptr ||
+      table->get_info == nullptr || table->destroy == nullptr) {
+    report.error = std::string("plugin '") + table->solver_name +
+                   "' has a NULL entry in its function table";
+    ::dlclose(handle);
+    return report;
+  }
+
+  auto loaded = std::make_shared<LoadedPlugin>();
+  loaded->path = path;
+  loaded->table = table;
+  loaded->dlHandle = handle;  // kept alive forever; see plugin.hpp
+
+  report.className = std::string("plugin.") + table->solver_name;
+  report.replaced = cca::Framework::isClassRegistered(report.className);
+  {
+    support::MutexLock lock(mutex_);
+    plugins_.push_back(loaded);
+  }
+  // Re-registration REPLACES the factory: this is the hot-swap path.  Live
+  // component instances keep their shared_ptr to the old LoadedPlugin.
+  cca::Framework::registerClass(
+      report.className, [plugin = std::shared_ptr<const LoadedPlugin>(loaded)] {
+        return detail::makePluginComponent(plugin);
+      });
+  report.ok = true;
+  return report;
+}
+
+std::vector<LoadReport> PluginRegistry::loadPath(
+    const std::string& colonSeparated) {
+  std::vector<LoadReport> reports;
+  std::stringstream ss(colonSeparated);
+  std::string entry;
+  while (std::getline(ss, entry, ':')) {
+    if (entry.empty()) continue;
+    std::error_code ec;
+    if (fs::is_directory(entry, ec)) {
+      std::vector<fs::path> found;
+      for (const auto& e : fs::directory_iterator(entry, ec)) {
+        if (e.is_regular_file() && e.path().extension() == ".so") {
+          found.push_back(e.path());
+        }
+      }
+      std::sort(found.begin(), found.end());
+      for (const auto& p : found) reports.push_back(loadFile(p.string()));
+    } else {
+      // A file (or a path that does not exist — loadFile reports that as a
+      // dlopen diagnostic rather than silently skipping a typo).
+      reports.push_back(loadFile(entry));
+    }
+  }
+  return reports;
+}
+
+std::vector<LoadReport> PluginRegistry::loadFromEnv() {
+  const char* env = std::getenv("LISI_PLUGIN_PATH");
+  if (env == nullptr || env[0] == '\0') return {};
+  return loadPath(env);
+}
+
+std::vector<std::string> PluginRegistry::loadedClasses() const {
+  std::set<std::string> names;
+  {
+    support::MutexLock lock(mutex_);
+    for (const auto& p : plugins_) {
+      names.insert(std::string("plugin.") + p->table->solver_name);
+    }
+  }
+  return {names.begin(), names.end()};
+}
+
+}  // namespace lisi::plugin

@@ -1,0 +1,83 @@
+// Host side of the C ABI plugin boundary (src/abi/lisi_abi.h).
+//
+// PluginRegistry dlopens solver shared objects, negotiates the ABI version
+// through their lisi_plugin_query entry point, and registers every accepted
+// table in the CCA class registry as "plugin.<solver_name>" — from there a
+// plugin backend is indistinguishable from a built-in: the same
+// Framework::instantiate, the same SparseSolver port, the same operator
+// change / precision / tune machinery (the adapter in plugin_component.cpp
+// subclasses detail::SolverComponentBase).
+//
+// Replacement semantics reproduce the paper's Figure 4 dynamic-swap story:
+// loading a plugin whose solver_name is already registered REPLACES the
+// factory (cca::Framework::registerClass replaces on re-registration), so
+// components instantiated afterwards use the new code while live instances
+// keep the old table.  To make that safe the registry never dlcloses a
+// handle — superseded plugins stay mapped for the process lifetime, which
+// is the standard hot-swap trade (text segments are cheap; a dangling
+// function table is not).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "abi/lisi_abi.h"
+#include "cca/cca.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace lisi::plugin {
+
+/// One successfully negotiated shared object (kept alive forever).
+struct LoadedPlugin {
+  std::string path;                    ///< file the table came from
+  const lisi_abi_v1* table = nullptr;  ///< validated v1 function table
+  void* dlHandle = nullptr;            ///< never dlclosed (see header)
+};
+
+/// Outcome of one load attempt; loading never throws for a bad plugin —
+/// a broken .so must not take the World down, it must be diagnosed.
+struct LoadReport {
+  std::string path;
+  bool ok = false;
+  std::string className;  ///< "plugin.<solver_name>" when ok
+  bool replaced = false;  ///< an existing registration was superseded
+  std::string error;      ///< diagnostic when !ok
+};
+
+class PluginRegistry {
+ public:
+  static PluginRegistry& instance();
+
+  /// Load one shared object: dlopen, resolve lisi_plugin_query, negotiate
+  /// LISI_ABI_VERSION, validate the table, register the CCA class.
+  LoadReport loadFile(const std::string& path);
+
+  /// Load a ':'-separated list of files and/or directories (directories are
+  /// scanned non-recursively for "*.so", in sorted order).
+  std::vector<LoadReport> loadPath(const std::string& colonSeparated);
+
+  /// loadPath(getenv("LISI_PLUGIN_PATH")); empty result when unset.
+  std::vector<LoadReport> loadFromEnv();
+
+  /// CCA class names currently backed by a plugin (sorted, deduplicated —
+  /// a replaced class appears once).
+  [[nodiscard]] std::vector<std::string> loadedClasses() const;
+
+ private:
+  PluginRegistry() = default;
+
+  mutable support::AnnotatedMutex mutex_;
+  /// Every plugin ever accepted, superseded ones included (keep-alive).
+  std::vector<std::shared_ptr<LoadedPlugin>> plugins_ LISI_GUARDED_BY(mutex_);
+};
+
+namespace detail {
+/// Factory used by the registry: a CCA component whose SparseSolver port is
+/// adapted from `plugin`'s function table (plugin_component.cpp).
+std::shared_ptr<cca::Component> makePluginComponent(
+    std::shared_ptr<const LoadedPlugin> plugin);
+}  // namespace detail
+
+}  // namespace lisi::plugin

@@ -31,13 +31,20 @@ int envInt(const char* name, int fallback) {
   return static_cast<int>(v);
 }
 
-/// Component class for a backend name; nullptr when unknown.
-const char* backendClass(const std::string& backend) {
+/// Component class for a backend name; empty when unknown.  Besides the
+/// four built-in short names, any "plugin.<name>" class the dlopen registry
+/// (src/plugin) has registered is a valid backend — per-session backend
+/// selection reaches plugins exactly like built-ins.
+std::string backendClass(const std::string& backend) {
   if (backend == "pksp") return kPkspComponentClass;
   if (backend == "aztec") return kAztecComponentClass;
   if (backend == "slu") return kSluComponentClass;
   if (backend == "hymg") return kHymgComponentClass;
-  return nullptr;
+  if (backend.rfind("plugin.", 0) == 0 &&
+      cca::Framework::isClassRegistered(backend)) {
+    return backend;
+  }
+  return {};
 }
 
 /// Two requests may share one blocked multi-RHS solve: same operator (by
@@ -120,8 +127,8 @@ struct SolverService::SessionWorker {
   std::shared_ptr<SparseSolver> solver(const std::string& backend) {
     const auto it = solvers.find(backend);
     if (it != solvers.end()) return it->second;
-    const char* cls = backendClass(backend);
-    if (cls == nullptr) return nullptr;
+    const std::string cls = backendClass(backend);
+    if (cls.empty()) return nullptr;
     const std::string name = "svc_" + backend;
     fw.instantiate(name, cls);
     auto s = fw.getProvidesPortAs<SparseSolver>(name, kSparseSolverPortName);
@@ -152,7 +159,7 @@ std::optional<std::future<SolveResult>> SolverService::submit(
     bad = "matrix is not square";
   } else if (req.rhs.size() != static_cast<std::size_t>(req.matrix->rows)) {
     bad = "rhs length does not match matrix rows";
-  } else if (backendClass(req.backend) == nullptr) {
+  } else if (backendClass(req.backend).empty()) {
     bad = "unknown backend \"" + req.backend + "\"";
   } else if (req.matrix->rows < cfg_.ranksPerSession) {
     bad = "matrix has fewer rows than ranks per session";

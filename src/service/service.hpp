@@ -80,7 +80,9 @@ struct SolveRequest {
   /// copies; pointer identity doubles as part of the batch key.
   std::shared_ptr<const sparse::CsrMatrix> matrix;
   std::vector<double> rhs;      ///< global right-hand side (matrix->rows)
-  std::string backend = "pksp"; ///< "pksp" | "aztec" | "slu" | "hymg"
+  /// "pksp" | "aztec" | "slu" | "hymg", or a dlopen-loaded backend's CCA
+  /// class name ("plugin.<name>", see src/plugin).
+  std::string backend = "pksp";
   std::uint64_t operatorId = 0; ///< client-chosen operator identity
   std::vector<std::pair<std::string, std::string>> stringParams;
   std::vector<std::pair<std::string, int>> intParams;

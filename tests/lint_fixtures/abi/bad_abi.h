@@ -1,0 +1,26 @@
+/* Seeded abi-boundary violations: a header under an abi/ directory that
+ * leaks C++ across the plain-C plugin boundary.  Line numbers are pinned
+ * by tests/lint_test.cpp.
+ */
+#pragma once
+
+namespace bad_abi {
+
+template <
+typename T>
+struct Holder {
+  T value;
+};
+
+class Port {
+ public:
+  virtual void solve() = 0;
+};
+
+inline unsigned long long makeId() {
+  std::size_t n = 0;
+  if (n == 0) throw 1;
+  return n;
+}
+
+}  /* end of the seeded C++ header */

@@ -110,6 +110,14 @@ TEST(LintTest, EveryRuleFiresExactlyWhereSeeded) {
       {"bad_suppression.cpp", 10, "raw-tag"},
       {"bad_suppression.cpp", 12, "raw-tag"},
       {"bad_suppression.cpp", 14, "raw-tag"},
+      // abi/bad_abi.h leaks C++ into the C plugin surface.
+      {"bad_abi.h", 7, "abi-boundary"},
+      {"bad_abi.h", 9, "abi-boundary"},
+      {"bad_abi.h", 10, "abi-boundary"},
+      {"bad_abi.h", 15, "abi-boundary"},
+      {"bad_abi.h", 17, "abi-boundary"},
+      {"bad_abi.h", 21, "abi-boundary"},
+      {"bad_abi.h", 22, "abi-boundary"},
   };
   for (const Triple& t : want) {
     EXPECT_TRUE(got.count(t)) << t.file << ":" << t.line << " [" << t.rule
@@ -145,7 +153,7 @@ TEST(LintTest, ListRulesCoversTheWholeCatalog) {
   const RunResult r = runLint("--list-rules");
   EXPECT_EQ(r.exitCode, 0) << r.output;
   for (const char* id : {"raw-tag", "rank-branch", "dropped-span", "hot-alloc",
-                         "env-knob-doc", "bad-suppression"}) {
+                         "env-knob-doc", "abi-boundary", "bad-suppression"}) {
     EXPECT_NE(r.output.find(id), std::string::npos)
         << "rule '" << id << "' missing from --list-rules\n"
         << r.output;

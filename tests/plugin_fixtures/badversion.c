@@ -1,0 +1,68 @@
+/* Fixture plugin: answers the host's version query with a table whose
+ * abi_version field contradicts the negotiated version.  The registry must
+ * refuse the mismatched struct layout with a diagnostic, not crash into it.
+ */
+#include <stddef.h>
+
+#include "lisi_abi.h"
+
+static int32_t stub_create(const lisi_abi_host_v1* host, void** solver) {
+  (void)host;
+  (void)solver;
+  return LISI_ABI_ERR_INTERNAL;
+}
+static int32_t stub_set_option(void* s, const char* k, const char* v) {
+  (void)s;
+  (void)k;
+  (void)v;
+  return LISI_ABI_ERR_INTERNAL;
+}
+static int32_t stub_set_operator(void* s, int32_t lr, int32_t gr, int32_t sr,
+                                 const int32_t* rp, const int32_t* ci,
+                                 const double* va) {
+  (void)s;
+  (void)lr;
+  (void)gr;
+  (void)sr;
+  (void)rp;
+  (void)ci;
+  (void)va;
+  return LISI_ABI_ERR_INTERNAL;
+}
+static int32_t stub_solve(void* s, const double* b, double* x, int32_t lr,
+                          lisi_abi_solve_info_v1* info) {
+  (void)s;
+  (void)b;
+  (void)x;
+  (void)lr;
+  (void)info;
+  return LISI_ABI_ERR_INTERNAL;
+}
+static int32_t stub_get_info(void* s, const char* k, double* v) {
+  (void)s;
+  (void)k;
+  (void)v;
+  return LISI_ABI_ERR_INTERNAL;
+}
+static int32_t stub_destroy(void* s) {
+  (void)s;
+  return LISI_ABI_ERR_INTERNAL;
+}
+
+static const lisi_abi_v1 kLyingTable = {
+    /* abi_version: NOT the version the query was answered for */
+    0xbadu,
+    "badversion",
+    "0.0",
+    stub_create,
+    stub_set_option,
+    stub_set_operator,
+    stub_solve,
+    stub_get_info,
+    stub_destroy,
+};
+
+const lisi_abi_v1* lisi_plugin_query(uint32_t abi_version) {
+  (void)abi_version; /* claims to support anything — the table disagrees */
+  return &kLyingTable;
+}

@@ -1,0 +1,12 @@
+/* Fixture plugin: declines every ABI version the host offers (what a
+ * plugin built against a future lisi_abi revision does when asked for v1).
+ * The registry must report the refusal by name, not treat NULL as a table.
+ */
+#include <stddef.h>
+
+#include "lisi_abi.h"
+
+const lisi_abi_v1* lisi_plugin_query(uint32_t abi_version) {
+  (void)abi_version;
+  return NULL;
+}

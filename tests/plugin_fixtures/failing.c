@@ -1,0 +1,70 @@
+/* Fixture plugin: negotiates cleanly, accepts options and the operator,
+ * then fails every solve with LISI_ABI_ERR_NUMERIC.  The adapter must
+ * surface the failure through the SparseSolver status contract (solve
+ * returns kNumericFailure, converged=0) without aborting the World.
+ */
+#include <stddef.h>
+#include <stdlib.h>
+#include <string.h>
+
+#include "lisi_abi.h"
+
+static int32_t f_create(const lisi_abi_host_v1* host, void** solver) {
+  (void)host;
+  if (solver == NULL) return LISI_ABI_ERR_ARG;
+  *solver = malloc(1); /* any non-NULL cookie */
+  return *solver == NULL ? LISI_ABI_ERR_INTERNAL : LISI_ABI_OK;
+}
+static int32_t f_set_option(void* s, const char* k, const char* v) {
+  (void)s;
+  (void)v;
+  return k == NULL ? LISI_ABI_ERR_ARG : LISI_ABI_ERR_UNSUPPORTED;
+}
+static int32_t f_set_operator(void* s, int32_t lr, int32_t gr, int32_t sr,
+                              const int32_t* rp, const int32_t* ci,
+                              const double* va) {
+  (void)s;
+  (void)lr;
+  (void)gr;
+  (void)sr;
+  (void)rp;
+  (void)ci;
+  (void)va;
+  return LISI_ABI_OK;
+}
+static int32_t f_solve(void* s, const double* b, double* x, int32_t lr,
+                       lisi_abi_solve_info_v1* info) {
+  (void)s;
+  (void)b;
+  (void)x;
+  (void)lr;
+  if (info != NULL) memset(info, 0, sizeof(*info));
+  return LISI_ABI_ERR_NUMERIC; /* mid-solve failure, every time */
+}
+static int32_t f_get_info(void* s, const char* k, double* v) {
+  (void)s;
+  (void)k;
+  (void)v;
+  return LISI_ABI_ERR_UNSUPPORTED;
+}
+static int32_t f_destroy(void* s) {
+  free(s);
+  return LISI_ABI_OK;
+}
+
+static const lisi_abi_v1 kFailingTable = {
+    LISI_ABI_VERSION,
+    "failing",
+    "1.0",
+    f_create,
+    f_set_option,
+    f_set_operator,
+    f_solve,
+    f_get_info,
+    f_destroy,
+};
+
+const lisi_abi_v1* lisi_plugin_query(uint32_t abi_version) {
+  if (abi_version != LISI_ABI_VERSION) return NULL;
+  return &kFailingTable;
+}

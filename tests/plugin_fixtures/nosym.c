@@ -1,0 +1,5 @@
+/* Fixture plugin: a perfectly loadable shared object that simply is not a
+ * LISI plugin — it exports no lisi_plugin_query.  The registry must
+ * diagnose the missing entry point by name.
+ */
+int this_is_not_a_lisi_plugin(void) { return 42; }

@@ -1,0 +1,355 @@
+// Plugin-boundary tests: registry diagnostics for broken shared objects
+// (wrong ABI version, declined negotiation, missing entry point, absent
+// file), error-code propagation from a failing plugin without aborting the
+// World, hot replacement through re-registration, LISI_PLUGIN_PATH
+// discovery, service-layer reachability, and the headline property — the
+// refsolver plugin's CG+Jacobi solve is BITWISE identical to the built-in
+// pksp solve at p=1 and p=4, because every distributed operation flows
+// back through the host callbacks onto the host's deterministic kernels.
+//
+// Fixture/refsolver paths arrive as compile definitions from
+// tests/CMakeLists.txt (LISI_PLUGIN_REFSOLVER and friends).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cca/cca.hpp"
+#include "comm/comm.hpp"
+#include "comm/comm_handle.hpp"
+#include "lisi/sparse_solver.hpp"
+#include "plugin/plugin.hpp"
+#include "service/service.hpp"
+#include "sparse/formats.hpp"
+#include "sparse/generate.hpp"
+#include "support/rng.hpp"
+
+namespace lisi::plugin {
+namespace {
+
+using comm::Comm;
+using comm::World;
+using sparse::CsrMatrix;
+
+// ---- registry diagnostics ---------------------------------------------
+
+TEST(PluginRegistry, WrongAbiVersionIsRejected) {
+  const LoadReport report =
+      PluginRegistry::instance().loadFile(LISI_PLUGIN_BADVERSION);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("abi_version"), std::string::npos)
+      << report.error;
+  EXPECT_FALSE(cca::Framework::isClassRegistered("plugin.badversion"));
+}
+
+TEST(PluginRegistry, DeclinedVersionIsReported) {
+  const LoadReport report =
+      PluginRegistry::instance().loadFile(LISI_PLUGIN_DECLINED);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("declined"), std::string::npos) << report.error;
+}
+
+TEST(PluginRegistry, MissingQuerySymbolIsDiagnosed) {
+  const LoadReport report =
+      PluginRegistry::instance().loadFile(LISI_PLUGIN_NOSYM);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("lisi_plugin_query"), std::string::npos)
+      << report.error;
+}
+
+TEST(PluginRegistry, NonexistentFileIsDiagnosed) {
+  const LoadReport report = PluginRegistry::instance().loadFile(
+      "/nonexistent/path/libnothing.so");
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("dlopen failed"), std::string::npos)
+      << report.error;
+}
+
+TEST(PluginRegistry, HotReplaceSwapsFactory) {
+  const LoadReport first =
+      PluginRegistry::instance().loadFile(LISI_PLUGIN_REFSOLVER);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.className, "plugin.refsolver");
+  ASSERT_TRUE(cca::Framework::isClassRegistered("plugin.refsolver"));
+  // Loading the same solver name again REPLACES the factory (Figure 4's
+  // runtime swap); the report says so and the class stays instantiable.
+  const LoadReport second =
+      PluginRegistry::instance().loadFile(LISI_PLUGIN_REFSOLVER);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.replaced);
+  EXPECT_TRUE(cca::Framework::isClassRegistered("plugin.refsolver"));
+  const auto classes = PluginRegistry::instance().loadedClasses();
+  EXPECT_EQ(std::count(classes.begin(), classes.end(),
+                       std::string("plugin.refsolver")),
+            1);
+}
+
+TEST(PluginRegistry, LoadFromEnvScansDirectory) {
+  const std::string dir =
+      std::filesystem::path(LISI_PLUGIN_REFSOLVER).parent_path().string();
+  ::setenv("LISI_PLUGIN_PATH", dir.c_str(), 1);
+  const auto reports = PluginRegistry::instance().loadFromEnv();
+  ::unsetenv("LISI_PLUGIN_PATH");
+  ASSERT_FALSE(reports.empty());
+  bool sawRefsolver = false;
+  for (const auto& r : reports) {
+    if (r.ok && r.className == "plugin.refsolver") sawRefsolver = true;
+  }
+  EXPECT_TRUE(sawRefsolver);
+  EXPECT_TRUE(cca::Framework::isClassRegistered("plugin.refsolver"));
+}
+
+TEST(PluginRegistry, UnsetEnvLoadsNothing) {
+  ::unsetenv("LISI_PLUGIN_PATH");
+  EXPECT_TRUE(PluginRegistry::instance().loadFromEnv().empty());
+}
+
+// ---- solving through a plugin component -------------------------------
+
+/// Slice the block rows [start, start+m) out of a global CSR; column
+/// indices stay global, which is exactly the setupMatrix contract.
+CsrMatrix sliceRows(const CsrMatrix& g, int start, int m) {
+  CsrMatrix local;
+  local.rows = m;
+  local.cols = g.cols;
+  local.rowPtr.resize(static_cast<std::size_t>(m) + 1, 0);
+  const int base = g.rowPtr[static_cast<std::size_t>(start)];
+  for (int i = 0; i <= m; ++i) {
+    local.rowPtr[static_cast<std::size_t>(i)] =
+        g.rowPtr[static_cast<std::size_t>(start + i)] - base;
+  }
+  const auto first = static_cast<std::size_t>(base);
+  const auto last = static_cast<std::size_t>(
+      g.rowPtr[static_cast<std::size_t>(start + m)]);
+  local.colIdx.assign(g.colIdx.begin() + static_cast<std::ptrdiff_t>(first),
+                      g.colIdx.begin() + static_cast<std::ptrdiff_t>(last));
+  local.values.assign(g.values.begin() + static_cast<std::ptrdiff_t>(first),
+                      g.values.begin() + static_cast<std::ptrdiff_t>(last));
+  return local;
+}
+
+struct RankSolve {
+  std::vector<double> x;
+  std::vector<double> status;
+  int rc = -1;
+};
+
+/// Configure one component of class `cls` and solve the sliced system.
+/// Explicit tune/precision parameters pin the comparison against the
+/// LISI_TUNE / LISI_PRECISION environment sweeps verify.sh runs.
+RankSolve solveWith(cca::Framework& fw, const std::string& name,
+                    const std::string& cls, Comm& c, const CsrMatrix& g,
+                    const std::vector<double>& bGlobal, int start, int m) {
+  RankSolve out;
+  fw.instantiate(name, cls);
+  auto s = fw.getProvidesPortAs<SparseSolver>(name, kSparseSolverPortName);
+  const long h = comm::registerHandle(c);
+  EXPECT_EQ(s->initialize(h), 0);
+  EXPECT_EQ(s->setStartRow(start), 0);
+  EXPECT_EQ(s->setLocalRows(m), 0);
+  EXPECT_EQ(s->setGlobalCols(g.cols), 0);
+  EXPECT_EQ(s->set("solver", "cg"), 0);
+  EXPECT_EQ(s->set("preconditioner", "jacobi"), 0);
+  EXPECT_EQ(s->set("tol", "1e-10"), 0);
+  EXPECT_EQ(s->set("maxits", "5000"), 0);
+  EXPECT_EQ(s->set("tune", "off"), 0);
+  EXPECT_EQ(s->set("precision", "double"), 0);
+  const CsrMatrix local = sliceRows(g, start, m);
+  EXPECT_EQ(s->setupMatrix(
+                RArray<const double>(local.values.data(), local.nnz()),
+                RArray<const int>(local.rowPtr.data(), m + 1),
+                RArray<const int>(local.colIdx.data(), local.nnz()),
+                SparseStruct::kCsr, m + 1, local.nnz()),
+            0);
+  EXPECT_EQ(s->setupRHS(RArray<const double>(bGlobal.data() + start, m), m, 1),
+            0);
+  out.x.assign(static_cast<std::size_t>(m), 0.0);
+  out.status.assign(kStatusLength, 0.0);
+  out.rc = s->solve(RArray<double>(out.x.data(), m),
+                    RArray<double>(out.status.data(), kStatusLength), m,
+                    kStatusLength);
+  comm::releaseHandle(h);
+  return out;
+}
+
+/// Even row partition: base rows per rank, remainder to the first ranks.
+void partition(int n, int rank, int size, int& start, int& m) {
+  const int base = n / size;
+  const int rem = n % size;
+  m = base + (rank < rem ? 1 : 0);
+  start = rank * base + std::min(rank, rem);
+}
+
+TEST(PluginSolve, BitwiseMatchesBuiltinCgAcrossRanks) {
+  ASSERT_TRUE(
+      PluginRegistry::instance().loadFile(LISI_PLUGIN_REFSOLVER).ok);
+  registerSolverComponents();
+  const CsrMatrix g = sparse::laplacian2d(12, 12);
+  std::vector<double> b(static_cast<std::size_t>(g.rows));
+  Rng rng(99);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+
+  for (const int p : {1, 4}) {
+    World::run(p, [&](Comm& c) {
+      int start = 0;
+      int m = 0;
+      partition(g.rows, c.rank(), c.size(), start, m);
+      cca::Framework fw;
+      const RankSolve builtin =
+          solveWith(fw, "builtin", kPkspComponentClass, c, g, b, start, m);
+      const RankSolve plugin =
+          solveWith(fw, "plugin", "plugin.refsolver", c, g, b, start, m);
+      ASSERT_EQ(builtin.rc, 0);
+      ASSERT_EQ(plugin.rc, 0);
+      EXPECT_EQ(builtin.status[kStatusConverged], 1.0);
+      EXPECT_EQ(plugin.status[kStatusConverged], 1.0);
+      // Identical recurrences on identical deterministic kernels: the
+      // iterates may not differ in a single bit at any rank count.
+      EXPECT_EQ(builtin.status[kStatusIterations],
+                plugin.status[kStatusIterations])
+          << "p=" << p;
+      for (int i = 0; i < m; ++i) {
+        EXPECT_EQ(builtin.x[static_cast<std::size_t>(i)],
+                  plugin.x[static_cast<std::size_t>(i)])
+            << "p=" << p << " row " << start + i;
+      }
+    });
+  }
+}
+
+TEST(PluginSolve, OperatorReuseAcrossSolvesStaysCorrect) {
+  // Second solve with kSameOperator must reuse the plugin's kept operator
+  // (no re-push) and still produce the right answer.
+  ASSERT_TRUE(
+      PluginRegistry::instance().loadFile(LISI_PLUGIN_REFSOLVER).ok);
+  const CsrMatrix g = sparse::laplacian2d(8, 8);
+  World::run(2, [&](Comm& c) {
+    int start = 0;
+    int m = 0;
+    partition(g.rows, c.rank(), c.size(), start, m);
+    std::vector<double> b1(static_cast<std::size_t>(g.rows), 1.0);
+    std::vector<double> b2(static_cast<std::size_t>(g.rows), -2.5);
+    cca::Framework fw;
+    const RankSolve first =
+        solveWith(fw, "s", "plugin.refsolver", c, g, b1, start, m);
+    ASSERT_EQ(first.rc, 0);
+    // Re-solve on the SAME port with a new RHS (solveWith instantiates a
+    // fresh component; here we drive the reuse path by hand).
+    auto s = fw.getProvidesPortAs<SparseSolver>("s", kSparseSolverPortName);
+    EXPECT_EQ(s->setupRHS(RArray<const double>(b2.data() + start, m), m, 1),
+              0);
+    std::vector<double> x(static_cast<std::size_t>(m), 0.0);
+    std::vector<double> st(kStatusLength, 0.0);
+    ASSERT_EQ(s->solve(RArray<double>(x.data(), m),
+                       RArray<double>(st.data(), kStatusLength), m,
+                       kStatusLength),
+              0);
+    EXPECT_EQ(st[kStatusConverged], 1.0);
+    // b2 = -2.5 * b1, and the solve is linear with a deterministic
+    // iteration: x2 == -2.5 * x1 bitwise is NOT guaranteed, but the
+    // solution must satisfy the scaled system to tolerance.
+    for (int i = 0; i < m; ++i) {
+      EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                  -2.5 * first.x[static_cast<std::size_t>(i)], 1e-6);
+    }
+  });
+}
+
+TEST(PluginSolve, FailingSolveSurfacesWithoutAbort) {
+  ASSERT_TRUE(PluginRegistry::instance().loadFile(LISI_PLUGIN_FAILING).ok);
+  World::run(1, [](Comm& c) {
+    const CsrMatrix g = sparse::laplacian1d(10);
+    std::vector<double> b(10, 1.0);
+    cca::Framework fw;
+    const RankSolve r =
+        solveWith(fw, "f", "plugin.failing", c, g, b, 0, g.rows);
+    // LISI_ABI_ERR_NUMERIC maps onto the numeric-failure status contract:
+    // solve() reports the error code, the status array says !converged,
+    // and the World keeps running (this lambda returning IS the test).
+    EXPECT_EQ(r.rc, static_cast<int>(ErrorCode::kNumericFailure));
+    EXPECT_EQ(r.status[kStatusConverged], 0.0);
+  });
+}
+
+TEST(PluginSolve, BadOptionValueAbortsSolve) {
+  // "solver=gmres" is a KEY refsolver knows with a VALUE it cannot honor:
+  // LISI_ABI_ERR_ARG, which must abort the solve (unlike unknown keys,
+  // which are skipped).
+  ASSERT_TRUE(
+      PluginRegistry::instance().loadFile(LISI_PLUGIN_REFSOLVER).ok);
+  World::run(1, [](Comm& c) {
+    const CsrMatrix g = sparse::laplacian1d(6);
+    cca::Framework fw;
+    fw.instantiate("s", "plugin.refsolver");
+    auto s = fw.getProvidesPortAs<SparseSolver>("s", kSparseSolverPortName);
+    const long h = comm::registerHandle(c);
+    ASSERT_EQ(s->initialize(h), 0);
+    ASSERT_EQ(s->setStartRow(0), 0);
+    ASSERT_EQ(s->setLocalRows(g.rows), 0);
+    ASSERT_EQ(s->setGlobalCols(g.cols), 0);
+    ASSERT_EQ(s->set("solver", "gmres"), 0);  // accepted here, judged later
+    ASSERT_EQ(s->setupMatrix(
+                  RArray<const double>(g.values.data(), g.nnz()),
+                  RArray<const int>(g.rowPtr.data(), g.rows + 1),
+                  RArray<const int>(g.colIdx.data(), g.nnz()),
+                  SparseStruct::kCsr, g.rows + 1, g.nnz()),
+              0);
+    std::vector<double> b(static_cast<std::size_t>(g.rows), 1.0);
+    ASSERT_EQ(s->setupRHS(RArray<const double>(b.data(), g.rows), g.rows, 1),
+              0);
+    std::vector<double> x(static_cast<std::size_t>(g.rows), 0.0);
+    std::vector<double> st(kStatusLength, 0.0);
+    EXPECT_EQ(s->solve(RArray<double>(x.data(), g.rows),
+                       RArray<double>(st.data(), kStatusLength), g.rows,
+                       kStatusLength),
+              static_cast<int>(ErrorCode::kInvalidArgument));
+    comm::releaseHandle(h);
+  });
+}
+
+// ---- service-layer reachability ---------------------------------------
+
+TEST(PluginService, SessionBackendReachesPlugin) {
+  ASSERT_TRUE(
+      PluginRegistry::instance().loadFile(LISI_PLUGIN_REFSOLVER).ok);
+  auto a = std::make_shared<sparse::CsrMatrix>(sparse::laplacian2d(10, 10));
+  service::SolveRequest req;
+  req.matrix = a;
+  req.rhs.assign(static_cast<std::size_t>(a->rows), 1.0);
+  req.backend = "plugin.refsolver";
+  req.operatorId = 1;
+  req.stringParams = {{"solver", "cg"}, {"preconditioner", "jacobi"}};
+  req.doubleParams = {{"tol", 1e-10}};
+
+  service::ServiceConfig cfg;
+  cfg.sessions = 1;
+  cfg.ranksPerSession = 2;
+  service::SolverService svc(cfg);
+  auto future = svc.submit(std::move(req));
+  ASSERT_TRUE(future.has_value());
+  svc.start();
+  const service::SolveResult res = future->get();
+  svc.stop();
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.converged);
+
+  // An unregistered plugin class is still an unknown backend.
+  service::SolveRequest bogus;
+  bogus.matrix = a;
+  bogus.rhs.assign(static_cast<std::size_t>(a->rows), 1.0);
+  bogus.backend = "plugin.nosuchsolver";
+  service::SolverService svc2(cfg);
+  auto f2 = svc2.submit(std::move(bogus));
+  ASSERT_TRUE(f2.has_value());
+  svc2.start();
+  const service::SolveResult r2 = f2->get();
+  svc2.stop();
+  EXPECT_FALSE(r2.ok);
+  EXPECT_NE(r2.error.find("unknown backend"), std::string::npos) << r2.error;
+}
+
+}  // namespace
+}  // namespace lisi::plugin

@@ -15,6 +15,10 @@
 //                  `zero-alloc-end` markers;
 //   env-knob-doc   a LISI_* env knob read via getenv()/envInt() that the
 //                  README never documents;
+//   abi-boundary   C++ constructs (std::, templates, exceptions, namespaces)
+//                  in headers under an abi/ directory — the plugin boundary
+//                  (src/abi/lisi_abi.h) must stay consumable by a plain C
+//                  compiler;
 //   bad-suppression a malformed or unknown `// lisi-lint:` directive.
 //
 // Findings print as `file:line: [rule-id] message` plus a one-line fix
@@ -226,6 +230,7 @@ struct FileContext {
   bool inTestsDir = false;
   bool inFixtures = false;  // lint_fixtures opt back in to every rule
   bool isTagRegistry = false;
+  bool inAbiDir = false;  // any path component named "abi" (the C surface)
 };
 
 std::string trim(const std::string& s) {
@@ -593,6 +598,43 @@ void checkEnvKnobDoc(const FileContext& fc, const std::string& readme,
   }
 }
 
+// ---- rule: abi-boundary ---------------------------------------------------
+
+// Keywords that cannot appear in a translation unit a C compiler accepts.
+// `extern "C"` guards are fine (extern is shared); so is everything from
+// <stdint.h>.  The rule is lexical on purpose: the ABI header has no
+// business being subtle enough to fool it.
+const char* const kCxxOnlyKeywords[] = {
+    "template", "typename", "namespace", "class",     "throw",
+    "try",      "catch",    "virtual",   "constexpr",
+};
+
+void checkAbiBoundary(const FileContext& fc, std::vector<Finding>& findings) {
+  if (!fc.inAbiDir) return;
+  const auto& toks = fc.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+    if (t.text == "std" && i + 1 < toks.size() && isPunct(toks[i + 1], "::")) {
+      findings.push_back(
+          {fc.path, t.line, Rule::kAbiBoundary,
+           "std:: qualifier in an ABI header; only <stdint.h> types may "
+           "cross the C plugin boundary"});
+      continue;
+    }
+    for (const char* kw : kCxxOnlyKeywords) {
+      if (t.text == kw) {
+        findings.push_back(
+            {fc.path, t.line, Rule::kAbiBoundary,
+             "C++ keyword '" + t.text +
+                 "' in an ABI header; plugins compile this with a plain C "
+                 "compiler"});
+        break;
+      }
+    }
+  }
+}
+
 // ---- driver ---------------------------------------------------------------
 
 bool hasComponent(const fs::path& p, const std::string& name) {
@@ -632,6 +674,7 @@ void lintFile(const Options& opt, const fs::path& path,
   fc.inTestsDir = hasComponent(path, "tests");
   fc.inFixtures = hasComponent(path, "lint_fixtures");
   fc.isTagRegistry = path.filename() == "tags.hpp";
+  fc.inAbiDir = hasComponent(path, "abi");
   lex(buf.str(), fc.tokens, fc.comments);
 
   std::vector<Finding> raw;
@@ -643,6 +686,7 @@ void lintFile(const Options& opt, const fs::path& path,
   if (ruleEnabled(opt, Rule::kEnvKnobDoc)) {
     checkEnvKnobDoc(fc, readme, haveReadme, raw);
   }
+  if (ruleEnabled(opt, Rule::kAbiBoundary)) checkAbiBoundary(fc, raw);
   for (Finding& f : raw) {
     if (f.rule == Rule::kBadSuppression && !ruleEnabled(opt, f.rule)) continue;
     if (!suppressed(fc, f.line, f.rule)) out.push_back(std::move(f));
